@@ -1,0 +1,132 @@
+// E4 — Sec. 4.3: area overhead.
+//
+// Per-IO-bit transistor budgets of the two interfaces, the "+3 6T cells per
+// bit" headline, the ~1.8% benchmark overhead, the overhead across memory
+// shapes, and the global-wire count.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/fastdiag.h"
+#include "util/format.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace fastdiag;
+
+void table_per_bit() {
+  analysis::AreaModel model;
+  const auto& costs = model.costs();
+
+  TablePrinter table({"component", "transistors", "6T-cell equiv"});
+  table.set_title("Per-IO-bit interface cost (paper's conversion: DFF = 2 "
+                  "cells, latch = 1 cell)");
+  table.add_row({"[7,8] bi-dir serial: 4:1 mux + latch",
+                 fmt_transistors(model.baseline_interface_per_bit()),
+                 fmt_double(static_cast<double>(
+                                model.baseline_interface_per_bit()) /
+                                costs.sram_cell,
+                            1)});
+  table.add_row({"proposed: SPC (DFF+mux2) + PSC (scan DFF)",
+                 fmt_transistors(model.proposed_interface_per_bit()),
+                 fmt_double(static_cast<double>(
+                                model.proposed_interface_per_bit()) /
+                                costs.sram_cell,
+                            1)});
+  table.add_separator();
+  table.add_row({"extra vs. [7,8]",
+                 fmt_transistors(model.proposed_interface_per_bit() -
+                                 model.baseline_interface_per_bit()),
+                 std::to_string(model.extra_cells_per_bit()) +
+                     " (paper: three 6T cells per bit)"});
+  table.print(std::cout);
+  std::printf("\n");
+}
+
+void table_benchmark_overhead() {
+  analysis::AreaModel model;
+  const auto config = sram::benchmark_sram();
+
+  TablePrinter table({"scheme", "interface", "addr gen", "control",
+                      "backup", "total", "overhead"});
+  table.set_title("Benchmark e-SRAM (512x100, 2 spare rows) overhead "
+                  "breakdown, transistors");
+  for (const auto& [label, breakdown] :
+       {std::pair{"[7,8] baseline", model.baseline_overhead(config)},
+        std::pair{"proposed", model.proposed_overhead(config)}}) {
+    table.add_row({label,
+                   fmt_count(breakdown.interface_transistors),
+                   fmt_count(breakdown.address_gen_transistors),
+                   fmt_count(breakdown.control_transistors),
+                   fmt_count(breakdown.backup_transistors),
+                   fmt_count(breakdown.total_transistors()),
+                   fmt_percent(model.overhead_fraction(breakdown, config))});
+  }
+  table.add_note("paper: \"around 1.8% for the benchmark e-SRAMs\"");
+  table.print(std::cout);
+  std::printf("\n");
+}
+
+void table_shape_sweep() {
+  analysis::AreaModel model;
+  TablePrinter table({"words", "bits", "proposed overhead",
+                      "baseline overhead", "delta (cells)"});
+  table.set_title("Overhead vs. memory shape");
+  for (const std::uint32_t words : {64u, 256u, 512u, 2048u}) {
+    for (const std::uint32_t bits : {16u, 100u}) {
+      sram::SramConfig config;
+      config.name = "s";
+      config.words = words;
+      config.bits = bits;
+      const auto prop = model.proposed_overhead(config);
+      const auto base = model.baseline_overhead(config);
+      table.add_row(
+          {std::to_string(words), std::to_string(bits),
+           fmt_percent(model.overhead_fraction(prop, config)),
+           fmt_percent(model.overhead_fraction(base, config)),
+           std::to_string(model.extra_cells_per_bit() * bits)});
+    }
+  }
+  table.add_note("small memories pay proportionally more — the reason a");
+  table.add_note("shared controller (not per-memory BISD) is mandatory");
+  table.print(std::cout);
+  std::printf("\n");
+}
+
+void table_wires() {
+  analysis::AreaModel model;
+  TablePrinter table({"architecture", "global wires"});
+  table.set_title("Global routing from the BISD controller");
+  table.add_row({"[7,8] bi-dir serial",
+                 std::to_string(model.global_wires_baseline())});
+  table.add_row({"proposed (adds PSC scan_en)",
+                 std::to_string(model.global_wires_proposed(false))});
+  table.add_row({"proposed + NWRTM line",
+                 std::to_string(model.global_wires_proposed(true))});
+  table.add_note("paper: \"adds only one extra global wire for the control "
+                 "of the PSC\"");
+  table.print(std::cout);
+}
+
+// ------------------------------------------------------- microbenchmarks
+
+void BM_AreaBreakdown(benchmark::State& state) {
+  analysis::AreaModel model;
+  const auto config = sram::benchmark_sram();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.proposed_overhead(config));
+  }
+}
+BENCHMARK(BM_AreaBreakdown);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_banner("E4: area overhead (Sec. 4.3)",
+               "three extra 6T cells per IO bit; ~1.8% on the benchmark");
+  table_per_bit();
+  table_benchmark_overhead();
+  table_shape_sweep();
+  table_wires();
+  return run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,26 @@
+// Shared plumbing of the bench binaries: every binary first regenerates its
+// paper table(s) on stdout, then runs its google-benchmark microbenchmarks.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+/// Call at the end of main(): runs the registered microbenchmarks.
+inline int run_microbenchmarks(int argc, char** argv) {
+  std::printf("\n-- microbenchmarks ------------------------------------\n");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+inline void print_banner(const char* experiment, const char* claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("================================================================\n\n");
+}

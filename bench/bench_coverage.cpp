@@ -1,0 +1,161 @@
+// E3 — Sec. 4.1: diagnosis coverage.
+//
+// Two views:
+//  (a) scheme-level: every fault kind injected one at a time into a small
+//      e-SRAM, the baseline [7,8] architecture vs. the proposed scheme
+//      run end to end — the proposed scheme keeps the logical coverage and
+//      adds the DRFs;
+//  (b) algorithm-level (RAMSES-style): March C- vs. March CW vs.
+//      March CW+NWRTM through the word-parallel runner.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/fastdiag.h"
+#include "util/format.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace fastdiag;
+using faults::FaultKind;
+
+sram::SramConfig geometry() {
+  sram::SramConfig config;
+  config.name = "cov16x8";
+  config.words = 16;
+  config.bits = 8;
+  config.spare_rows = 16;
+  return config;
+}
+
+/// Fraction of @p population a scheme detects (scheme built per instance).
+template <typename MakeScheme>
+double scheme_detection(const march::FaultPopulation& population,
+                        const MakeScheme& make_scheme) {
+  if (population.instances.empty()) {
+    return 1.0;
+  }
+  std::size_t detected = 0;
+  for (const auto& instance : population.instances) {
+    bisd::SocUnderTest soc;
+    soc.add_memory(geometry(), {instance});
+    auto scheme = make_scheme();
+    const auto result = scheme->diagnose(soc);
+    detected += result.log.empty() ? 0u : 1u;
+  }
+  return static_cast<double>(detected) /
+         static_cast<double>(population.instances.size());
+}
+
+void table_scheme_level() {
+  TablePrinter table({"fault model", "injected", "[7,8] baseline",
+                      "proposed", "proposed+NWRTM"});
+  table.set_title("Scheme-level coverage on 16x8 (one fault at a time)");
+
+  Rng rng(404);
+  const auto populations = [&rng] {
+    std::vector<march::FaultPopulation> out;
+    for (const auto kind : faults::all_fault_kinds()) {
+      if (faults::needs_aggressor(kind)) {
+        out.push_back(march::make_population(
+            geometry(), kind, march::CouplingScope::inter_word, 12, rng));
+        out.push_back(march::make_population(
+            geometry(), kind, march::CouplingScope::intra_word, 12, rng));
+      } else {
+        out.push_back(march::make_population(
+            geometry(), kind, march::CouplingScope::any, 12, rng));
+      }
+    }
+    return out;
+  }();
+
+  double base_total = 0, prop_total = 0, nwrtm_total = 0;
+  for (const auto& population : populations) {
+    const double base = scheme_detection(population, [] {
+      return std::make_unique<bisd::BaselineScheme>();
+    });
+    const double prop = scheme_detection(population, [] {
+      bisd::FastSchemeOptions options;
+      options.include_drf = false;
+      return std::make_unique<bisd::FastScheme>(options);
+    });
+    const double nwrtm = scheme_detection(population, [] {
+      return std::make_unique<bisd::FastScheme>();
+    });
+    base_total += base;
+    prop_total += prop;
+    nwrtm_total += nwrtm;
+    table.add_row({population.label,
+                   std::to_string(population.instances.size()),
+                   fmt_percent(base), fmt_percent(prop),
+                   fmt_percent(nwrtm)});
+  }
+  table.add_separator();
+  const auto rows = static_cast<double>(populations.size());
+  table.add_row({"mean over models", "-", fmt_percent(base_total / rows),
+                 fmt_percent(prop_total / rows),
+                 fmt_percent(nwrtm_total / rows)});
+  table.add_note("DRF rows: baseline and plain March CW are blind (0%),");
+  table.add_note("the NWRTM merge sees them all — Sec. 4.1's added coverage");
+  table.print(std::cout);
+  std::printf("\n");
+}
+
+void table_algorithm_level() {
+  const auto config = geometry();
+  const march::CoverageEvaluator evaluator(config);
+  const auto tests = {march::march_c_minus(config.bits),
+                      march::march_cw(config.bits),
+                      march::march_cw_nwrtm(config.bits)};
+
+  TablePrinter table({"fault model", "March C-", "March CW",
+                      "March CW+NWRTM"});
+  table.set_title("Algorithm-level detection (word-parallel runner)");
+
+  Rng rng(404);
+  for (const auto kind : faults::all_fault_kinds()) {
+    const auto scope = faults::needs_aggressor(kind)
+                           ? march::CouplingScope::intra_word
+                           : march::CouplingScope::any;
+    const auto population =
+        march::make_population(config, kind, scope, 24, rng);
+    std::vector<std::string> cells = {population.label};
+    for (const auto& test : tests) {
+      cells.push_back(
+          fmt_percent(evaluator.evaluate(test, population).detection_rate()));
+    }
+    table.add_row(std::move(cells));
+  }
+  table.add_note("coupling rows are the intra-word populations March CW's");
+  table.add_note("extra data backgrounds exist for");
+  table.print(std::cout);
+}
+
+// ------------------------------------------------------- microbenchmarks
+
+void BM_CoverageEvaluation(benchmark::State& state) {
+  const auto config = geometry();
+  const march::CoverageEvaluator evaluator(config);
+  const auto test = march::march_cw(config.bits);
+  Rng rng(1);
+  const auto population = march::make_population(
+      config, FaultKind::sa0, march::CouplingScope::any,
+      static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate(test, population));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(
+                              population.instances.size()));
+}
+BENCHMARK(BM_CoverageEvaluation)->Arg(8)->Arg(32);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_banner("E3: diagnosis coverage (Sec. 4.1)",
+               "same logical coverage as [7,8] plus the DRFs");
+  table_scheme_level();
+  table_algorithm_level();
+  return run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,122 @@
+// E8 — algorithm complexities (Sec. 2/3): textbook op counts of the March
+// library, their cost through the SPC/PSC scheme (Eq. (2) building blocks),
+// and the serialized pass unit of Eq. (1).
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/fastdiag.h"
+#include "util/format.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace fastdiag;
+
+/// True when every element carries at most one write pattern — the SPC
+/// constraint of the fast scheme.
+bool fast_scheme_compatible(const march::MarchTest& test) {
+  for (const auto& phase : test.phases()) {
+    for (const auto& element : phase.elements) {
+      std::optional<march::Polarity> polarity;
+      for (const auto& op : element.ops) {
+        if (!op.is_any_write()) {
+          continue;
+        }
+        if (polarity && *polarity != op.polarity) {
+          return false;
+        }
+        polarity = op.polarity;
+      }
+    }
+  }
+  return true;
+}
+
+void table_library() {
+  const std::uint32_t n = 512, c = 100;
+  TablePrinter table({"algorithm", "ops", "ops/n", "fast-scheme cycles",
+                      "vs March C-"});
+  table.set_title("March library at n=512, c=100");
+  const auto reference = bisd::FastScheme::predicted_cycles(
+      march::march_c_minus(c), n, c);
+  for (const auto& test : march::all_library_tests(c)) {
+    const auto ops = test.op_count(n);
+    std::string cycles = "n/a (multi-pattern elements)";
+    std::string ratio = "-";
+    if (fast_scheme_compatible(test)) {
+      const auto predicted = bisd::FastScheme::predicted_cycles(test, n, c);
+      cycles = fmt_count(predicted);
+      ratio = fmt_double(static_cast<double>(predicted) /
+                             static_cast<double>(reference),
+                         2);
+    }
+    table.add_row({test.name(), fmt_count(ops),
+                   std::to_string(ops / n), cycles, ratio});
+  }
+  table.add_note("March A/B elements write both polarities and would need");
+  table.add_note("one SPC re-delivery per op — outside the Eq. (2) model");
+  table.print(std::cout);
+  std::printf("\n");
+}
+
+void table_equation_pieces() {
+  const std::uint32_t n = 512, c = 100;
+  const std::uint64_t log2c = analysis::log2_ceil(c);
+  TablePrinter table({"term", "cycles", "formula"});
+  table.set_title("Eq. (2) building blocks under the SPC/PSC cost model");
+  table.add_row({"March C- (solid phase)",
+                 fmt_count(bisd::FastScheme::predicted_cycles(
+                     march::march_c_minus(c), n, c)),
+                 "5n + 5c + 5n(c+1)"});
+  const auto cw = bisd::FastScheme::predicted_cycles(march::march_cw(c), n, c);
+  const auto solid = bisd::FastScheme::predicted_cycles(
+      march::march_c_minus(c), n, c);
+  table.add_row({"per extra background",
+                 fmt_count((cw - solid) / log2c),
+                 "3n + 3c + 3n(c+1)  [paper: 2n(c+1) reads]"});
+  table.add_row({"March CW total", fmt_count(cw),
+                 "solid + ceil(log2 c) backgrounds"});
+  table.add_row({"serialized pass unit (Eq. (1))",
+                 fmt_count(static_cast<std::uint64_t>(n) * c), "n * c"});
+  table.print(std::cout);
+}
+
+// ------------------------------------------------------- microbenchmarks
+
+void BM_MarchRunner(benchmark::State& state) {
+  const auto tests = march::all_library_tests(16);
+  const auto& test = tests[static_cast<std::size_t>(state.range(0))];
+  sram::SramConfig config;
+  config.name = "bm";
+  config.words = 128;
+  config.bits = 16;
+  state.SetLabel(test.name());
+  for (auto _ : state) {
+    sram::Sram memory(config);
+    benchmark::DoNotOptimize(march::MarchRunner().run(memory, test));
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(test.op_count(128)));
+}
+BENCHMARK(BM_MarchRunner)->DenseRange(0, 10);
+
+void BM_NotationRoundTrip(benchmark::State& state) {
+  const auto elements = march::march_c_minus(8).phases().front().elements;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        march::parse_elements(march::elements_to_string(elements)));
+  }
+}
+BENCHMARK(BM_NotationRoundTrip);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_banner("E8: March algorithm complexities (Sec. 2/3)",
+               "March C- is 10n; March CW adds ceil(log2 c) background "
+               "phases; a serialized pass costs n*c");
+  table_library();
+  table_equation_pieces();
+  return run_microbenchmarks(argc, argv);
+}

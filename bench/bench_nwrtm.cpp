@@ -1,0 +1,162 @@
+// E7 — Sec. 3.4 / Fig. 6: the cost of data-retention-fault diagnosis.
+//
+// Compares the three DRF strategies end to end:
+//   1. delay-based probe (write, wait 100 ms, read — per state),
+//   2. retention pauses merged into a March test,
+//   3. the NWRTM merge (this paper's choice): NWRC write-backs, zero wait.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/fastdiag.h"
+#include "util/format.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace fastdiag;
+using faults::FaultKind;
+
+void table_probe_times() {
+  TablePrinter table({"memory", "delay probe", "NWRTM probe", "speedup"});
+  table.set_title("Stand-alone DRF probe time (t = 10 ns)");
+  for (const auto& [words, bits] :
+       {std::pair{64u, 8u}, std::pair{512u, 100u}, std::pair{2048u, 32u}}) {
+    sram::SramConfig config;
+    config.name = "p";
+    config.words = words;
+    config.bits = bits;
+    sram::Sram mem_a(config), mem_b(config);
+    const auto delay = nwrtm::delay_drf_probe(mem_a);
+    const auto probe = nwrtm::nwrtm_drf_probe(mem_b);
+    const double delay_ns =
+        static_cast<double>(delay.ops * 10 + delay.pause_ns);
+    const double probe_ns = static_cast<double>(probe.ops * 10);
+    table.add_row({std::to_string(words) + "x" + std::to_string(bits),
+                   fmt_ns(delay_ns), fmt_ns(probe_ns),
+                   fmt_ratio(delay_ns / probe_ns)});
+  }
+  table.add_note("the 200 ms of pauses dwarf everything else — the reason");
+  table.add_note("DRF time dominates small e-SRAM diagnosis (Sec. 1)");
+  table.print(std::cout);
+  std::printf("\n");
+}
+
+void table_merged_cost() {
+  const std::uint32_t n = 512, c = 100;
+  const auto plain = bisd::FastScheme::predicted_cycles(march::march_cw(c),
+                                                        n, c);
+  const auto merged =
+      bisd::FastScheme::predicted_cycles(march::march_cw_nwrtm(c), n, c);
+  const auto paused = bisd::FastScheme::predicted_cycles(
+      march::with_retention_pause(march::march_cw(c)), n, c);
+  const auto pause_ns =
+      march::with_retention_pause(march::march_cw(c)).total_pause_ns();
+
+  TablePrinter table({"strategy", "cycles", "extra vs plain", "wall extra"});
+  table.set_title("DRF coverage added to March CW over the fast scheme "
+                  "(n=512, c=100)");
+  table.add_row({"March CW (no DRF coverage)", fmt_count(plain), "-", "-"});
+  table.add_row({"+ NWRTM merge (proposed)", fmt_count(merged),
+                 fmt_count(merged - plain),
+                 fmt_ns(static_cast<double>((merged - plain) * 10))});
+  table.add_row({"+ retention pauses (classical)", fmt_count(paused),
+                 fmt_count(paused - plain),
+                 fmt_ns(static_cast<double>((paused - plain) * 10) +
+                        static_cast<double>(pause_ns))});
+  table.add_note("paper budget for the merge: (2n+2c)t = " +
+                 fmt_ns(static_cast<double>((2 * n + 2 * c) * 10)) +
+                 "; measured: " +
+                 fmt_ns(static_cast<double>((merged - plain) * 10)));
+  table.print(std::cout);
+  std::printf("\n");
+}
+
+void table_coverage_equivalence() {
+  // All three strategies find the same DRF population.
+  sram::SramConfig config;
+  config.name = "eq";
+  config.words = 32;
+  config.bits = 8;
+
+  Rng rng(606);
+  std::vector<faults::FaultInstance> truth;
+  const auto sites = rng.sample_without_replacement(config.cell_count(), 6);
+  for (const auto site : sites) {
+    truth.push_back(faults::make_cell_fault(
+        rng.bernoulli(0.5) ? FaultKind::drf0 : FaultKind::drf1,
+        {static_cast<std::uint32_t>(site / config.bits),
+         static_cast<std::uint32_t>(site % config.bits)}));
+  }
+
+  TablePrinter table({"strategy", "DRFs found", "of injected", "waits"});
+  table.set_title("Detection equivalence on 6 injected DRFs (32x8)");
+
+  {
+    sram::Sram memory(config, std::make_unique<faults::FaultSet>(truth));
+    const auto probe = nwrtm::delay_drf_probe(memory);
+    table.add_row({"delay probe", std::to_string(probe.suspects.size()), "6",
+                   fmt_ns(static_cast<double>(probe.pause_ns))});
+  }
+  {
+    sram::Sram memory(config, std::make_unique<faults::FaultSet>(truth));
+    const auto result = march::MarchRunner().run(
+        memory, march::with_retention_pause(march::march_cw(config.bits)));
+    table.add_row({"March CW + pauses",
+                   std::to_string(result.suspect_cells().size()), "6",
+                   "200.00 ms"});
+  }
+  {
+    sram::Sram memory(config, std::make_unique<faults::FaultSet>(truth));
+    const auto result = march::MarchRunner().run(
+        memory, march::march_cw_nwrtm(config.bits));
+    table.add_row({"March CW + NWRTM",
+                   std::to_string(result.suspect_cells().size()), "6",
+                   "0 ns"});
+  }
+  table.print(std::cout);
+}
+
+// ------------------------------------------------------- microbenchmarks
+
+void BM_NwrcWrite(benchmark::State& state) {
+  sram::SramConfig config;
+  config.name = "bm";
+  config.words = 256;
+  config.bits = 32;
+  sram::Sram memory(config);
+  const BitVector ones(32, true);
+  const BitVector zeros(32, false);
+  std::uint32_t addr = 0;
+  for (auto _ : state) {
+    memory.write(addr, zeros);
+    memory.nwrc_write(addr, ones);
+    addr = (addr + 1) % 256;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_NwrcWrite);
+
+void BM_ElectricalCell(benchmark::State& state) {
+  sram::SixTCell cell;
+  cell.break_pullup_a();
+  std::uint64_t now = 0;
+  for (auto _ : state) {
+    now += 10;
+    benchmark::DoNotOptimize(cell.write_cycle(
+        true, sram::bitline_conditioning(true, true), now, 1'000'000));
+    benchmark::DoNotOptimize(cell.read_cycle(now, 1'000'000));
+  }
+}
+BENCHMARK(BM_ElectricalCell);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_banner("E7: DRF diagnosis cost (Sec. 3.4, Fig. 6, ref [11])",
+               "NWRTM diagnoses DRFs without incurring any extra delay time");
+  table_probe_times();
+  table_merged_cost();
+  table_coverage_equivalence();
+  return run_microbenchmarks(argc, argv);
+}

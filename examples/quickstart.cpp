@@ -1,0 +1,58 @@
+// Quickstart: diagnose one embedded SRAM with the proposed fast scheme.
+//
+//   $ quickstart [--words 512] [--bits 100] [--rate 0.01] [--seed 42]
+//
+// Builds the paper's benchmark e-SRAM, injects a 1 % defect population
+// (including the data-retention faults prior schemes miss), runs the
+// SPC/PSC + March CW + NWRTM diagnosis, and prints the session report plus
+// the first few scan-out records.
+#include <cstdio>
+#include <exception>
+
+#include "core/fastdiag.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace fastdiag;
+  try {
+    ArgParser args(argc, argv);
+    const auto words = args.get_u64("words", 512, "memory words (n)");
+    const auto bits = args.get_u64("bits", 100, "memory IO width (c)");
+    const auto rate = args.get_double("rate", 0.01, "cell defect rate");
+    const auto seed = args.get_u64("seed", 42, "injection seed");
+    if (args.help_requested()) {
+      args.print_help("fastdiag quickstart: one e-SRAM, fast diagnosis");
+      return 0;
+    }
+    args.finish();
+
+    sram::SramConfig config;
+    config.name = "quickstart";
+    config.words = static_cast<std::uint32_t>(words);
+    config.bits = static_cast<std::uint32_t>(bits);
+    config.spare_rows = 8;
+
+    core::DiagnosisSession session;
+    session.add_sram(config).defect_rate(rate).seed(seed).with_repair(true);
+    const auto report = session.run();
+
+    std::printf("%s\n", report.summary().c_str());
+
+    std::printf("first scan-out records:\n");
+    std::size_t shown = 0;
+    for (const auto& record : report.result.log.records()) {
+      std::printf("  %s\n", record.to_string().c_str());
+      if (++shown == 8) {
+        break;
+      }
+    }
+    if (report.result.log.records().size() > shown) {
+      std::printf("  ... %zu more\n",
+                  report.result.log.records().size() - shown);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,73 @@
+#include "analysis/area_model.h"
+
+#include "analysis/time_model.h"
+
+namespace fastdiag::analysis {
+
+std::uint64_t AreaModel::baseline_interface_per_bit() const {
+  // Fig. 2: one 4:1 multiplexer (normal data / left / right / serial) and
+  // one transparent latch per IO bit.
+  return costs_.mux4 + costs_.latch;
+}
+
+std::uint64_t AreaModel::proposed_interface_per_bit() const {
+  // Fig. 4 + Fig. 5: SPC stage (DFF + 2:1 normal/test input mux) and PSC
+  // scan stage (DFF + 2:1 scan mux) per IO bit.
+  return (costs_.dff + costs_.mux2) + (costs_.dff + costs_.mux2);
+}
+
+std::uint64_t AreaModel::extra_cells_per_bit() const {
+  return (proposed_interface_per_bit() - baseline_interface_per_bit()) /
+         costs_.sram_cell;
+}
+
+AreaBreakdown AreaModel::shared_overhead(
+    const sram::SramConfig& config) const {
+  AreaBreakdown breakdown;
+  const std::uint64_t addr_bits = log2_ceil(config.words);
+
+  // Local address generator: a counter bit = DFF + incrementer gate.
+  breakdown.address_gen_transistors =
+      addr_bits * (costs_.dff + costs_.gate);
+
+  // Mode/control: trigger latch, direction/mode latches, a handful of
+  // decode gates.
+  breakdown.control_transistors = 4 * costs_.latch + 4 * costs_.gate;
+
+  // Backup memory: the spare rows themselves plus a remap entry per spare
+  // (address tag in DFFs + comparator gates).
+  breakdown.backup_transistors =
+      static_cast<std::uint64_t>(config.spare_rows) * config.bits *
+          costs_.sram_cell +
+      static_cast<std::uint64_t>(config.spare_rows) * addr_bits *
+          (costs_.dff + costs_.gate);
+  return breakdown;
+}
+
+AreaBreakdown AreaModel::baseline_overhead(
+    const sram::SramConfig& config) const {
+  AreaBreakdown breakdown = shared_overhead(config);
+  breakdown.interface_transistors =
+      baseline_interface_per_bit() * config.bits;
+  return breakdown;
+}
+
+AreaBreakdown AreaModel::proposed_overhead(
+    const sram::SramConfig& config) const {
+  AreaBreakdown breakdown = shared_overhead(config);
+  breakdown.interface_transistors =
+      proposed_interface_per_bit() * config.bits;
+  // The NWRTM precharge gate of Fig. 6 (one control gate for the array).
+  breakdown.control_transistors += costs_.gate;
+  return breakdown;
+}
+
+double AreaModel::overhead_fraction(const AreaBreakdown& breakdown,
+                                    const sram::SramConfig& config) const {
+  const double array_transistors = static_cast<double>(config.cell_count()) *
+                                   costs_.sram_cell;
+  return static_cast<double>(breakdown.total_transistors()) /
+         array_transistors;
+}
+
+}  // namespace fastdiag::analysis

@@ -1,0 +1,88 @@
+// Area model of Sec. 4.3.
+//
+// Costs are counted in transistors and expressed in 6T-SRAM-cell
+// equivalents, using the paper's conversion rules: a D flip-flop is worth
+// two 6T cells (12 T), a latch one cell (6 T).  Per IO bit:
+//
+//   baseline [7,8] bi-directional serial interface: 4:1 mux + latch = 18 T
+//   proposed SPC + PSC: (DFF + 2:1 input mux) + scan DFF (DFF + 2:1 mux)
+//                      = 36 T
+//
+// so the proposed scheme costs THREE extra 6T cells per IO bit — the
+// paper's headline.  The ~1.8 % benchmark overhead additionally counts the
+// per-memory hardware both schemes share: the local address generator, the
+// mode/control latches, and the backup memory with its remap table.
+#pragma once
+
+#include <cstdint>
+
+#include "sram/config.h"
+
+namespace fastdiag::analysis {
+
+struct TransistorCosts {
+  std::uint32_t sram_cell = 6;
+  std::uint32_t dff = 12;   ///< = 2 cells (paper's rule)
+  std::uint32_t latch = 6;  ///< = 1 cell
+  std::uint32_t mux2 = 6;   ///< 2:1 multiplexer
+  std::uint32_t mux4 = 12;  ///< 4:1 multiplexer (transmission-gate tree)
+  std::uint32_t gate = 4;   ///< generic control gate (incrementer bit, etc.)
+};
+
+struct AreaBreakdown {
+  std::uint64_t interface_transistors = 0;  ///< per-bit datapath * c
+  std::uint64_t address_gen_transistors = 0;
+  std::uint64_t control_transistors = 0;
+  std::uint64_t backup_transistors = 0;  ///< spare rows + remap table
+
+  [[nodiscard]] std::uint64_t total_transistors() const {
+    return interface_transistors + address_gen_transistors +
+           control_transistors + backup_transistors;
+  }
+  /// In 6T-cell equivalents.
+  [[nodiscard]] double total_cells(const TransistorCosts& costs) const {
+    return static_cast<double>(total_transistors()) / costs.sram_cell;
+  }
+};
+
+class AreaModel {
+ public:
+  explicit AreaModel(TransistorCosts costs = {}) : costs_(costs) {}
+
+  [[nodiscard]] const TransistorCosts& costs() const { return costs_; }
+
+  /// Bi-directional serial interface, per IO bit (18 T = 3 cells).
+  [[nodiscard]] std::uint64_t baseline_interface_per_bit() const;
+
+  /// SPC + PSC, per IO bit (36 T = 6 cells).
+  [[nodiscard]] std::uint64_t proposed_interface_per_bit() const;
+
+  /// The paper's headline: extra 6T-cell equivalents per IO bit (3).
+  [[nodiscard]] std::uint64_t extra_cells_per_bit() const;
+
+  /// Full per-memory overhead of either scheme.
+  [[nodiscard]] AreaBreakdown baseline_overhead(
+      const sram::SramConfig& config) const;
+  [[nodiscard]] AreaBreakdown proposed_overhead(
+      const sram::SramConfig& config) const;
+
+  /// Overhead as a fraction of the memory's own cell area.
+  [[nodiscard]] double overhead_fraction(const AreaBreakdown& breakdown,
+                                         const sram::SramConfig& config) const;
+
+  /// Global wires from the controller to the memories: the proposed scheme
+  /// adds exactly one (the PSC scan_en, Sec. 4.3), and the optional NWRTM
+  /// line one more (Sec. 3.1).
+  [[nodiscard]] std::uint32_t global_wires_baseline() const { return 5; }
+  [[nodiscard]] std::uint32_t global_wires_proposed(bool with_nwrtm) const {
+    return global_wires_baseline() + 1 + (with_nwrtm ? 1u : 0u);
+  }
+
+ private:
+  [[nodiscard]] AreaBreakdown shared_overhead(
+      const sram::SramConfig& config) const;
+
+  TransistorCosts costs_;
+};
+
+}  // namespace fastdiag::analysis

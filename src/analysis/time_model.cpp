@@ -1,0 +1,87 @@
+#include "analysis/time_model.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace fastdiag::analysis {
+
+std::uint64_t CaseStudy::k(KPolicy policy) const {
+  const double covered = static_cast<double>(max_faults) * m1_coverage;
+  const double per_iteration =
+      policy == KPolicy::two_per_iteration ? 2.0 : 1.0;
+  return static_cast<std::uint64_t>(std::ceil(covered / per_iteration));
+}
+
+std::uint64_t log2_ceil(std::uint64_t c) {
+  require(c > 0, "log2_ceil: c must be > 0");
+  std::uint64_t k = 0;
+  std::uint64_t reach = 1;
+  while (reach < c) {
+    reach *= 2;
+    ++k;
+  }
+  return k;
+}
+
+std::uint64_t baseline_no_drf_ns(std::uint32_t n, std::uint32_t c,
+                                 std::uint64_t t_ns, std::uint64_t k) {
+  return (17 + 9 * k) * static_cast<std::uint64_t>(n) * c * t_ns;
+}
+
+std::uint64_t proposed_no_drf_cycles(std::uint32_t n, std::uint32_t c,
+                                     Accounting accounting) {
+  const std::uint64_t n64 = n;
+  const std::uint64_t c64 = c;
+  const std::uint64_t solid = 5 * n64 + 5 * c64 + 5 * n64 * (c64 + 1);
+  const std::uint64_t read_passes =
+      accounting == Accounting::paper ? 2 : 3;
+  const std::uint64_t per_background =
+      3 * n64 + 3 * c64 + read_passes * n64 * (c64 + 1);
+  return solid + per_background * log2_ceil(c64);
+}
+
+std::uint64_t proposed_no_drf_ns(std::uint32_t n, std::uint32_t c,
+                                 std::uint64_t t_ns, Accounting accounting) {
+  return proposed_no_drf_cycles(n, c, accounting) * t_ns;
+}
+
+std::uint64_t baseline_drf_extra_ns(std::uint32_t n, std::uint32_t c,
+                                    std::uint64_t t_ns, std::uint64_t k,
+                                    bool strict_pauses,
+                                    std::uint64_t pause_ns) {
+  const std::uint64_t passes = 8 * k * static_cast<std::uint64_t>(n) * c * t_ns;
+  const std::uint64_t pauses =
+      2 * pause_ns * (strict_pauses ? k : 1);
+  return passes + pauses;
+}
+
+std::uint64_t proposed_drf_extra_ns(std::uint32_t n, std::uint32_t c,
+                                    std::uint64_t t_ns,
+                                    Accounting accounting) {
+  if (accounting == Accounting::paper) {
+    return (2ull * n + 2ull * c) * t_ns;
+  }
+  return 2ull * c * t_ns;  // NWRTM assert + deassert settles
+}
+
+double reduction_no_drf(std::uint32_t n, std::uint32_t c, std::uint64_t t_ns,
+                        std::uint64_t k, Accounting accounting) {
+  return static_cast<double>(baseline_no_drf_ns(n, c, t_ns, k)) /
+         static_cast<double>(proposed_no_drf_ns(n, c, t_ns, accounting));
+}
+
+double reduction_with_drf(std::uint32_t n, std::uint32_t c,
+                          std::uint64_t t_ns, std::uint64_t k,
+                          Accounting accounting, bool strict_pauses) {
+  const double baseline =
+      static_cast<double>(baseline_no_drf_ns(n, c, t_ns, k)) +
+      static_cast<double>(
+          baseline_drf_extra_ns(n, c, t_ns, k, strict_pauses));
+  const double proposed =
+      static_cast<double>(proposed_no_drf_ns(n, c, t_ns, accounting)) +
+      static_cast<double>(proposed_drf_extra_ns(n, c, t_ns, accounting));
+  return baseline / proposed;
+}
+
+}  // namespace fastdiag::analysis

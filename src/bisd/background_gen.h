@@ -1,0 +1,49 @@
+// Data Background Generator of the shared BISD controller (Fig. 3).
+//
+// Serializes the pattern for the widest memory MSB first (Sec. 3.2) and
+// broadcasts it to every memory's local SPC in parallel; one delivery costs
+// width clocks regardless of how many memories listen.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serial/spc.h"
+#include "util/bitvec.h"
+#include "util/require.h"
+
+namespace fastdiag::bisd {
+
+class DataBackgroundGenerator {
+ public:
+  /// @p width: IO count of the widest memory (the controller's c).
+  explicit DataBackgroundGenerator(std::uint32_t width) : width_(width) {
+    require(width > 0, "DataBackgroundGenerator: width must be > 0");
+  }
+
+  /// Broadcasts @p pattern (width() bits, MSB first) to every converter.
+  /// Returns the delivery cost in clocks (= width()).
+  std::uint64_t broadcast(
+      const BitVector& pattern,
+      const std::vector<serial::SerialToParallelConverter*>& converters) {
+    require(pattern.width() == width_,
+            "DataBackgroundGenerator: pattern width mismatch");
+    for (std::size_t i = pattern.width(); i-- > 0;) {
+      const bool bit = pattern.get(i);
+      for (auto* converter : converters) {
+        converter->shift_in(bit);
+      }
+    }
+    ++deliveries_;
+    return width_;
+  }
+
+  [[nodiscard]] std::uint32_t width() const { return width_; }
+  [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
+
+ private:
+  std::uint32_t width_;
+  std::uint64_t deliveries_ = 0;
+};
+
+}  // namespace fastdiag::bisd

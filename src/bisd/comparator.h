@@ -1,0 +1,48 @@
+// Comparator array of the BISD controller (Fig. 1 / Fig. 3): one comparator
+// per memory, matching each serialized response bit against its expected
+// value, bit by bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/require.h"
+
+namespace fastdiag::bisd {
+
+class ComparatorArray {
+ public:
+  explicit ComparatorArray(std::size_t memories)
+      : comparisons_(memories, 0), mismatches_(memories, 0) {
+    require(memories > 0, "ComparatorArray: at least one memory required");
+  }
+
+  /// Compares one response bit of memory @p index; returns true on mismatch.
+  bool compare(std::size_t index, bool expected, bool observed) {
+    require_in_range(index < comparisons_.size(),
+                     "ComparatorArray: bad memory index");
+    ++comparisons_[index];
+    if (expected != observed) {
+      ++mismatches_[index];
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::uint64_t comparisons(std::size_t index) const {
+    require_in_range(index < comparisons_.size(),
+                     "ComparatorArray: bad memory index");
+    return comparisons_[index];
+  }
+  [[nodiscard]] std::uint64_t mismatches(std::size_t index) const {
+    require_in_range(index < mismatches_.size(),
+                     "ComparatorArray: bad memory index");
+    return mismatches_[index];
+  }
+
+ private:
+  std::vector<std::uint64_t> comparisons_;
+  std::vector<std::uint64_t> mismatches_;
+};
+
+}  // namespace fastdiag::bisd

@@ -1,0 +1,296 @@
+#include "bisd/fast_scheme.h"
+
+#include <memory>
+#include <vector>
+
+#include "bisd/address_gen.h"
+#include "bisd/background_gen.h"
+#include "bisd/comparator.h"
+#include "march/library.h"
+#include "nwrtm/nwrtm.h"
+#include "serial/psc.h"
+#include "serial/spc.h"
+#include "util/require.h"
+
+namespace fastdiag::bisd {
+namespace {
+
+using march::AddrOrder;
+using march::MarchOp;
+using march::MarchOpKind;
+using march::MarchTest;
+using march::Polarity;
+
+/// The single write pattern polarity of an element, if any.  Throws when an
+/// element mixes polarities or write styles (one SPC delivery per element).
+std::optional<Polarity> element_write_polarity(
+    const march::MarchElement& element) {
+  std::optional<Polarity> polarity;
+  bool has_normal = false;
+  bool has_nwrc = false;
+  for (const auto& op : element.ops) {
+    if (!op.is_any_write()) {
+      continue;
+    }
+    if (polarity && *polarity != op.polarity) {
+      require(false,
+              "FastScheme: element '" + element.to_string() +
+                  "' mixes write polarities (one SPC delivery per element)");
+    }
+    polarity = op.polarity;
+    (op.kind == MarchOpKind::nwrc_write ? has_nwrc : has_normal) = true;
+  }
+  require(!(has_normal && has_nwrc),
+          "FastScheme: element '" + element.to_string() +
+              "' mixes normal and NWRC writes (NWRTM is a global mode)");
+  return polarity;
+}
+
+bool element_has_nwrc(const march::MarchElement& element) {
+  for (const auto& op : element.ops) {
+    if (op.kind == MarchOpKind::nwrc_write) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool test_has_nwrc(const MarchTest& test) {
+  for (const auto& phase : test.phases()) {
+    for (const auto& element : phase.elements) {
+      if (element_has_nwrc(element)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+FastScheme::FastScheme(FastSchemeOptions options)
+    : options_(std::move(options)) {}
+
+std::string FastScheme::name() const {
+  return options_.include_drf ? "fast-spc-psc (March CW+NWRTM)"
+                              : "fast-spc-psc (March CW)";
+}
+
+MarchTest FastScheme::test_for_width(std::uint32_t c_max) const {
+  if (options_.test) {
+    require(options_.test->width() >= c_max,
+            "FastScheme: override test narrower than the widest memory");
+    return *options_.test;
+  }
+  return options_.include_drf ? march::march_cw_nwrtm(c_max)
+                              : march::march_cw(c_max);
+}
+
+std::uint64_t FastScheme::predicted_cycles(const MarchTest& test,
+                                           std::uint32_t n_max,
+                                           std::uint32_t c_max) {
+  std::uint64_t cycles = 0;
+  for (const auto& phase : test.phases()) {
+    for (const auto& element : phase.elements) {
+      if (element.order == AddrOrder::once) {
+        continue;  // pauses cost wall-clock, not controller cycles
+      }
+      if (element_write_polarity(element).has_value()) {
+        cycles += c_max;  // serial pattern delivery to the SPCs
+      }
+      std::uint64_t per_address = 0;
+      for (const auto& op : element.ops) {
+        per_address += op.is_read() ? (1 + c_max) : 1;
+      }
+      cycles += static_cast<std::uint64_t>(n_max) * per_address;
+    }
+  }
+  if (test_has_nwrc(test)) {
+    cycles += 2ull * c_max;  // assert + deassert of the global NWRTM line
+  }
+  return cycles;
+}
+
+DiagnosisResult FastScheme::diagnose(SocUnderTest& soc) {
+  const std::uint32_t n_max = soc.max_words();
+  const std::uint32_t c_max = soc.max_bits();
+  const MarchTest test = test_for_width(c_max);
+  const std::size_t memories = soc.memory_count();
+
+  // Per-memory machinery: SPC/PSC local to each e-SRAM, a local address
+  // generator, and the golden shadow providing wrap-aware expectations.
+  std::vector<serial::SerialToParallelConverter> spcs;
+  std::vector<serial::ParallelToSerialConverter> pscs;
+  std::vector<LocalAddressGenerator> generators;
+  std::vector<std::unique_ptr<sram::Sram>> golden;
+  std::vector<serial::SerialToParallelConverter*> spc_ptrs;
+  spcs.reserve(memories);
+  pscs.reserve(memories);
+  for (std::size_t i = 0; i < memories; ++i) {
+    const auto& config = soc.config(i);
+    spcs.emplace_back(config.bits);
+    pscs.emplace_back(config.bits);
+    generators.emplace_back(config.words);
+    auto golden_config = config;
+    golden_config.name += ".golden";
+    golden.push_back(std::make_unique<sram::Sram>(golden_config));
+  }
+  for (auto& spc : spcs) {
+    spc_ptrs.push_back(&spc);
+  }
+
+  DataBackgroundGenerator generator(c_max);
+  ComparatorArray comparators(memories);
+  nwrtm::NwrtmController nwrtm_line(/*toggle_cost_cycles=*/c_max);
+
+  DiagnosisResult result;
+  std::uint64_t cycles = 0;
+  const auto tick = [&](std::uint64_t n) {
+    cycles += n;
+    soc.advance_time_ns(n * options_.clock.period_ns);
+  };
+
+  // NWRTM bracket: asserted just before the first NWRC element, released
+  // right after the last one.
+  std::ptrdiff_t first_nwrc = -1;
+  std::ptrdiff_t last_nwrc = -1;
+  {
+    std::ptrdiff_t index = 0;
+    for (const auto& phase : test.phases()) {
+      for (const auto& element : phase.elements) {
+        if (element_has_nwrc(element)) {
+          if (first_nwrc < 0) {
+            first_nwrc = index;
+          }
+          last_nwrc = index;
+        }
+        ++index;
+      }
+    }
+  }
+
+  std::ptrdiff_t element_index = -1;
+  for (std::size_t p = 0; p < test.phases().size(); ++p) {
+    const auto& phase = test.phases()[p];
+    for (std::size_t e = 0; e < phase.elements.size(); ++e) {
+      const auto& element = phase.elements[e];
+      ++element_index;
+
+      if (element.order == AddrOrder::once) {
+        for (const auto& op : element.ops) {
+          ensure(op.kind == MarchOpKind::pause,
+                 "FastScheme: non-pause op in once element");
+          result.time.add_pause_ns(op.pause_ns);
+          soc.advance_time_ns(op.pause_ns);
+        }
+        continue;
+      }
+
+      if (element_index == first_nwrc) {
+        nwrtm_line.assert_mode();
+        tick(c_max);  // control settle across the SoC
+      }
+
+      // Pattern delivery for this element's writes.
+      const auto polarity = element_write_polarity(element);
+      if (polarity.has_value()) {
+        const BitVector pattern = *polarity == Polarity::background
+                                      ? phase.background
+                                      : phase.background.inverted();
+        tick(generator.broadcast(pattern, spc_ptrs));
+      }
+
+      // Address trigger: one full sweep of the largest capacity.
+      for (std::uint32_t step = 0; step < n_max; ++step) {
+        for (const auto& op : element.ops) {
+          switch (op.kind) {
+            case MarchOpKind::write:
+            case MarchOpKind::nwrc_write: {
+              tick(1);
+              for (std::size_t i = 0; i < memories; ++i) {
+                const std::uint32_t addr =
+                    generators[i].map(step, element.order, n_max);
+                const BitVector& data = spcs[i].parallel_out();
+                if (op.kind == MarchOpKind::nwrc_write) {
+                  ensure(nwrtm_line.asserted(),
+                         "FastScheme: NWRC op outside NWRTM bracket");
+                  soc.memory(i).nwrc_write(addr, data);
+                } else {
+                  soc.memory(i).write(addr, data);
+                }
+                // Golden expectation: NWRC == normal write on good cells.
+                golden[i]->write(addr, data);
+              }
+              break;
+            }
+            case MarchOpKind::read: {
+              tick(1);  // capture into the PSCs
+              std::vector<BitVector> expected;
+              expected.reserve(memories);
+              for (std::size_t i = 0; i < memories; ++i) {
+                const std::uint32_t addr =
+                    generators[i].map(step, element.order, n_max);
+                pscs[i].capture(soc.memory(i).read(addr));
+                expected.push_back(golden[i]->read(addr));
+                if (soc.config(i).has_idle_mode) {
+                  soc.memory(i).set_mode(sram::Mode::idle);
+                }
+              }
+              // Serialize the responses back, bit by bit, memories in
+              // parallel; narrower PSCs drain into the zero fill.
+              for (std::uint32_t k = 0; k < c_max; ++k) {
+                tick(1);
+                for (std::size_t i = 0; i < memories; ++i) {
+                  const std::uint32_t bits_i = soc.config(i).bits;
+                  if (!soc.config(i).has_idle_mode) {
+                    // No idle mode: keep the memory in read mode with data
+                    // ignored (Sec. 3.3).
+                    const std::uint32_t addr =
+                        generators[i].map(step, element.order, n_max);
+                    (void)soc.memory(i).read(addr);
+                  }
+                  const bool observed = pscs[i].shift_out();
+                  const bool expect =
+                      k < bits_i ? expected[i].get(k) : false;
+                  if (comparators.compare(i, expect, observed) &&
+                      k < bits_i) {
+                    DiagnosisRecord record;
+                    record.memory_index = i;
+                    record.addr = generators[i].map(step, element.order, n_max);
+                    record.bit = k;
+                    record.background = phase.background;
+                    record.phase = p;
+                    record.element = e;
+                    record.cycle = cycles;
+                    result.log.add(std::move(record));
+                  }
+                }
+              }
+              for (std::size_t i = 0; i < memories; ++i) {
+                if (soc.config(i).has_idle_mode) {
+                  soc.memory(i).set_mode(sram::Mode::normal);
+                }
+              }
+              break;
+            }
+            case MarchOpKind::pause:
+              ensure(false, "FastScheme: pause in addressed element");
+          }
+        }
+      }
+
+      if (element_index == last_nwrc) {
+        nwrtm_line.deassert_mode();
+        tick(c_max);
+      }
+    }
+  }
+
+  result.time.add_cycles(cycles);
+  result.iterations = 1;
+  ensure(cycles == predicted_cycles(test, n_max, c_max),
+         "FastScheme: simulated cycles diverged from the closed form");
+  return result;
+}
+
+}  // namespace fastdiag::bisd

@@ -1,0 +1,62 @@
+#include "bisd/record.h"
+
+namespace fastdiag::bisd {
+
+std::string DiagnosisRecord::to_string() const {
+  return "mem" + std::to_string(memory_index) + " addr=" +
+         std::to_string(addr) + " bit=" + std::to_string(bit) + " bg=" +
+         background.to_string() + " phase=" + std::to_string(phase) +
+         " element=" + std::to_string(element) + " cycle=" +
+         std::to_string(cycle);
+}
+
+std::set<sram::CellCoord> DiagnosisLog::cells(std::size_t memory_index) const {
+  std::set<sram::CellCoord> out;
+  for (const auto& record : records_) {
+    if (record.memory_index == memory_index) {
+      out.insert(record.cell());
+    }
+  }
+  return out;
+}
+
+std::set<std::uint32_t> DiagnosisLog::faulty_rows(
+    std::size_t memory_index) const {
+  std::set<std::uint32_t> rows;
+  for (const auto& record : records_) {
+    if (record.memory_index == memory_index) {
+      rows.insert(record.addr);
+    }
+  }
+  return rows;
+}
+
+std::size_t DiagnosisLog::distinct_cell_count() const {
+  std::set<std::pair<std::size_t, sram::CellCoord>> seen;
+  for (const auto& record : records_) {
+    seen.insert({record.memory_index, record.cell()});
+  }
+  return seen.size();
+}
+
+std::string DiagnosisLog::to_string() const {
+  std::string out;
+  for (const auto& record : records_) {
+    out += record.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string DiagnosisLog::to_csv() const {
+  std::string out = "memory,addr,bit,background,phase,element,cycle\n";
+  for (const auto& r : records_) {
+    out += std::to_string(r.memory_index) + ',' + std::to_string(r.addr) +
+           ',' + std::to_string(r.bit) + ',' + r.background.to_string() +
+           ',' + std::to_string(r.phase) + ',' + std::to_string(r.element) +
+           ',' + std::to_string(r.cycle) + '\n';
+  }
+  return out;
+}
+
+}  // namespace fastdiag::bisd

@@ -1,0 +1,63 @@
+// Diagnosis records: what the comparator array registers when a response
+// bit disagrees with its expected value — failure address, bit position,
+// applied data background, where in the algorithm, and when (Sec. 3.1:
+// "the diagnosis information ... will be registered for on-chip repair or
+// shifted out for off-line analysis").
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sram/cell_array.h"
+#include "util/bitvec.h"
+
+namespace fastdiag::bisd {
+
+struct DiagnosisRecord {
+  std::size_t memory_index = 0;
+  std::uint32_t addr = 0;        ///< logical (local) failure address
+  std::uint32_t bit = 0;         ///< failing IO bit
+  BitVector background;          ///< data background in force
+  std::size_t phase = 0;         ///< March phase / pass group
+  std::size_t element = 0;       ///< March element / pass index
+  std::uint64_t cycle = 0;       ///< controller cycle of registration
+
+  [[nodiscard]] sram::CellCoord cell() const { return {addr, bit}; }
+  [[nodiscard]] std::string to_string() const;
+};
+
+class DiagnosisLog {
+ public:
+  void add(DiagnosisRecord record) { records_.push_back(std::move(record)); }
+
+  [[nodiscard]] const std::vector<DiagnosisRecord>& records() const {
+    return records_;
+  }
+
+  /// Distinct faulty cells attributed to @p memory_index.
+  [[nodiscard]] std::set<sram::CellCoord> cells(
+      std::size_t memory_index) const;
+
+  /// Distinct rows needing repair in @p memory_index.
+  [[nodiscard]] std::set<std::uint32_t> faulty_rows(
+      std::size_t memory_index) const;
+
+  /// Distinct (memory, cell) pairs across the whole SoC.
+  [[nodiscard]] std::size_t distinct_cell_count() const;
+
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+
+  /// The scan-out format: one line per record.
+  [[nodiscard]] std::string to_string() const;
+
+  /// CSV export for off-line analysis (Sec. 3.1: "shifted out for off-line
+  /// analysis"): header plus one row per record.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<DiagnosisRecord> records_;
+};
+
+}  // namespace fastdiag::bisd

@@ -1,0 +1,198 @@
+#include "bisd/repair.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace fastdiag::bisd {
+
+bool RepairPlan::fully_repairable() const {
+  for (const auto& plan : memories) {
+    if (!plan.unrepaired_rows.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t RepairPlan::repaired_row_count() const {
+  std::size_t count = 0;
+  for (const auto& plan : memories) {
+    count += plan.rows.size();
+  }
+  return count;
+}
+
+std::size_t RepairPlan::unrepaired_row_count() const {
+  std::size_t count = 0;
+  for (const auto& plan : memories) {
+    count += plan.unrepaired_rows.size();
+  }
+  return count;
+}
+
+RepairPlan plan_repair(const DiagnosisLog& log, SocUnderTest& soc) {
+  RepairPlan plan;
+  plan.memories.resize(soc.memory_count());
+  for (std::size_t i = 0; i < soc.memory_count(); ++i) {
+    auto& memory_plan = plan.memories[i];
+    std::uint32_t free_spares =
+        soc.config(i).spare_rows - soc.memory(i).spares_used();
+    for (const auto row : log.faulty_rows(i)) {
+      if (soc.memory(i).is_repaired(row)) {
+        continue;  // already handled (e.g. by an earlier plan)
+      }
+      if (free_spares > 0) {
+        memory_plan.rows.push_back(row);
+        --free_spares;
+      } else {
+        memory_plan.unrepaired_rows.push_back(row);
+      }
+    }
+  }
+  return plan;
+}
+
+void apply_repair(SocUnderTest& soc, const RepairPlan& plan) {
+  for (std::size_t i = 0; i < plan.memories.size(); ++i) {
+    auto& memory = soc.memory(i);
+    std::uint32_t spare = memory.spares_used();
+    for (const auto row : plan.memories[i].rows) {
+      memory.repair_row(row, spare);
+      ++spare;
+    }
+  }
+}
+
+// ---- 2-D repair -------------------------------------------------------------
+
+bool RepairPlan2D::fully_repairable() const {
+  for (const auto& plan : memories) {
+    if (!plan.unrepaired.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t RepairPlan2D::spare_rows_used() const {
+  std::size_t count = 0;
+  for (const auto& plan : memories) {
+    count += plan.rows.size();
+  }
+  return count;
+}
+
+std::size_t RepairPlan2D::spare_cols_used() const {
+  std::size_t count = 0;
+  for (const auto& plan : memories) {
+    count += plan.cols.size();
+  }
+  return count;
+}
+
+RepairPlan2D plan_repair_2d(const DiagnosisLog& log, SocUnderTest& soc) {
+  RepairPlan2D plan;
+  plan.memories.resize(soc.memory_count());
+
+  for (std::size_t i = 0; i < soc.memory_count(); ++i) {
+    auto& memory_plan = plan.memories[i];
+    const auto& config = soc.config(i);
+    std::uint32_t free_rows = config.spare_rows - soc.memory(i).spares_used();
+    std::uint32_t free_cols =
+        config.spare_cols - soc.memory(i).col_spares_used();
+
+    // Uncovered faulty cells, skipping anything already remapped.
+    std::set<sram::CellCoord> uncovered;
+    for (const auto& cell : log.cells(i)) {
+      if (!soc.memory(i).is_repaired(cell.row) &&
+          !soc.memory(i).is_column_repaired(cell.bit)) {
+        uncovered.insert(cell);
+      }
+    }
+
+    const auto count_by = [&uncovered](bool by_row) {
+      std::map<std::uint32_t, std::uint32_t> counts;
+      for (const auto& cell : uncovered) {
+        ++counts[by_row ? cell.row : cell.bit];
+      }
+      return counts;
+    };
+    const auto take = [&](bool by_row, std::uint32_t index) {
+      auto& lanes = by_row ? memory_plan.rows : memory_plan.cols;
+      auto& budget = by_row ? free_rows : free_cols;
+      lanes.push_back(index);
+      --budget;
+      for (auto it = uncovered.begin(); it != uncovered.end();) {
+        const bool covered = by_row ? it->row == index : it->bit == index;
+        it = covered ? uncovered.erase(it) : ++it;
+      }
+    };
+
+    // Pin full-row failures (the address-fault signature) to row spares —
+    // a column swap shares the broken decoder and cannot help.
+    for (const auto& [row, count] : count_by(true)) {
+      if (count == config.bits && free_rows > 0) {
+        take(true, row);
+      }
+    }
+
+    // Must-repair + greedy: repeatedly cover the densest line; a line whose
+    // cell count exceeds the whole opposite budget is forced.
+    while (!uncovered.empty() && (free_rows > 0 || free_cols > 0)) {
+      const auto rows = count_by(true);
+      const auto cols = count_by(false);
+      const auto densest = [](const std::map<std::uint32_t, std::uint32_t>&
+                                  counts) {
+        std::pair<std::uint32_t, std::uint32_t> best{0, 0};  // (index, count)
+        for (const auto& [index, count] : counts) {
+          if (count > best.second) {
+            best = {index, count};
+          }
+        }
+        return best;
+      };
+      const auto [best_row, row_count] = densest(rows);
+      const auto [best_col, col_count] = densest(cols);
+
+      // Forced choices first.
+      if (free_rows > 0 && row_count > free_cols) {
+        take(true, best_row);
+        continue;
+      }
+      if (free_cols > 0 && col_count > free_rows) {
+        take(false, best_col);
+        continue;
+      }
+      // Greedy: the orientation hiding more cells per spare (rows on ties —
+      // they are what the paper's backup memory provides).
+      if (free_rows > 0 && (row_count >= col_count || free_cols == 0)) {
+        take(true, best_row);
+      } else if (free_cols > 0 && col_count > 0) {
+        take(false, best_col);
+      } else {
+        break;  // spares exist but nothing they can cover
+      }
+    }
+    memory_plan.unrepaired.assign(uncovered.begin(), uncovered.end());
+  }
+  return plan;
+}
+
+void apply_repair(SocUnderTest& soc, const RepairPlan2D& plan) {
+  for (std::size_t i = 0; i < plan.memories.size(); ++i) {
+    auto& memory = soc.memory(i);
+    std::uint32_t row_spare = memory.spares_used();
+    for (const auto row : plan.memories[i].rows) {
+      memory.repair_row(row, row_spare);
+      ++row_spare;
+    }
+    std::uint32_t col_spare = memory.col_spares_used();
+    for (const auto col : plan.memories[i].cols) {
+      memory.repair_column(col, col_spare);
+      ++col_spare;
+    }
+  }
+}
+
+}  // namespace fastdiag::bisd

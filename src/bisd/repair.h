@@ -1,0 +1,65 @@
+// Row-repair allocation against the per-memory backup memories.
+//
+// The diagnosis log names faulty cells; repair happens at row granularity
+// (a spare word replaces a defective word).  The allocator is the
+// must-repair greedy: every row with at least one faulty cell needs a
+// spare, in log order, until the backup memory runs out.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bisd/record.h"
+#include "bisd/soc.h"
+
+namespace fastdiag::bisd {
+
+struct RepairPlan {
+  struct MemoryPlan {
+    std::vector<std::uint32_t> rows;            ///< rows to remap
+    std::vector<std::uint32_t> unrepaired_rows; ///< demand beyond the spares
+  };
+  std::vector<MemoryPlan> memories;
+
+  [[nodiscard]] bool fully_repairable() const;
+  [[nodiscard]] std::size_t repaired_row_count() const;
+  [[nodiscard]] std::size_t unrepaired_row_count() const;
+};
+
+/// Builds the repair plan for @p log over @p soc (rows already repaired are
+/// skipped; remaining spare capacity is respected).
+[[nodiscard]] RepairPlan plan_repair(const DiagnosisLog& log,
+                                     SocUnderTest& soc);
+
+/// Applies @p plan: remaps every planned row onto the next free spare.
+void apply_repair(SocUnderTest& soc, const RepairPlan& plan);
+
+// ---- 2-D (row + column) repair — this library's extension ------------------
+
+struct RepairPlan2D {
+  struct MemoryPlan {
+    std::vector<std::uint32_t> rows;
+    std::vector<std::uint32_t> cols;
+    /// Faulty cells no spare could cover.
+    std::vector<sram::CellCoord> unrepaired;
+  };
+  std::vector<MemoryPlan> memories;
+
+  [[nodiscard]] bool fully_repairable() const;
+  [[nodiscard]] std::size_t spare_rows_used() const;
+  [[nodiscard]] std::size_t spare_cols_used() const;
+};
+
+/// Greedy must-repair allocation over rows *and* columns: rows with more
+/// faulty cells than the remaining column budget must take a row spare (and
+/// vice versa); remaining cells are covered by whichever orientation hides
+/// the most uncovered cells per spare.  Rows whose every bit failed — the
+/// address-fault signature — are pinned to row spares, because a column
+/// swap shares the broken row decoder and cannot fix them.
+[[nodiscard]] RepairPlan2D plan_repair_2d(const DiagnosisLog& log,
+                                          SocUnderTest& soc);
+
+/// Applies a 2-D plan.
+void apply_repair(SocUnderTest& soc, const RepairPlan2D& plan);
+
+}  // namespace fastdiag::bisd

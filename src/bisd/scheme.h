@@ -1,0 +1,38 @@
+// Common interface of the two diagnosis architectures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bisd/record.h"
+#include "bisd/soc.h"
+#include "sram/timing.h"
+
+namespace fastdiag::bisd {
+
+struct DiagnosisResult {
+  DiagnosisLog log;
+  sram::CycleCounter time;
+
+  /// Diagnostic-block iterations (the paper's k).  1 for the fast scheme —
+  /// the SPC/PSC path exposes every fault in a single algorithm run.
+  std::uint64_t iterations = 1;
+
+  [[nodiscard]] std::uint64_t total_ns(const sram::ClockDomain& clock) const {
+    return time.total_ns(clock);
+  }
+};
+
+class DiagnosisScheme {
+ public:
+  virtual ~DiagnosisScheme() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Runs the full diagnosis over @p soc and returns the fault log plus the
+  /// consumed time.  Mutates the memories (patterns are really written; the
+  /// baseline additionally repairs located rows to make progress).
+  virtual DiagnosisResult diagnose(SocUnderTest& soc) = 0;
+};
+
+}  // namespace fastdiag::bisd

@@ -1,0 +1,83 @@
+#include "bisd/soc.h"
+
+#include "faults/fault_set.h"
+#include "util/require.h"
+
+namespace fastdiag::bisd {
+
+void SocUnderTest::add_memory(const sram::SramConfig& config,
+                              std::vector<faults::FaultInstance> truth) {
+  config.validate();
+  for (const auto& fault : truth) {
+    fault.validate(config);
+  }
+  Entry entry;
+  entry.memory = std::make_unique<sram::Sram>(
+      config, std::make_unique<faults::FaultSet>(truth));
+  entry.truth = std::move(truth);
+  memories_.push_back(std::move(entry));
+}
+
+SocUnderTest SocUnderTest::from_injection(
+    const std::vector<sram::SramConfig>& configs,
+    const faults::InjectionSpec& spec, std::uint64_t seed) {
+  require(!configs.empty(), "SocUnderTest: at least one memory required");
+  SocUnderTest soc;
+  Rng root(seed);
+  for (const auto& config : configs) {
+    Rng stream = root.fork();
+    auto injection = faults::inject(config, spec, stream);
+    soc.add_memory(config, std::move(injection.faults));
+  }
+  return soc;
+}
+
+sram::Sram& SocUnderTest::memory(std::size_t index) {
+  require_in_range(index < memories_.size(), "SocUnderTest: bad memory index");
+  return *memories_[index].memory;
+}
+
+const sram::SramConfig& SocUnderTest::config(std::size_t index) const {
+  require_in_range(index < memories_.size(), "SocUnderTest: bad memory index");
+  return memories_[index].memory->config();
+}
+
+const std::vector<faults::FaultInstance>& SocUnderTest::truth(
+    std::size_t index) const {
+  require_in_range(index < memories_.size(), "SocUnderTest: bad memory index");
+  return memories_[index].truth;
+}
+
+std::uint32_t SocUnderTest::max_words() const {
+  require(!memories_.empty(), "SocUnderTest: empty SoC");
+  std::uint32_t best = 0;
+  for (const auto& entry : memories_) {
+    best = std::max(best, entry.memory->words());
+  }
+  return best;
+}
+
+std::uint32_t SocUnderTest::max_bits() const {
+  require(!memories_.empty(), "SocUnderTest: empty SoC");
+  std::uint32_t best = 0;
+  for (const auto& entry : memories_) {
+    best = std::max(best, entry.memory->bits());
+  }
+  return best;
+}
+
+void SocUnderTest::advance_time_ns(std::uint64_t ns) {
+  for (auto& entry : memories_) {
+    entry.memory->advance_time_ns(ns);
+  }
+}
+
+std::size_t SocUnderTest::total_faults() const {
+  std::size_t total = 0;
+  for (const auto& entry : memories_) {
+    total += entry.truth.size();
+  }
+  return total;
+}
+
+}  // namespace fastdiag::bisd

@@ -1,0 +1,60 @@
+// The collection of distributed small e-SRAMs one shared BISD controller
+// diagnoses (Fig. 1 / Fig. 3).
+//
+// Each memory carries its own (possibly empty) injected fault population;
+// the ground truth stays available for scoring.  The controller dimensions
+// everything by the largest capacity and the widest IO count (Sec. 3.1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "faults/fault.h"
+#include "faults/injector.h"
+#include "sram/sram.h"
+#include "util/rng.h"
+
+namespace fastdiag::bisd {
+
+class SocUnderTest {
+ public:
+  SocUnderTest() = default;
+
+  /// Adds one memory with an explicit fault population.
+  void add_memory(const sram::SramConfig& config,
+                  std::vector<faults::FaultInstance> truth = {});
+
+  /// Builds a SoC by running the defect injector over every configuration
+  /// with per-memory forked streams of @p seed.
+  [[nodiscard]] static SocUnderTest from_injection(
+      const std::vector<sram::SramConfig>& configs,
+      const faults::InjectionSpec& spec, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t memory_count() const { return memories_.size(); }
+  [[nodiscard]] sram::Sram& memory(std::size_t index);
+  [[nodiscard]] const sram::SramConfig& config(std::size_t index) const;
+  [[nodiscard]] const std::vector<faults::FaultInstance>& truth(
+      std::size_t index) const;
+
+  /// Largest word count across memories (the controller's n).
+  [[nodiscard]] std::uint32_t max_words() const;
+  /// Widest IO count across memories (the controller's c).
+  [[nodiscard]] std::uint32_t max_bits() const;
+
+  /// Advances the simulated wall clock of every memory.
+  void advance_time_ns(std::uint64_t ns);
+
+  /// Total injected faults over all memories.
+  [[nodiscard]] std::size_t total_faults() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<sram::Sram> memory;
+    std::vector<faults::FaultInstance> truth;
+  };
+  std::vector<Entry> memories_;
+};
+
+}  // namespace fastdiag::bisd

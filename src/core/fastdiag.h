@@ -1,0 +1,47 @@
+// fastdiag — fast diagnosis of distributed small embedded SRAMs.
+//
+// Umbrella header: pulls in the whole public API.
+//
+//   #include "core/fastdiag.h"
+//
+//   fastdiag::core::DiagnosisSession session;
+//   session.add_sram(fastdiag::sram::benchmark_sram())
+//          .defect_rate(0.01)
+//          .seed(42);
+//   const auto report = session.run();
+//   std::cout << report.summary();
+//
+// Reproduction of: B. Wang, Y. Wu, A. Ivanov, "A Fast Diagnosis Scheme for
+// Distributed Small Embedded SRAMs", DATE 2005.
+#pragma once
+
+#include "analysis/area_model.h"   // IWYU pragma: export
+#include "analysis/time_model.h"   // IWYU pragma: export
+#include "bisd/baseline_scheme.h"  // IWYU pragma: export
+#include "bisd/fast_scheme.h"      // IWYU pragma: export
+#include "bisd/repair.h"           // IWYU pragma: export
+#include "bisd/soc.h"              // IWYU pragma: export
+#include "core/session.h"          // IWYU pragma: export
+#include "faults/dictionary.h"     // IWYU pragma: export
+#include "faults/fault_set.h"      // IWYU pragma: export
+#include "faults/injector.h"       // IWYU pragma: export
+#include "march/coverage.h"        // IWYU pragma: export
+#include "march/library.h"         // IWYU pragma: export
+#include "march/notation.h"        // IWYU pragma: export
+#include "nwrtm/nwrtm.h"           // IWYU pragma: export
+#include "serial/psc.h"            // IWYU pragma: export
+#include "serial/serial_interface.h"  // IWYU pragma: export
+#include "serial/spc.h"            // IWYU pragma: export
+#include "sram/electrical.h"       // IWYU pragma: export
+#include "sram/sram.h"             // IWYU pragma: export
+
+namespace fastdiag {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+
+/// "1.0.0"
+[[nodiscard]] inline const char* version() { return "1.0.0"; }
+
+}  // namespace fastdiag

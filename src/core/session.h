@@ -1,0 +1,98 @@
+// DiagnosisSession: the one-stop public API.
+//
+// A session describes a SoC (memory configurations), a manufacturing model
+// (defect rate, retention-fault share, seed), a scheme choice, and whether
+// to repair.  run() injects defects, executes the diagnosis, scores the log
+// against the injected ground truth, optionally repairs and re-verifies,
+// and returns everything in a Report.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bisd/repair.h"
+#include "bisd/scheme.h"
+#include "bisd/soc.h"
+#include "faults/dictionary.h"
+#include "faults/injector.h"
+#include "sram/config.h"
+#include "sram/timing.h"
+
+namespace fastdiag::core {
+
+enum class SchemeChoice {
+  fast,                     ///< proposed: SPC/PSC + March CW + NWRTM
+  fast_without_drf,         ///< proposed minus NWRTM (March CW only)
+  baseline,                 ///< [7,8]: bi-dir serial + DiagRSMarch
+  baseline_with_retention,  ///< [7,8] plus the delay-based DRF block
+};
+
+[[nodiscard]] std::string scheme_choice_name(SchemeChoice choice);
+
+class DiagnosisSession {
+ public:
+  DiagnosisSession& add_sram(const sram::SramConfig& config);
+  DiagnosisSession& add_srams(const std::vector<sram::SramConfig>& configs);
+
+  /// BISD controller clock period (default 10 ns, the paper's t).
+  DiagnosisSession& clock_ns(std::uint64_t period_ns);
+
+  /// Fraction of defective cells (default 0.01, the case study's 1 %).
+  DiagnosisSession& defect_rate(double rate);
+
+  /// Also inject open-pull-up (DRF) defects (default true).
+  DiagnosisSession& include_retention_faults(bool include);
+
+  /// Share of additional DRFs relative to the logic faults (default 0.1).
+  DiagnosisSession& retention_fraction(double fraction);
+
+  DiagnosisSession& seed(std::uint64_t seed);
+  DiagnosisSession& scheme(SchemeChoice choice);
+
+  /// Repair from the backup memories after diagnosis and re-run the scheme
+  /// to verify (default false).
+  DiagnosisSession& with_repair(bool repair);
+
+  /// Use the 2-D row+column allocator instead of row-only repair (needs
+  /// configs with spare_cols > 0 to make a difference; default false).
+  DiagnosisSession& use_column_spares(bool use);
+
+  struct Report {
+    std::string scheme_name;
+    bisd::DiagnosisResult result;
+    std::vector<faults::MatchReport> matches;  ///< per memory
+    std::uint64_t total_ns = 0;
+    std::size_t injected_faults = 0;
+
+    /// Only populated when with_repair(true); exactly one of the two plans
+    /// is set, depending on use_column_spares().
+    std::optional<bisd::RepairPlan> repair;
+    std::optional<bisd::RepairPlan2D> repair_2d;
+    bool repair_verified_clean = false;
+
+    /// Fault-weighted recall over every memory.
+    [[nodiscard]] double overall_recall() const;
+
+    /// Human-readable multi-line summary.
+    [[nodiscard]] std::string summary() const;
+  };
+
+  /// Executes the configured session.  Throws std::invalid_argument when no
+  /// memory was added or a parameter is out of range.
+  [[nodiscard]] Report run();
+
+ private:
+  std::vector<sram::SramConfig> configs_;
+  sram::ClockDomain clock_{10};
+  faults::InjectionSpec spec_ = default_spec();
+  std::uint64_t seed_ = 1;
+  SchemeChoice choice_ = SchemeChoice::fast;
+  bool repair_ = false;
+  bool column_spares_ = false;
+
+  [[nodiscard]] static faults::InjectionSpec default_spec();
+};
+
+}  // namespace fastdiag::core

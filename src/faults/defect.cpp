@@ -1,0 +1,113 @@
+#include "faults/defect.h"
+
+#include "util/require.h"
+
+namespace fastdiag::faults {
+
+std::string_view defect_class_name(DefectClass cls) {
+  switch (cls) {
+    case DefectClass::cell_short: return "cell-short";
+    case DefectClass::cell_open: return "cell-open";
+    case DefectClass::bridge: return "bridge";
+    case DefectClass::decoder_open: return "decoder-open";
+    case DefectClass::pullup_open: return "pullup-open";
+  }
+  ensure(false, "defect_class_name: unknown class");
+  return "?";
+}
+
+const std::vector<DefectClass>& logic_defect_classes() {
+  static const std::vector<DefectClass> classes = {
+      DefectClass::cell_short,
+      DefectClass::cell_open,
+      DefectClass::bridge,
+      DefectClass::decoder_open,
+  };
+  return classes;
+}
+
+std::string Defect::to_string() const {
+  return std::string(defect_class_name(cls)) + "@(" +
+         std::to_string(site.row) + "," + std::to_string(site.bit) + ")";
+}
+
+namespace {
+
+/// Picks a cell physically adjacent to @p site: same-row neighbour (bit +/-1,
+/// the intra-word case) or same-column neighbour (row +/-1).
+sram::CellCoord adjacent_cell(sram::CellCoord site,
+                              const sram::SramConfig& config, Rng& rng) {
+  std::vector<sram::CellCoord> candidates;
+  if (site.bit + 1 < config.bits) {
+    candidates.push_back({site.row, site.bit + 1});
+  }
+  if (site.bit > 0) {
+    candidates.push_back({site.row, site.bit - 1});
+  }
+  if (site.row + 1 < config.words) {
+    candidates.push_back({site.row + 1, site.bit});
+  }
+  if (site.row > 0) {
+    candidates.push_back({site.row - 1, site.bit});
+  }
+  ensure(!candidates.empty(), "adjacent_cell: 1x1 memory cannot host bridges");
+  return candidates[static_cast<std::size_t>(rng.uniform(candidates.size()))];
+}
+
+}  // namespace
+
+FaultInstance translate_defect(const Defect& defect,
+                               const sram::SramConfig& config, Rng& rng) {
+  switch (defect.cls) {
+    case DefectClass::cell_short:
+      return make_cell_fault(
+          rng.bernoulli(0.5) ? FaultKind::sa0 : FaultKind::sa1, defect.site);
+
+    case DefectClass::cell_open:
+      switch (rng.uniform(3)) {
+        case 0: return make_cell_fault(FaultKind::tf_up, defect.site);
+        case 1: return make_cell_fault(FaultKind::tf_down, defect.site);
+        default: return make_cell_fault(FaultKind::sof, defect.site);
+      }
+
+    case DefectClass::bridge: {
+      const sram::CellCoord victim = adjacent_cell(defect.site, config, rng);
+      static const FaultKind kBridgeKinds[] = {
+          FaultKind::cf_in_up,    FaultKind::cf_in_down,
+          FaultKind::cf_id_up0,   FaultKind::cf_id_up1,
+          FaultKind::cf_id_down0, FaultKind::cf_id_down1,
+          FaultKind::cf_st_00,    FaultKind::cf_st_01,
+          FaultKind::cf_st_10,    FaultKind::cf_st_11,
+      };
+      const auto kind =
+          kBridgeKinds[rng.uniform(std::size(kBridgeKinds))];
+      return make_coupling_fault(kind, defect.site, victim);
+    }
+
+    case DefectClass::decoder_open: {
+      const std::uint32_t addr = defect.site.row;
+      if (config.words == 1) {
+        return make_address_fault(FaultKind::af_no_access, addr);
+      }
+      std::uint32_t other =
+          static_cast<std::uint32_t>(rng.uniform(config.words - 1));
+      if (other >= addr) {
+        ++other;  // uniform over rows != addr
+      }
+      switch (rng.uniform(3)) {
+        case 0: return make_address_fault(FaultKind::af_no_access, addr);
+        case 1: return make_address_fault(FaultKind::af_wrong_row, addr, other);
+        default:
+          return make_address_fault(FaultKind::af_extra_row, addr, other);
+      }
+    }
+
+    case DefectClass::pullup_open:
+      return make_cell_fault(
+          rng.bernoulli(0.5) ? FaultKind::drf0 : FaultKind::drf1, defect.site);
+  }
+  ensure(false, "translate_defect: unknown class");
+  return {};
+}
+
+}  // namespace fastdiag::faults

@@ -1,0 +1,58 @@
+// Physical defect layer: what manufacturing actually breaks, and how each
+// defect class maps onto functional fault models.
+//
+// The paper's case study assumes "all four different defect types in [8]
+// occur with equal likelihood"; we model those four spot-defect classes plus
+// the open-pull-up class that causes the data retention faults [7,8] neglect:
+//
+//   cell_short    node shorted to a rail            -> SA0 / SA1
+//   cell_open     open inside the cell / access path-> TF-up / TF-down / SOF
+//   bridge        short between two adjacent cells  -> CFin / CFid / CFst
+//                  (same-row neighbours give the intra-word faults March CW
+//                   targets, cross-row neighbours the classical inter-word
+//                   ones)
+//   decoder_open  open/short in the row decoder     -> AF variants
+//   pullup_open   open pull-up PMOS (Fig. 6)        -> DRF0 / DRF1
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "faults/fault.h"
+#include "sram/config.h"
+#include "util/rng.h"
+
+namespace fastdiag::faults {
+
+enum class DefectClass {
+  cell_short,
+  cell_open,
+  bridge,
+  decoder_open,
+  pullup_open,
+};
+
+[[nodiscard]] std::string_view defect_class_name(DefectClass cls);
+
+/// The four logic-fault defect classes of the paper's case study (excludes
+/// pullup_open, whose DRFs the baseline scheme cannot see at all).
+[[nodiscard]] const std::vector<DefectClass>& logic_defect_classes();
+
+/// One spot defect at a physical site.
+struct Defect {
+  DefectClass cls = DefectClass::cell_short;
+  /// Primary site.  For decoder_open the row identifies the failing address.
+  sram::CellCoord site{};
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Maps a defect to the functional fault it manifests as.  Randomness (which
+/// polarity, which neighbour the bridge reaches, which decoder failure mode)
+/// is drawn from @p rng, so translation is reproducible under a fixed seed.
+[[nodiscard]] FaultInstance translate_defect(const Defect& defect,
+                                             const sram::SramConfig& config,
+                                             Rng& rng);
+
+}  // namespace fastdiag::faults

@@ -1,0 +1,38 @@
+#include "faults/dictionary.h"
+
+#include <algorithm>
+
+namespace fastdiag::faults {
+
+MatchReport match_diagnosis(const std::vector<FaultInstance>& truth,
+                            const std::set<sram::CellCoord>& diagnosed,
+                            const sram::SramConfig& config) {
+  MatchReport report;
+  report.truth_faults = truth.size();
+  report.diagnosed_cells = diagnosed.size();
+
+  std::set<sram::CellCoord> explained;
+  for (const auto& fault : truth) {
+    const auto cells = fault.footprint(config);
+    bool matched = false;
+    for (const auto& cell : cells) {
+      if (diagnosed.count(cell) != 0) {
+        matched = true;
+        explained.insert(cell);
+      }
+    }
+    if (matched) {
+      ++report.matched_faults;
+    }
+  }
+  // `explained` now holds every diagnosed cell that lies in some footprint;
+  // the rest point at no injected fault.
+  for (const auto& cell : diagnosed) {
+    if (explained.count(cell) == 0) {
+      ++report.spurious_cells;
+    }
+  }
+  return report;
+}
+
+}  // namespace fastdiag::faults

@@ -1,0 +1,48 @@
+// Scoring diagnosed fault locations against the injected ground truth.
+//
+// A diagnosis scheme reports *cells* (failure address + bit, Sec. 3.1); the
+// dictionary decides which injected faults those cells explain.  A fault is
+// "diagnosed" when at least one reported cell lies in its footprint; a
+// reported cell is "spurious" when no injected fault explains it.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+#include "faults/fault.h"
+#include "sram/cell_array.h"
+#include "sram/config.h"
+
+namespace fastdiag::faults {
+
+struct MatchReport {
+  std::size_t truth_faults = 0;      ///< injected faults considered
+  std::size_t diagnosed_cells = 0;   ///< distinct cells the scheme reported
+  std::size_t matched_faults = 0;    ///< faults explained by >= 1 cell
+  std::size_t spurious_cells = 0;    ///< cells explained by no fault
+
+  /// Fraction of injected faults the diagnosis located.
+  [[nodiscard]] double recall() const {
+    return truth_faults == 0
+               ? 1.0
+               : static_cast<double>(matched_faults) /
+                     static_cast<double>(truth_faults);
+  }
+
+  /// Fraction of reported cells that point at a real fault.
+  [[nodiscard]] double precision() const {
+    return diagnosed_cells == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(spurious_cells) /
+                           static_cast<double>(diagnosed_cells);
+  }
+};
+
+/// Matches @p diagnosed cells against @p truth for a memory of @p config.
+[[nodiscard]] MatchReport match_diagnosis(
+    const std::vector<FaultInstance>& truth,
+    const std::set<sram::CellCoord>& diagnosed,
+    const sram::SramConfig& config);
+
+}  // namespace fastdiag::faults

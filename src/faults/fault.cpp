@@ -1,0 +1,108 @@
+#include "faults/fault.h"
+
+#include "util/require.h"
+
+namespace fastdiag::faults {
+namespace {
+
+std::string coord_str(sram::CellCoord c) {
+  return "(" + std::to_string(c.row) + "," + std::to_string(c.bit) + ")";
+}
+
+}  // namespace
+
+std::string FaultInstance::to_string() const {
+  std::string out(fault_kind_name(kind));
+  if (is_address_fault(kind)) {
+    out += " addr=" + std::to_string(addr);
+    if (kind != FaultKind::af_no_access) {
+      out += " other_row=" + std::to_string(other_row);
+    }
+    return out;
+  }
+  out += " victim=" + coord_str(victim);
+  if (needs_aggressor(kind)) {
+    out += " aggr=" + coord_str(aggressor);
+  }
+  return out;
+}
+
+void FaultInstance::validate(const sram::SramConfig& config) const {
+  const auto in_bounds = [&config](sram::CellCoord c) {
+    return c.row < config.words && c.bit < config.bits;
+  };
+  if (is_address_fault(kind)) {
+    require(addr < config.words,
+            to_string() + ": address out of range for '" + config.name + "'");
+    if (kind != FaultKind::af_no_access) {
+      require(other_row < config.words, to_string() + ": other_row out of range");
+      require(other_row != addr,
+              to_string() + ": other_row must differ from addr");
+    }
+    return;
+  }
+  require(in_bounds(victim),
+          to_string() + ": victim out of range for '" + config.name + "'");
+  if (needs_aggressor(kind)) {
+    require(in_bounds(aggressor), to_string() + ": aggressor out of range");
+    require(!(aggressor == victim),
+            to_string() + ": aggressor must differ from victim");
+  }
+}
+
+std::vector<sram::CellCoord> FaultInstance::footprint(
+    const sram::SramConfig& config) const {
+  std::vector<sram::CellCoord> cells;
+  if (is_address_fault(kind)) {
+    // Reads of the affected address can fail on any bit; af_wrong_row and
+    // af_extra_row additionally disturb the other row.
+    for (std::uint32_t j = 0; j < config.bits; ++j) {
+      cells.push_back({addr, j});
+    }
+    if (kind != FaultKind::af_no_access) {
+      for (std::uint32_t j = 0; j < config.bits; ++j) {
+        cells.push_back({other_row, j});
+      }
+    }
+    return cells;
+  }
+  cells.push_back(victim);
+  if (needs_aggressor(kind)) {
+    // A bridge defect can make either of the shorted cells misbehave.
+    cells.push_back(aggressor);
+  }
+  return cells;
+}
+
+FaultInstance make_cell_fault(FaultKind kind, sram::CellCoord victim) {
+  require(!needs_aggressor(kind) && !is_address_fault(kind),
+          "make_cell_fault: kind requires different builder");
+  FaultInstance f;
+  f.kind = kind;
+  f.victim = victim;
+  return f;
+}
+
+FaultInstance make_coupling_fault(FaultKind kind, sram::CellCoord aggressor,
+                                  sram::CellCoord victim) {
+  require(needs_aggressor(kind),
+          "make_coupling_fault: kind is not a coupling fault");
+  FaultInstance f;
+  f.kind = kind;
+  f.aggressor = aggressor;
+  f.victim = victim;
+  return f;
+}
+
+FaultInstance make_address_fault(FaultKind kind, std::uint32_t addr,
+                                 std::uint32_t other_row) {
+  require(is_address_fault(kind),
+          "make_address_fault: kind is not an address fault");
+  FaultInstance f;
+  f.kind = kind;
+  f.addr = addr;
+  f.other_row = other_row;
+  return f;
+}
+
+}  // namespace fastdiag::faults

@@ -1,0 +1,58 @@
+// A concrete fault instance bound to cells of one memory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/fault_kind.h"
+#include "sram/cell_array.h"
+#include "sram/config.h"
+
+namespace fastdiag::faults {
+
+struct FaultInstance {
+  FaultKind kind = FaultKind::sa0;
+
+  /// The defective cell (cell faults, retention faults) or the coupling
+  /// victim.  Unused for address faults.
+  sram::CellCoord victim{};
+
+  /// Coupling aggressor; only meaningful when needs_aggressor(kind).
+  sram::CellCoord aggressor{};
+
+  /// Address faults: the affected logical address ...
+  std::uint32_t addr = 0;
+  /// ... and the wrongly activated row (af_wrong_row / af_extra_row).
+  std::uint32_t other_row = 0;
+
+  friend bool operator==(const FaultInstance&, const FaultInstance&) = default;
+
+  /// Human-readable one-liner, e.g. "CFid<up;1> victim=(3,7) aggr=(3,6)".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Throws std::invalid_argument when the instance does not fit @p config
+  /// (out-of-range cells, missing aggressor, aggressor == victim, ...).
+  void validate(const sram::SramConfig& config) const;
+
+  /// The cells at which this fault can produce observable read errors; the
+  /// diagnosis dictionary matches diagnosed cells against this set.  For
+  /// address faults the footprint is every cell of the involved row(s).
+  [[nodiscard]] std::vector<sram::CellCoord> footprint(
+      const sram::SramConfig& config) const;
+};
+
+/// Convenience builders -----------------------------------------------------
+
+[[nodiscard]] FaultInstance make_cell_fault(FaultKind kind,
+                                            sram::CellCoord victim);
+
+[[nodiscard]] FaultInstance make_coupling_fault(FaultKind kind,
+                                                sram::CellCoord aggressor,
+                                                sram::CellCoord victim);
+
+[[nodiscard]] FaultInstance make_address_fault(FaultKind kind,
+                                               std::uint32_t addr,
+                                               std::uint32_t other_row = 0);
+
+}  // namespace fastdiag::faults

@@ -1,0 +1,113 @@
+#include "faults/fault_kind.h"
+
+#include "util/require.h"
+
+namespace fastdiag::faults {
+
+FaultClass fault_class(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::sa0:
+    case FaultKind::sa1:
+      return FaultClass::stuck_at;
+    case FaultKind::tf_up:
+    case FaultKind::tf_down:
+      return FaultClass::transition;
+    case FaultKind::sof:
+      return FaultClass::stuck_open;
+    case FaultKind::cf_in_up:
+    case FaultKind::cf_in_down:
+    case FaultKind::cf_id_up0:
+    case FaultKind::cf_id_up1:
+    case FaultKind::cf_id_down0:
+    case FaultKind::cf_id_down1:
+    case FaultKind::cf_st_00:
+    case FaultKind::cf_st_01:
+    case FaultKind::cf_st_10:
+    case FaultKind::cf_st_11:
+      return FaultClass::coupling;
+    case FaultKind::af_no_access:
+    case FaultKind::af_wrong_row:
+    case FaultKind::af_extra_row:
+      return FaultClass::address;
+    case FaultKind::drf0:
+    case FaultKind::drf1:
+      return FaultClass::retention;
+  }
+  ensure(false, "fault_class: unknown kind");
+  return FaultClass::stuck_at;
+}
+
+std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::sa0: return "SA0";
+    case FaultKind::sa1: return "SA1";
+    case FaultKind::tf_up: return "TF-up";
+    case FaultKind::tf_down: return "TF-down";
+    case FaultKind::sof: return "SOF";
+    case FaultKind::cf_in_up: return "CFin-up";
+    case FaultKind::cf_in_down: return "CFin-down";
+    case FaultKind::cf_id_up0: return "CFid<up;0>";
+    case FaultKind::cf_id_up1: return "CFid<up;1>";
+    case FaultKind::cf_id_down0: return "CFid<down;0>";
+    case FaultKind::cf_id_down1: return "CFid<down;1>";
+    case FaultKind::cf_st_00: return "CFst<0;0>";
+    case FaultKind::cf_st_01: return "CFst<0;1>";
+    case FaultKind::cf_st_10: return "CFst<1;0>";
+    case FaultKind::cf_st_11: return "CFst<1;1>";
+    case FaultKind::af_no_access: return "AF-none";
+    case FaultKind::af_wrong_row: return "AF-wrong";
+    case FaultKind::af_extra_row: return "AF-extra";
+    case FaultKind::drf0: return "DRF0";
+    case FaultKind::drf1: return "DRF1";
+  }
+  ensure(false, "fault_kind_name: unknown kind");
+  return "?";
+}
+
+std::string_view fault_class_name(FaultClass cls) {
+  switch (cls) {
+    case FaultClass::stuck_at: return "stuck-at";
+    case FaultClass::transition: return "transition";
+    case FaultClass::stuck_open: return "stuck-open";
+    case FaultClass::coupling: return "coupling";
+    case FaultClass::address: return "address-decoder";
+    case FaultClass::retention: return "data-retention";
+  }
+  ensure(false, "fault_class_name: unknown class");
+  return "?";
+}
+
+bool needs_aggressor(FaultKind kind) {
+  return fault_class(kind) == FaultClass::coupling;
+}
+
+bool is_address_fault(FaultKind kind) {
+  return fault_class(kind) == FaultClass::address;
+}
+
+bool is_retention_fault(FaultKind kind) {
+  return fault_class(kind) == FaultClass::retention;
+}
+
+const std::vector<FaultKind>& all_fault_kinds() {
+  static const std::vector<FaultKind> kinds = {
+      FaultKind::sa0,         FaultKind::sa1,        FaultKind::tf_up,
+      FaultKind::tf_down,     FaultKind::sof,        FaultKind::cf_in_up,
+      FaultKind::cf_in_down,  FaultKind::cf_id_up0,  FaultKind::cf_id_up1,
+      FaultKind::cf_id_down0, FaultKind::cf_id_down1, FaultKind::cf_st_00,
+      FaultKind::cf_st_01,    FaultKind::cf_st_10,   FaultKind::cf_st_11,
+      FaultKind::af_no_access, FaultKind::af_wrong_row,
+      FaultKind::af_extra_row, FaultKind::drf0,      FaultKind::drf1,
+  };
+  return kinds;
+}
+
+const std::vector<FaultClass>& all_fault_classes() {
+  static const std::vector<FaultClass> classes = {
+      FaultClass::stuck_at, FaultClass::transition, FaultClass::stuck_open,
+      FaultClass::coupling, FaultClass::address,    FaultClass::retention,
+  };
+  return classes;
+}
+
+}  // namespace fastdiag::faults

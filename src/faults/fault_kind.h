@@ -1,0 +1,81 @@
+// Functional fault models of small embedded SRAMs.
+//
+// The taxonomy follows the classical memory-test literature the paper builds
+// on (March C- [12], RAMSES/March CW [13]):
+//
+//   SAF   stuck-at-0/1
+//   TF    transition fault (cell cannot make a 0->1 or 1->0 transition)
+//   SOF   stuck-open fault (cell never drives its bitlines; the sense amp
+//         repeats its previous decision)
+//   CFin  inversion coupling (a transition of the aggressor inverts the victim)
+//   CFid  idempotent coupling (a transition of the aggressor forces the
+//         victim to a fixed value)
+//   CFst  state coupling (while the aggressor holds state s the victim is
+//         forced to value v)
+//   AF    address-decoder faults (no row / wrong row / extra row activated)
+//   DRF   data retention fault (an open pull-up PMOS makes the cell lose
+//         one of its states after the retention time; Sec. 3.4 / Fig. 6)
+//
+// Coupling faults between bits of the same word are the intra-word faults
+// March CW's extra data backgrounds exist for.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace fastdiag::faults {
+
+enum class FaultKind {
+  sa0,
+  sa1,
+  tf_up,    // fails 0 -> 1
+  tf_down,  // fails 1 -> 0
+  sof,
+  cf_in_up,    // aggressor rising inverts victim
+  cf_in_down,  // aggressor falling inverts victim
+  cf_id_up0,   // aggressor rising forces victim to 0
+  cf_id_up1,
+  cf_id_down0,
+  cf_id_down1,
+  cf_st_00,  // aggressor state 0 forces victim to 0
+  cf_st_01,  // aggressor state 0 forces victim to 1
+  cf_st_10,
+  cf_st_11,
+  af_no_access,  // address fires no wordline
+  af_wrong_row,  // address fires another row instead of its own
+  af_extra_row,  // address fires its own row plus another
+  drf0,          // loses a stored 0 after the retention time
+  drf1,          // loses a stored 1 after the retention time
+};
+
+/// Coarse grouping used by coverage reports and the defect translator.
+enum class FaultClass {
+  stuck_at,
+  transition,
+  stuck_open,
+  coupling,
+  address,
+  retention,
+};
+
+[[nodiscard]] FaultClass fault_class(FaultKind kind);
+
+[[nodiscard]] std::string_view fault_kind_name(FaultKind kind);
+[[nodiscard]] std::string_view fault_class_name(FaultClass cls);
+
+/// True for coupling kinds, which require an aggressor cell.
+[[nodiscard]] bool needs_aggressor(FaultKind kind);
+
+/// True for the address-decoder kinds.
+[[nodiscard]] bool is_address_fault(FaultKind kind);
+
+/// True for the retention kinds (DRF0/DRF1).
+[[nodiscard]] bool is_retention_fault(FaultKind kind);
+
+/// Every kind, in declaration order (for exhaustive sweeps).
+[[nodiscard]] const std::vector<FaultKind>& all_fault_kinds();
+
+/// Every class, in declaration order.
+[[nodiscard]] const std::vector<FaultClass>& all_fault_classes();
+
+}  // namespace fastdiag::faults

@@ -1,0 +1,311 @@
+#include "faults/fault_set.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace fastdiag::faults {
+
+FaultSet::FaultSet(std::vector<FaultInstance> faults)
+    : faults_(std::move(faults)) {}
+
+void FaultSet::add(const FaultInstance& fault) {
+  faults_.push_back(fault);
+  if (attached_) {
+    fault.validate(config_);
+    index_fault(fault);
+  }
+}
+
+void FaultSet::attach(const sram::SramConfig& config) {
+  config_ = config;
+  attached_ = true;
+  cell_state_.clear();
+  by_aggressor_.clear();
+  pin_by_victim_.clear();
+  decode_mods_.clear();
+  for (const auto& fault : faults_) {
+    fault.validate(config_);
+    index_fault(fault);
+  }
+}
+
+void FaultSet::index_fault(const FaultInstance& fault) {
+  switch (fault.kind) {
+    case FaultKind::sa0:
+      cell_state_[key(fault.victim)].sa0 = true;
+      return;
+    case FaultKind::sa1:
+      cell_state_[key(fault.victim)].sa1 = true;
+      return;
+    case FaultKind::tf_up:
+      cell_state_[key(fault.victim)].tf_up = true;
+      return;
+    case FaultKind::tf_down:
+      cell_state_[key(fault.victim)].tf_down = true;
+      return;
+    case FaultKind::sof:
+      cell_state_[key(fault.victim)].sof = true;
+      return;
+    case FaultKind::drf0:
+      cell_state_[key(fault.victim)].drf0 = true;
+      return;
+    case FaultKind::drf1:
+      cell_state_[key(fault.victim)].drf1 = true;
+      return;
+    case FaultKind::cf_in_up:
+    case FaultKind::cf_in_down:
+    case FaultKind::cf_id_up0:
+    case FaultKind::cf_id_up1:
+    case FaultKind::cf_id_down0:
+    case FaultKind::cf_id_down1:
+      by_aggressor_[key(fault.aggressor)].push_back(
+          Coupling{fault.kind, fault.victim});
+      return;
+    case FaultKind::cf_st_00:
+    case FaultKind::cf_st_01:
+    case FaultKind::cf_st_10:
+    case FaultKind::cf_st_11: {
+      const bool s = (fault.kind == FaultKind::cf_st_10 ||
+                      fault.kind == FaultKind::cf_st_11);
+      const bool v = (fault.kind == FaultKind::cf_st_01 ||
+                      fault.kind == FaultKind::cf_st_11);
+      pin_by_victim_[key(fault.victim)].push_back(
+          StateCoupling{fault.aggressor, s, v});
+      // Also fire when the aggressor *enters* the trigger state.
+      by_aggressor_[key(fault.aggressor)].push_back(
+          Coupling{fault.kind, fault.victim});
+      return;
+    }
+    case FaultKind::af_no_access:
+    case FaultKind::af_wrong_row:
+    case FaultKind::af_extra_row:
+      decode_mods_[fault.addr].push_back(
+          DecodeMod{fault.kind, fault.other_row});
+      return;
+  }
+  ensure(false, "FaultSet::index_fault: unknown kind");
+}
+
+void FaultSet::decode(std::uint32_t addr, std::vector<std::uint32_t>& rows) {
+  rows.clear();
+  bool own_row = true;
+  const auto it = decode_mods_.find(addr);
+  if (it != decode_mods_.end()) {
+    for (const auto& mod : it->second) {
+      switch (mod.kind) {
+        case FaultKind::af_no_access:
+          own_row = false;
+          break;
+        case FaultKind::af_wrong_row:
+          own_row = false;
+          rows.push_back(mod.other_row);
+          break;
+        case FaultKind::af_extra_row:
+          rows.push_back(mod.other_row);
+          break;
+        default:
+          ensure(false, "FaultSet::decode: non-address mod");
+      }
+    }
+  }
+  if (own_row) {
+    rows.insert(rows.begin(), addr);
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+}
+
+FaultSet::CellState* FaultSet::find_state(sram::CellCoord cell) {
+  const auto it = cell_state_.find(key(cell));
+  return it == cell_state_.end() ? nullptr : &it->second;
+}
+
+bool FaultSet::settled_value(sram::CellArray& cells, sram::CellCoord cell,
+                             std::uint64_t now_ns) {
+  bool value = cells.get(cell);
+  CellState* state = find_state(cell);
+  if (state == nullptr) {
+    return value;
+  }
+  const bool weak = value ? state->drf1 : state->drf0;
+  if (weak && now_ns >= state->value_since_ns &&
+      now_ns - state->value_since_ns >= config_.retention_ns) {
+    value = !value;
+    cells.set(cell, value);
+    state->value_since_ns = now_ns;
+  }
+  return value;
+}
+
+bool FaultSet::apply_state_pinning(const sram::CellArray& cells,
+                                   sram::CellCoord cell, bool value) const {
+  const auto it = pin_by_victim_.find(
+      static_cast<std::uint64_t>(cell.row) * config_.bits + cell.bit);
+  if (it == pin_by_victim_.end()) {
+    return value;
+  }
+  for (const auto& pin : it->second) {
+    if (cells.get(pin.aggressor) == pin.aggressor_state) {
+      return pin.forced_value;
+    }
+  }
+  return value;
+}
+
+void FaultSet::commit_and_propagate(sram::CellArray& cells,
+                                    sram::CellCoord cell, bool value,
+                                    std::uint64_t now_ns) {
+  const bool old = cells.get(cell);
+  const bool pinned = apply_state_pinning(cells, cell, value);
+  cells.set(cell, pinned);
+  if (CellState* state = find_state(cell)) {
+    state->value_since_ns = now_ns;
+  }
+  if (pinned == old) {
+    return;  // no transition, no coupling side effects
+  }
+  if (in_word_op_) {
+    // Intra-word disturbs land after every write driver of the word pulse
+    // has released; queue until end_word_op.
+    pending_.push_back(PendingTransition{cell, pinned});
+    return;
+  }
+  fire_couplings(cells, cell, pinned, now_ns);
+}
+
+void FaultSet::begin_word_op() {
+  in_word_op_ = true;
+  pending_.clear();
+}
+
+void FaultSet::end_word_op(sram::CellArray& cells, std::uint64_t now_ns) {
+  in_word_op_ = false;
+  for (const auto& transition : pending_) {
+    fire_couplings(cells, transition.cell, transition.new_value, now_ns);
+  }
+  pending_.clear();
+}
+
+void FaultSet::fire_couplings(sram::CellArray& cells, sram::CellCoord cell,
+                              bool new_value, std::uint64_t now_ns) {
+  const bool rising = new_value;
+  const bool pinned = new_value;
+  const auto it = by_aggressor_.find(key(cell));
+  if (it == by_aggressor_.end()) {
+    return;
+  }
+  for (const auto& coupling : it->second) {
+    bool fire = false;
+    bool invert = false;
+    bool forced = false;
+    switch (coupling.kind) {
+      case FaultKind::cf_in_up:
+        fire = rising;
+        invert = true;
+        break;
+      case FaultKind::cf_in_down:
+        fire = !rising;
+        invert = true;
+        break;
+      case FaultKind::cf_id_up0:
+        fire = rising;
+        forced = false;
+        break;
+      case FaultKind::cf_id_up1:
+        fire = rising;
+        forced = true;
+        break;
+      case FaultKind::cf_id_down0:
+        fire = !rising;
+        forced = false;
+        break;
+      case FaultKind::cf_id_down1:
+        fire = !rising;
+        forced = true;
+        break;
+      // State coupling: fires when the aggressor enters state s.
+      case FaultKind::cf_st_00:
+        fire = !pinned;
+        forced = false;
+        break;
+      case FaultKind::cf_st_01:
+        fire = !pinned;
+        forced = true;
+        break;
+      case FaultKind::cf_st_10:
+        fire = pinned;
+        forced = false;
+        break;
+      case FaultKind::cf_st_11:
+        fire = pinned;
+        forced = true;
+        break;
+      default:
+        ensure(false, "FaultSet: non-coupling entry in aggressor index");
+    }
+    if (!fire) {
+      continue;
+    }
+    const bool victim_old = settled_value(cells, coupling.victim, now_ns);
+    const bool victim_new = invert ? !victim_old : forced;
+    if (victim_new != victim_old) {
+      // One-level propagation: the victim change does not re-trigger
+      // couplings (standard single-step linked-fault simplification).
+      cells.set(coupling.victim, victim_new);
+      if (CellState* vstate = find_state(coupling.victim)) {
+        vstate->value_since_ns = now_ns;
+      }
+    }
+  }
+}
+
+void FaultSet::write_cell(sram::CellArray& cells, sram::CellCoord cell,
+                          bool value, sram::WriteStyle style,
+                          std::uint64_t now_ns) {
+  CellState* state = find_state(cell);
+  const bool old = settled_value(cells, cell, now_ns);
+
+  if (state != nullptr) {
+    if (state->sof) {
+      return;  // the access transistor is open: the write never arrives
+    }
+    if (state->sa0 || state->sa1) {
+      // The node is tied; keep the stored image consistent with the tie so
+      // later transitions cannot originate from a stale value.
+      cells.set(cell, state->sa1);
+      return;
+    }
+    if (old != value) {
+      if ((value && state->tf_up) || (!value && state->tf_down)) {
+        return;  // transition fault: the cell refuses this flip
+      }
+      if (style == sram::WriteStyle::nwrc &&
+          ((value && state->drf1) || (!value && state->drf0))) {
+        // NWRC: the rising bitline floats at GND, so only the cell's own
+        // pull-up could flip it — and that pull-up is the open one.
+        return;
+      }
+    }
+  }
+  commit_and_propagate(cells, cell, value, now_ns);
+}
+
+bool FaultSet::read_cell(sram::CellArray& cells, sram::CellCoord cell,
+                         std::uint64_t now_ns, bool& drives) {
+  const bool stored = settled_value(cells, cell, now_ns);
+  drives = true;
+  CellState* state = find_state(cell);
+  bool value = stored;
+  if (state != nullptr) {
+    if (state->sof) {
+      drives = false;
+      return stored;
+    }
+    if (state->sa0) value = false;
+    if (state->sa1) value = true;
+  }
+  return apply_state_pinning(cells, cell, value);
+}
+
+}  // namespace fastdiag::faults

@@ -1,0 +1,129 @@
+// The fault-semantics engine: a sram::FaultBehavior that applies an
+// arbitrary set of FaultInstances to every memory operation.
+//
+// Semantics (standard functional fault models):
+//  * stuck-at cells always read their forced value; writes do not change it;
+//  * transition faults block the affected 0->1 / 1->0 write transition;
+//  * stuck-open cells never drive the bitlines (the Sram falls back to its
+//    sense-amp latch) and writes do not reach them;
+//  * coupling effects fire on *direct* aggressor transitions (one level, no
+//    cascading — the usual single-step linked-fault simplification);
+//  * state coupling <s;v> pins the victim to v whenever the aggressor holds
+//    s: enforced at aggressor transitions, at victim writes and at victim
+//    reads;
+//  * DRF cells lose the affected value retention_ns after it was written
+//    (decay is evaluated lazily against the memory's simulated clock), and a
+//    No-Write-Recovery cycle toward the weak value fails outright, which is
+//    exactly what NWRTM exploits (Sec. 3.4);
+//  * address faults rewrite the decode: no row, a wrong row, or an extra row.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "faults/fault.h"
+#include "sram/fault_behavior.h"
+
+namespace fastdiag::faults {
+
+class FaultSet final : public sram::FaultBehavior {
+ public:
+  FaultSet() = default;
+
+  /// Builds the engine from @p faults; instances are validated on attach().
+  explicit FaultSet(std::vector<FaultInstance> faults);
+
+  /// Adds one instance (before or after attach()).
+  void add(const FaultInstance& fault);
+
+  [[nodiscard]] const std::vector<FaultInstance>& faults() const {
+    return faults_;
+  }
+
+  // sram::FaultBehavior --------------------------------------------------
+  void attach(const sram::SramConfig& config) override;
+  void decode(std::uint32_t addr, std::vector<std::uint32_t>& rows) override;
+  void write_cell(sram::CellArray& cells, sram::CellCoord cell, bool value,
+                  sram::WriteStyle style, std::uint64_t now_ns) override;
+  bool read_cell(sram::CellArray& cells, sram::CellCoord cell,
+                 std::uint64_t now_ns, bool& drives) override;
+  void begin_word_op() override;
+  void end_word_op(sram::CellArray& cells, std::uint64_t now_ns) override;
+
+ private:
+  /// Per-cell defect summary (a cell may carry several defects).
+  struct CellState {
+    bool sa0 = false;
+    bool sa1 = false;
+    bool tf_up = false;
+    bool tf_down = false;
+    bool sof = false;
+    bool drf0 = false;
+    bool drf1 = false;
+    std::uint64_t value_since_ns = 0;  // when the current value was stored
+  };
+
+  struct Coupling {
+    FaultKind kind;
+    sram::CellCoord victim;
+  };
+
+  struct StateCoupling {
+    sram::CellCoord aggressor;
+    bool aggressor_state;
+    bool forced_value;
+  };
+
+  struct DecodeMod {
+    FaultKind kind;
+    std::uint32_t other_row;
+  };
+
+  void index_fault(const FaultInstance& fault);
+
+  /// Commits pending retention decay of @p cell, returns the settled value.
+  bool settled_value(sram::CellArray& cells, sram::CellCoord cell,
+                     std::uint64_t now_ns);
+
+  /// Stores @p value into @p cell honouring victim-side forcing (stuck-at,
+  /// state coupling), then fires aggressor-side couplings exactly once —
+  /// immediately, or at end_word_op while a word write is in flight.
+  void commit_and_propagate(sram::CellArray& cells, sram::CellCoord cell,
+                            bool value, std::uint64_t now_ns);
+
+  /// Applies the coupling side effects of @p cell having transitioned to
+  /// @p new_value.
+  void fire_couplings(sram::CellArray& cells, sram::CellCoord cell,
+                      bool new_value, std::uint64_t now_ns);
+
+  /// Applies the victim side of CFst: if any aggressor pinning @p cell is in
+  /// its trigger state, returns the forced value instead of @p value.
+  bool apply_state_pinning(const sram::CellArray& cells, sram::CellCoord cell,
+                           bool value) const;
+
+  CellState* find_state(sram::CellCoord cell);
+
+  sram::SramConfig config_;
+  bool attached_ = false;
+  std::vector<FaultInstance> faults_;
+
+  /// Pending aggressor transitions while a word write is in flight.
+  struct PendingTransition {
+    sram::CellCoord cell;
+    bool new_value;
+  };
+  bool in_word_op_ = false;
+  std::vector<PendingTransition> pending_;
+
+  std::unordered_map<std::uint64_t, CellState> cell_state_;
+  std::unordered_map<std::uint64_t, std::vector<Coupling>> by_aggressor_;
+  std::unordered_map<std::uint64_t, std::vector<StateCoupling>> pin_by_victim_;
+  std::unordered_map<std::uint32_t, std::vector<DecodeMod>> decode_mods_;
+
+  [[nodiscard]] std::uint64_t key(sram::CellCoord cell) const {
+    return static_cast<std::uint64_t>(cell.row) * config_.bits + cell.bit;
+  }
+};
+
+}  // namespace fastdiag::faults

@@ -1,0 +1,51 @@
+#include "march/background.h"
+
+#include "util/require.h"
+
+namespace fastdiag::march {
+
+std::size_t background_log2(std::size_t width) {
+  std::size_t k = 0;
+  std::size_t reach = 1;
+  while (reach < width) {
+    reach *= 2;
+    ++k;
+  }
+  return k;
+}
+
+std::vector<BitVector> standard_backgrounds(std::size_t width) {
+  require(width > 0, "standard_backgrounds: width must be > 0");
+  std::vector<BitVector> set;
+  set.emplace_back(width, false);  // solid
+  const std::size_t extras = background_log2(width);
+  for (std::size_t k = 1; k <= extras; ++k) {
+    BitVector bg(width);
+    for (std::size_t j = 0; j < width; ++j) {
+      bg.set(j, ((j >> (k - 1)) & 1u) != 0);
+    }
+    set.push_back(bg);
+  }
+  return set;
+}
+
+bool separates_all_bit_pairs(const std::vector<BitVector>& set,
+                             std::size_t width) {
+  for (std::size_t i = 0; i < width; ++i) {
+    for (std::size_t j = i + 1; j < width; ++j) {
+      bool separated = false;
+      for (const auto& bg : set) {
+        if (bg.get(i) != bg.get(j)) {
+          separated = true;
+          break;
+        }
+      }
+      if (!separated) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace fastdiag::march

@@ -1,0 +1,32 @@
+// Data-background generation for word-oriented March tests.
+//
+// March CW ([13]) extends March C- with ceil(log2 c) extra data backgrounds
+// so that every pair of bits inside a word is driven to opposite values by
+// at least one background — the condition for exposing intra-word coupling
+// faults.  The standard set for width c is:
+//
+//   B0 = 00...0                     (solid)
+//   Bk = bit j set iff (j >> (k-1)) & 1,  k = 1..ceil(log2 c)
+//
+// e.g. c=8: 01010101, 00110011, 00001111.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/bitvec.h"
+
+namespace fastdiag::march {
+
+/// ceil(log2(width)); 0 for width <= 1.
+[[nodiscard]] std::size_t background_log2(std::size_t width);
+
+/// The solid background plus the ceil(log2 c) stripe backgrounds.
+[[nodiscard]] std::vector<BitVector> standard_backgrounds(std::size_t width);
+
+/// True when for every bit pair (i, j), i != j, some background in @p set
+/// assigns them opposite values (the intra-word detection condition).
+[[nodiscard]] bool separates_all_bit_pairs(const std::vector<BitVector>& set,
+                                           std::size_t width);
+
+}  // namespace fastdiag::march

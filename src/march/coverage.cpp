@@ -1,0 +1,177 @@
+#include "march/coverage.h"
+
+#include <memory>
+
+#include "faults/fault_set.h"
+#include "sram/sram.h"
+#include "util/require.h"
+
+namespace fastdiag::march {
+namespace {
+
+using faults::FaultInstance;
+using faults::FaultKind;
+
+std::vector<FaultInstance> enumerate_cell_kind(const sram::SramConfig& config,
+                                               FaultKind kind) {
+  std::vector<FaultInstance> instances;
+  for (std::uint32_t row = 0; row < config.words; ++row) {
+    for (std::uint32_t bit = 0; bit < config.bits; ++bit) {
+      instances.push_back(faults::make_cell_fault(kind, {row, bit}));
+    }
+  }
+  return instances;
+}
+
+std::vector<FaultInstance> enumerate_coupling(const sram::SramConfig& config,
+                                              FaultKind kind,
+                                              CouplingScope scope, Rng& rng,
+                                              std::size_t target) {
+  // The full pair space is quadratic; draw a seeded sample directly.
+  std::vector<FaultInstance> instances;
+  const std::uint64_t cells = config.cell_count();
+  std::size_t guard = 0;
+  while (instances.size() < target && guard < target * 100) {
+    ++guard;
+    const std::uint64_t a = rng.uniform(cells);
+    const sram::CellCoord aggressor{
+        static_cast<std::uint32_t>(a / config.bits),
+        static_cast<std::uint32_t>(a % config.bits)};
+    sram::CellCoord victim;
+    if (scope == CouplingScope::intra_word ||
+        (scope == CouplingScope::any && rng.bernoulli(0.5))) {
+      if (config.bits < 2) {
+        continue;
+      }
+      std::uint32_t bit =
+          static_cast<std::uint32_t>(rng.uniform(config.bits - 1));
+      if (bit >= aggressor.bit) {
+        ++bit;
+      }
+      victim = {aggressor.row, bit};
+    } else {
+      if (config.words < 2) {
+        continue;
+      }
+      std::uint32_t row =
+          static_cast<std::uint32_t>(rng.uniform(config.words - 1));
+      if (row >= aggressor.row) {
+        ++row;
+      }
+      victim = {row, static_cast<std::uint32_t>(rng.uniform(config.bits))};
+    }
+    instances.push_back(faults::make_coupling_fault(kind, aggressor, victim));
+  }
+  return instances;
+}
+
+std::vector<FaultInstance> enumerate_address(const sram::SramConfig& config,
+                                             FaultKind kind, Rng& rng) {
+  std::vector<FaultInstance> instances;
+  for (std::uint32_t addr = 0; addr < config.words; ++addr) {
+    if (kind == FaultKind::af_no_access) {
+      instances.push_back(faults::make_address_fault(kind, addr));
+    } else {
+      if (config.words < 2) {
+        continue;
+      }
+      std::uint32_t other =
+          static_cast<std::uint32_t>(rng.uniform(config.words - 1));
+      if (other >= addr) {
+        ++other;
+      }
+      instances.push_back(faults::make_address_fault(kind, addr, other));
+    }
+  }
+  return instances;
+}
+
+}  // namespace
+
+FaultPopulation make_population(const sram::SramConfig& config,
+                                FaultKind kind, CouplingScope scope,
+                                std::size_t max_instances, Rng& rng) {
+  require(max_instances > 0, "make_population: max_instances must be > 0");
+  FaultPopulation population;
+  population.label = std::string(faults::fault_kind_name(kind));
+
+  std::vector<FaultInstance> all;
+  if (faults::needs_aggressor(kind)) {
+    if (scope == CouplingScope::intra_word) {
+      population.label += " (intra)";
+    } else if (scope == CouplingScope::inter_word) {
+      population.label += " (inter)";
+    }
+    all = enumerate_coupling(config, kind, scope, rng, max_instances);
+  } else if (faults::is_address_fault(kind)) {
+    all = enumerate_address(config, kind, rng);
+  } else {
+    all = enumerate_cell_kind(config, kind);
+  }
+
+  if (all.size() <= max_instances) {
+    population.instances = std::move(all);
+  } else {
+    const auto picks =
+        rng.sample_without_replacement(all.size(), max_instances);
+    for (const auto pick : picks) {
+      population.instances.push_back(all[static_cast<std::size_t>(pick)]);
+    }
+  }
+  return population;
+}
+
+CoverageEvaluator::CoverageEvaluator(sram::SramConfig geometry,
+                                     sram::ClockDomain clock)
+    : geometry_(std::move(geometry)), runner_(clock) {
+  geometry_.validate();
+}
+
+CoverageRow CoverageEvaluator::evaluate(
+    const MarchTest& test, const FaultPopulation& population) const {
+  CoverageRow row;
+  row.label = population.label;
+  row.injected = population.instances.size();
+  for (const auto& instance : population.instances) {
+    sram::Sram memory(geometry_,
+                      std::make_unique<faults::FaultSet>(
+                          std::vector<FaultInstance>{instance}));
+    const auto result = runner_.run(memory, test);
+    if (!result.detected()) {
+      continue;
+    }
+    ++row.detected;
+    const auto suspects = result.suspect_cells();
+    for (const auto& cell : instance.footprint(geometry_)) {
+      if (suspects.count(cell) != 0) {
+        ++row.located;
+        break;
+      }
+    }
+  }
+  return row;
+}
+
+std::vector<CoverageRow> CoverageEvaluator::evaluate_all(
+    const MarchTest& test, std::size_t max_instances,
+    std::uint64_t seed) const {
+  std::vector<CoverageRow> rows;
+  Rng rng(seed);
+  for (const auto kind : faults::all_fault_kinds()) {
+    if (faults::needs_aggressor(kind)) {
+      rows.push_back(evaluate(
+          test, make_population(geometry_, kind, CouplingScope::inter_word,
+                                max_instances, rng)));
+      rows.push_back(evaluate(
+          test, make_population(geometry_, kind, CouplingScope::intra_word,
+                                max_instances, rng)));
+    } else {
+      rows.push_back(evaluate(
+          test, make_population(geometry_, kind, CouplingScope::any,
+                                max_instances, rng)));
+    }
+  }
+  return rows;
+}
+
+}  // namespace fastdiag::march

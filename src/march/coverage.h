@@ -1,0 +1,81 @@
+// RAMSES-style fault-coverage evaluation (ref [13]): inject one fault
+// instance at a time, run a March test, and record whether the fault was
+// detected (any mismatch) and located (a mismatching bit inside the fault's
+// footprint).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/fault.h"
+#include "faults/fault_kind.h"
+#include "march/runner.h"
+#include "march/test.h"
+#include "sram/config.h"
+#include "util/rng.h"
+
+namespace fastdiag::march {
+
+/// Which victim/aggressor placements a coupling population draws from.
+enum class CouplingScope {
+  inter_word,  ///< aggressor and victim in different words
+  intra_word,  ///< same word, different bits (March CW's target)
+  any,
+};
+
+struct FaultPopulation {
+  std::string label;
+  std::vector<faults::FaultInstance> instances;
+};
+
+/// Builds a representative population of @p kind on @p config: exhaustive
+/// when the instance count fits in @p max_instances, a seeded sample
+/// otherwise.  @p scope only affects coupling kinds.
+[[nodiscard]] FaultPopulation make_population(const sram::SramConfig& config,
+                                              faults::FaultKind kind,
+                                              CouplingScope scope,
+                                              std::size_t max_instances,
+                                              Rng& rng);
+
+struct CoverageRow {
+  std::string label;
+  std::size_t injected = 0;
+  std::size_t detected = 0;
+  std::size_t located = 0;
+
+  [[nodiscard]] double detection_rate() const {
+    return injected == 0 ? 1.0
+                         : static_cast<double>(detected) /
+                               static_cast<double>(injected);
+  }
+  [[nodiscard]] double location_rate() const {
+    return injected == 0 ? 1.0
+                         : static_cast<double>(located) /
+                               static_cast<double>(injected);
+  }
+};
+
+class CoverageEvaluator {
+ public:
+  explicit CoverageEvaluator(sram::SramConfig geometry,
+                             sram::ClockDomain clock = {});
+
+  /// Runs @p test against every instance of @p population, one at a time.
+  [[nodiscard]] CoverageRow evaluate(const MarchTest& test,
+                                     const FaultPopulation& population) const;
+
+  /// Full matrix over every fault kind (coupling kinds split into
+  /// inter-word and intra-word rows).
+  [[nodiscard]] std::vector<CoverageRow> evaluate_all(
+      const MarchTest& test, std::size_t max_instances,
+      std::uint64_t seed) const;
+
+  [[nodiscard]] const sram::SramConfig& geometry() const { return geometry_; }
+
+ private:
+  sram::SramConfig geometry_;
+  MarchRunner runner_;
+};
+
+}  // namespace fastdiag::march

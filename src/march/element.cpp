@@ -1,0 +1,56 @@
+#include "march/element.h"
+
+#include "util/require.h"
+
+namespace fastdiag::march {
+
+std::string addr_order_name(AddrOrder order) {
+  switch (order) {
+    case AddrOrder::up: return "up";
+    case AddrOrder::down: return "down";
+    case AddrOrder::any: return "any";
+    case AddrOrder::once: return "once";
+  }
+  ensure(false, "addr_order_name: unknown order");
+  return "?";
+}
+
+std::size_t MarchElement::read_count() const {
+  std::size_t count = 0;
+  for (const auto& op : ops) {
+    count += op.is_read() ? 1u : 0u;
+  }
+  return count;
+}
+
+std::size_t MarchElement::write_count() const {
+  std::size_t count = 0;
+  for (const auto& op : ops) {
+    count += op.is_any_write() ? 1u : 0u;
+  }
+  return count;
+}
+
+bool MarchElement::has_pause() const {
+  for (const auto& op : ops) {
+    if (op.kind == MarchOpKind::pause) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string MarchElement::to_string() const {
+  std::string out = addr_order_name(order);
+  out += '(';
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (i != 0) {
+      out += ',';
+    }
+    out += ops[i].to_string();
+  }
+  out += ')';
+  return out;
+}
+
+}  // namespace fastdiag::march

@@ -1,0 +1,39 @@
+// One March element: an address order plus a sequence of operations applied
+// at every address before moving on, e.g. "up(r0,w1)".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "march/op.h"
+
+namespace fastdiag::march {
+
+/// Address sweep direction.  `any` permits either; this implementation uses
+/// ascending order for `any` (the usual convention).  `once` elements run
+/// their ops a single time without addressing — used for the stand-alone
+/// retention pauses of delay-based DRF testing.
+enum class AddrOrder { up, down, any, once };
+
+[[nodiscard]] std::string addr_order_name(AddrOrder order);
+
+struct MarchElement {
+  AddrOrder order = AddrOrder::any;
+  std::vector<MarchOp> ops;
+
+  MarchElement() = default;
+  MarchElement(AddrOrder order_in, std::vector<MarchOp> ops_in)
+      : order(order_in), ops(std::move(ops_in)) {}
+
+  [[nodiscard]] std::size_t read_count() const;
+  [[nodiscard]] std::size_t write_count() const;  // includes NWRC writes
+  [[nodiscard]] bool has_pause() const;
+
+  /// "up(r0,w1)"
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const MarchElement&, const MarchElement&) = default;
+};
+
+}  // namespace fastdiag::march

@@ -1,0 +1,265 @@
+#include "march/library.h"
+
+#include "march/background.h"
+#include "util/require.h"
+
+namespace fastdiag::march {
+namespace {
+
+using Ops = std::vector<MarchOp>;
+
+MarchPhase solid_phase(std::size_t width, std::vector<MarchElement> elements) {
+  return MarchPhase{BitVector(width, false), std::move(elements)};
+}
+
+}  // namespace
+
+MarchTest mats_plus(std::size_t width) {
+  return MarchTest(
+      "MATS+",
+      {solid_phase(width, {
+                       {AddrOrder::any, Ops{MarchOp::w0()}},
+                       {AddrOrder::up, Ops{MarchOp::r0(), MarchOp::w1()}},
+                       {AddrOrder::down, Ops{MarchOp::r1(), MarchOp::w0()}},
+                   })});
+}
+
+MarchTest march_x(std::size_t width) {
+  return MarchTest(
+      "March X",
+      {solid_phase(width, {
+                       {AddrOrder::any, Ops{MarchOp::w0()}},
+                       {AddrOrder::up, Ops{MarchOp::r0(), MarchOp::w1()}},
+                       {AddrOrder::down, Ops{MarchOp::r1(), MarchOp::w0()}},
+                       {AddrOrder::any, Ops{MarchOp::r0()}},
+                   })});
+}
+
+MarchTest march_y(std::size_t width) {
+  return MarchTest(
+      "March Y",
+      {solid_phase(width,
+                   {
+                       {AddrOrder::any, Ops{MarchOp::w0()}},
+                       {AddrOrder::up,
+                        Ops{MarchOp::r0(), MarchOp::w1(), MarchOp::r1()}},
+                       {AddrOrder::down,
+                        Ops{MarchOp::r1(), MarchOp::w0(), MarchOp::r0()}},
+                       {AddrOrder::any, Ops{MarchOp::r0()}},
+                   })});
+}
+
+MarchTest march_c_minus(std::size_t width) {
+  return MarchTest(
+      "March C-",
+      {solid_phase(width, {
+                       {AddrOrder::any, Ops{MarchOp::w0()}},
+                       {AddrOrder::up, Ops{MarchOp::r0(), MarchOp::w1()}},
+                       {AddrOrder::up, Ops{MarchOp::r1(), MarchOp::w0()}},
+                       {AddrOrder::down, Ops{MarchOp::r0(), MarchOp::w1()}},
+                       {AddrOrder::down, Ops{MarchOp::r1(), MarchOp::w0()}},
+                       {AddrOrder::any, Ops{MarchOp::r0()}},
+                   })});
+}
+
+MarchTest march_a(std::size_t width) {
+  return MarchTest(
+      "March A",
+      {solid_phase(
+          width,
+          {
+              {AddrOrder::any, Ops{MarchOp::w0()}},
+              {AddrOrder::up, Ops{MarchOp::r0(), MarchOp::w1(), MarchOp::w0(),
+                                  MarchOp::w1()}},
+              {AddrOrder::up, Ops{MarchOp::r1(), MarchOp::w0(), MarchOp::w1()}},
+              {AddrOrder::down, Ops{MarchOp::r1(), MarchOp::w0(),
+                                    MarchOp::w1(), MarchOp::w0()}},
+              {AddrOrder::down,
+               Ops{MarchOp::r0(), MarchOp::w1(), MarchOp::w0()}},
+          })});
+}
+
+MarchTest march_b(std::size_t width) {
+  return MarchTest(
+      "March B",
+      {solid_phase(
+          width,
+          {
+              {AddrOrder::any, Ops{MarchOp::w0()}},
+              {AddrOrder::up, Ops{MarchOp::r0(), MarchOp::w1(), MarchOp::r1(),
+                                  MarchOp::w0(), MarchOp::r0(), MarchOp::w1()}},
+              {AddrOrder::up, Ops{MarchOp::r1(), MarchOp::w0(), MarchOp::w1()}},
+              {AddrOrder::down, Ops{MarchOp::r1(), MarchOp::w0(),
+                                    MarchOp::w1(), MarchOp::w0()}},
+              {AddrOrder::down,
+               Ops{MarchOp::r0(), MarchOp::w1(), MarchOp::w0()}},
+          })});
+}
+
+namespace {
+
+/// Shared body of March CW with and without the NWRTM merge.
+MarchTest march_cw_impl(std::size_t width, bool nwrtm, std::string name) {
+  require(width > 0, "march_cw: width must be > 0");
+  std::vector<MarchPhase> phases;
+
+  // Solid-background phase: March C-.  The NWRTM merge performs the M1/M2
+  // write-backs as No-Write-Recovery cycles: a good cell flips exactly as
+  // with a normal write, a DRF cell does not — and the *next* element's
+  // read catches it (M2's r1 exposes DRF1, M3's r0 exposes DRF0).  This
+  // costs no extra operation at all, comfortably inside the paper's
+  // (2n + 2c)t budget for DRF diagnosis (Eq. (4)); the scheme model adds
+  // 2c cycles for asserting/deasserting the global NWRTM line.
+  std::vector<MarchElement> solid;
+  solid.push_back({AddrOrder::any, Ops{MarchOp::w0()}});
+  if (nwrtm) {
+    solid.push_back({AddrOrder::up, Ops{MarchOp::r0(), MarchOp::nw1()}});
+    solid.push_back({AddrOrder::up, Ops{MarchOp::r1(), MarchOp::nw0()}});
+  } else {
+    solid.push_back({AddrOrder::up, Ops{MarchOp::r0(), MarchOp::w1()}});
+    solid.push_back({AddrOrder::up, Ops{MarchOp::r1(), MarchOp::w0()}});
+  }
+  solid.push_back({AddrOrder::down, Ops{MarchOp::r0(), MarchOp::w1()}});
+  solid.push_back({AddrOrder::down, Ops{MarchOp::r1(), MarchOp::w0()}});
+  solid.push_back({AddrOrder::any, Ops{MarchOp::r0()}});
+
+  const auto backgrounds = standard_backgrounds(width);
+  phases.push_back(MarchPhase{backgrounds.front(), std::move(solid)});
+
+  // Stripe-background top-up: {wB; (rB,w~B); (r~B,wB); (rB)} per background.
+  // A stripe separates each bit pair in one polarity only, so *both* write
+  // directions (B->~B and ~B->B) must fire under every background, and each
+  // write needs a verifying read before the next write — otherwise
+  // CFid<up;1>/CFid<down;0> on pairs whose bit indices dominate each other
+  // escape.  This is the paper's Eq. (2) element set completed with the
+  // trailing verify read: (3n + 3c + 3n(c+1)) per background instead of the
+  // paper's (3n + 3c + 2n(c+1)); EXPERIMENTS.md quantifies the difference.
+  for (std::size_t k = 1; k < backgrounds.size(); ++k) {
+    std::vector<MarchElement> topup = {
+        {AddrOrder::any, Ops{MarchOp::w0()}},
+        {AddrOrder::any, Ops{MarchOp::r0(), MarchOp::w1()}},
+        {AddrOrder::any, Ops{MarchOp::r1(), MarchOp::w0()}},
+        {AddrOrder::any, Ops{MarchOp::r0()}},
+    };
+    phases.push_back(MarchPhase{backgrounds[k], std::move(topup)});
+  }
+  return MarchTest(std::move(name), std::move(phases));
+}
+
+}  // namespace
+
+MarchTest march_cw(std::size_t width) {
+  return march_cw_impl(width, false, "March CW");
+}
+
+MarchTest march_cw_nwrtm(std::size_t width) {
+  return march_cw_impl(width, true, "March CW+NWRTM");
+}
+
+MarchTest march_lr(std::size_t width) {
+  return MarchTest(
+      "March LR",
+      {solid_phase(
+          width,
+          {
+              {AddrOrder::any, Ops{MarchOp::w0()}},
+              {AddrOrder::down, Ops{MarchOp::r0(), MarchOp::w1()}},
+              {AddrOrder::up, Ops{MarchOp::r1(), MarchOp::w0(), MarchOp::r0(),
+                                  MarchOp::w1()}},
+              {AddrOrder::up, Ops{MarchOp::r1(), MarchOp::w0()}},
+              {AddrOrder::up, Ops{MarchOp::r0(), MarchOp::w1(), MarchOp::r1(),
+                                  MarchOp::w0()}},
+              {AddrOrder::any, Ops{MarchOp::r0()}},
+          })});
+}
+
+MarchTest march_ss(std::size_t width) {
+  const Ops quint0 = {MarchOp::r0(), MarchOp::r0(), MarchOp::w0(),
+                      MarchOp::r0(), MarchOp::w1()};
+  const Ops quint1 = {MarchOp::r1(), MarchOp::r1(), MarchOp::w1(),
+                      MarchOp::r1(), MarchOp::w0()};
+  return MarchTest(
+      "March SS",
+      {solid_phase(width, {
+                       {AddrOrder::any, Ops{MarchOp::w0()}},
+                       {AddrOrder::up, quint0},
+                       {AddrOrder::up, quint1},
+                       {AddrOrder::down, quint0},
+                       {AddrOrder::down, quint1},
+                       {AddrOrder::any, Ops{MarchOp::r0()}},
+                   })});
+}
+
+MarchTest march_g(std::size_t width, std::uint64_t pause_ns) {
+  return MarchTest(
+      "March G",
+      {solid_phase(
+          width,
+          {
+              {AddrOrder::any, Ops{MarchOp::w0()}},
+              {AddrOrder::up, Ops{MarchOp::r0(), MarchOp::w1(), MarchOp::r1(),
+                                  MarchOp::w0(), MarchOp::r0(),
+                                  MarchOp::w1()}},
+              {AddrOrder::up, Ops{MarchOp::r1(), MarchOp::w0(), MarchOp::w1()}},
+              {AddrOrder::down, Ops{MarchOp::r1(), MarchOp::w0(),
+                                    MarchOp::w1(), MarchOp::w0()}},
+              {AddrOrder::down,
+               Ops{MarchOp::r0(), MarchOp::w1(), MarchOp::w0()}},
+              {AddrOrder::once, Ops{MarchOp::pause(pause_ns)}},
+              {AddrOrder::any,
+               Ops{MarchOp::r0(), MarchOp::w1(), MarchOp::r1()}},
+              {AddrOrder::once, Ops{MarchOp::pause(pause_ns)}},
+              {AddrOrder::any,
+               Ops{MarchOp::r1(), MarchOp::w0(), MarchOp::r0()}},
+          })});
+}
+
+MarchTest march_cw_paper_topup(std::size_t width) {
+  auto base = march_cw(width);
+  std::vector<MarchPhase> phases = base.phases();
+  // Swap every stripe top-up for the paper's 2-read variant.
+  for (std::size_t k = 1; k < phases.size(); ++k) {
+    phases[k].elements = {
+        {AddrOrder::any, Ops{MarchOp::w0()}},
+        {AddrOrder::any, Ops{MarchOp::r0(), MarchOp::w1()}},
+        {AddrOrder::any, Ops{MarchOp::r1(), MarchOp::w0()}},
+    };
+  }
+  return MarchTest("March CW (paper top-up)", std::move(phases));
+}
+
+MarchTest march_cw_nwrtm_verify(std::size_t width) {
+  auto base = march_cw(width);
+  std::vector<MarchPhase> phases = base.phases();
+  auto& solid = phases.front().elements;
+  solid[1] = {AddrOrder::up,
+              Ops{MarchOp::r0(), MarchOp::nw1(), MarchOp::r1()}};
+  solid[2] = {AddrOrder::up,
+              Ops{MarchOp::r1(), MarchOp::nw0(), MarchOp::r0()}};
+  return MarchTest("March CW+NWRTM (verify)", std::move(phases));
+}
+
+MarchTest with_retention_pause(const MarchTest& base, std::uint64_t pause_ns) {
+  auto phases = base.phases();
+  require(!phases.empty(), "with_retention_pause: empty base test");
+  const std::size_t width = base.width();
+  std::vector<MarchElement> retention = {
+      {AddrOrder::any, Ops{MarchOp::w0()}},
+      {AddrOrder::once, Ops{MarchOp::pause(pause_ns)}},
+      {AddrOrder::any, Ops{MarchOp::r0()}},
+      {AddrOrder::any, Ops{MarchOp::w1()}},
+      {AddrOrder::once, Ops{MarchOp::pause(pause_ns)}},
+      {AddrOrder::any, Ops{MarchOp::r1()}},
+  };
+  phases.push_back(MarchPhase{BitVector(width, false), std::move(retention)});
+  return MarchTest(base.name() + "+retention", std::move(phases));
+}
+
+std::vector<MarchTest> all_library_tests(std::size_t width) {
+  return {mats_plus(width),     march_x(width),  march_y(width),
+          march_c_minus(width), march_a(width),  march_b(width),
+          march_lr(width),      march_ss(width), march_g(width),
+          march_cw(width),      march_cw_nwrtm(width)};
+}
+
+}  // namespace fastdiag::march

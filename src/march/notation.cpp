@@ -1,0 +1,137 @@
+#include "march/notation.h"
+
+#include <cctype>
+#include <cstdint>
+
+#include "util/require.h"
+
+namespace fastdiag::march {
+
+std::string elements_to_string(const std::vector<MarchElement>& elements) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    if (i != 0) {
+      out += "; ";
+    }
+    out += elements[i].to_string();
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+/// Minimal recursive-descent scanner over the notation grammar.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    require(eat(c), std::string("march notation: expected '") + c +
+                        "' at offset " + std::to_string(pos_));
+  }
+
+  std::string word() {
+    skip_ws();
+    std::string out;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0)) {
+      out.push_back(text_[pos_]);
+      ++pos_;
+    }
+    return out;
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+MarchOp parse_op(const std::string& token) {
+  if (token == "r0") return MarchOp::r0();
+  if (token == "r1") return MarchOp::r1();
+  if (token == "w0") return MarchOp::w0();
+  if (token == "w1") return MarchOp::w1();
+  if (token == "nw0") return MarchOp::nw0();
+  if (token == "nw1") return MarchOp::nw1();
+  if (token.rfind("pause", 0) == 0) {
+    std::string body = token.substr(5);
+    std::uint64_t scale = 1;
+    if (body.size() >= 2 && body.substr(body.size() - 2) == "ms") {
+      scale = 1'000'000;
+      body = body.substr(0, body.size() - 2);
+    } else if (body.size() >= 2 && body.substr(body.size() - 2) == "ns") {
+      body = body.substr(0, body.size() - 2);
+    }
+    require(!body.empty(), "march notation: pause without duration");
+    for (const char c : body) {
+      require(std::isdigit(static_cast<unsigned char>(c)) != 0,
+              "march notation: bad pause duration '" + token + "'");
+    }
+    return MarchOp::pause(std::stoull(body) * scale);
+  }
+  require(false, "march notation: unknown op '" + token + "'");
+  return {};
+}
+
+AddrOrder parse_order(const std::string& token) {
+  if (token == "up") return AddrOrder::up;
+  if (token == "down") return AddrOrder::down;
+  if (token == "any") return AddrOrder::any;
+  if (token == "once") return AddrOrder::once;
+  require(false, "march notation: unknown address order '" + token + "'");
+  return AddrOrder::any;
+}
+
+}  // namespace
+
+std::vector<MarchElement> parse_elements(const std::string& text) {
+  Scanner scanner(text);
+  scanner.expect('{');
+  std::vector<MarchElement> elements;
+  if (!scanner.eat('}')) {
+    for (;;) {
+      MarchElement element;
+      element.order = parse_order(scanner.word());
+      scanner.expect('(');
+      for (;;) {
+        element.ops.push_back(parse_op(scanner.word()));
+        if (!scanner.eat(',')) {
+          break;
+        }
+      }
+      scanner.expect(')');
+      require(!element.ops.empty(), "march notation: element without ops");
+      elements.push_back(std::move(element));
+      if (!scanner.eat(';')) {
+        break;
+      }
+    }
+    scanner.expect('}');
+  }
+  require(scanner.at_end(), "march notation: trailing characters");
+  return elements;
+}
+
+}  // namespace fastdiag::march

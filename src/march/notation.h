@@ -1,0 +1,27 @@
+// Textual March notation.
+//
+// Element lists use the ASCII form of the usual arrow notation:
+//
+//   {any(w0); up(r0,w1); up(r1,w0); down(r0,w1); down(r1,w0); any(r0)}
+//
+// with op tokens r0 r1 w0 w1 nw0 nw1 and pause<N>ms / pause<N>ns (pauses
+// only inside `once(...)` elements).  parse_elements() accepts exactly what
+// elements_to_string() produces, so notation round-trips.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "march/element.h"
+
+namespace fastdiag::march {
+
+/// Renders an element list as "{...}".
+[[nodiscard]] std::string elements_to_string(
+    const std::vector<MarchElement>& elements);
+
+/// Parses "{any(w0); up(r0,w1)}"; throws std::invalid_argument on malformed
+/// input (unknown order, unknown op, missing braces/parens).
+[[nodiscard]] std::vector<MarchElement> parse_elements(const std::string& text);
+
+}  // namespace fastdiag::march

@@ -1,0 +1,26 @@
+#include "march/op.h"
+
+#include "util/require.h"
+
+namespace fastdiag::march {
+
+std::string MarchOp::to_string() const {
+  const char polarity_char = (polarity == Polarity::background) ? '0' : '1';
+  switch (kind) {
+    case MarchOpKind::read:
+      return std::string("r") + polarity_char;
+    case MarchOpKind::write:
+      return std::string("w") + polarity_char;
+    case MarchOpKind::nwrc_write:
+      return std::string("nw") + polarity_char;
+    case MarchOpKind::pause:
+      if (pause_ns % 1'000'000 == 0) {
+        return "pause" + std::to_string(pause_ns / 1'000'000) + "ms";
+      }
+      return "pause" + std::to_string(pause_ns) + "ns";
+  }
+  ensure(false, "MarchOp::to_string: unknown kind");
+  return "?";
+}
+
+}  // namespace fastdiag::march

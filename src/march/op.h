@@ -1,0 +1,59 @@
+// A single March operation.
+//
+// Operations are expressed relative to the current data background B, as in
+// the word-oriented March literature: "r0" reads B, "w1" writes ~B, etc.
+// Beyond the classical read/write this project adds:
+//   nw0/nw1   No-Write-Recovery writes (NWRTM, Sec. 3.4)
+//   pause     an explicit retention wait (the classical 100 ms-per-state
+//             delay the paper's scheme eliminates)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fastdiag::march {
+
+enum class MarchOpKind { read, write, nwrc_write, pause };
+
+/// Data of an op, relative to the background: '0' means B, '1' means ~B.
+enum class Polarity { background, inverted };
+
+struct MarchOp {
+  MarchOpKind kind = MarchOpKind::read;
+  Polarity polarity = Polarity::background;
+  std::uint64_t pause_ns = 0;  ///< only for MarchOpKind::pause
+
+  [[nodiscard]] static MarchOp r0() {
+    return {MarchOpKind::read, Polarity::background, 0};
+  }
+  [[nodiscard]] static MarchOp r1() {
+    return {MarchOpKind::read, Polarity::inverted, 0};
+  }
+  [[nodiscard]] static MarchOp w0() {
+    return {MarchOpKind::write, Polarity::background, 0};
+  }
+  [[nodiscard]] static MarchOp w1() {
+    return {MarchOpKind::write, Polarity::inverted, 0};
+  }
+  [[nodiscard]] static MarchOp nw0() {
+    return {MarchOpKind::nwrc_write, Polarity::background, 0};
+  }
+  [[nodiscard]] static MarchOp nw1() {
+    return {MarchOpKind::nwrc_write, Polarity::inverted, 0};
+  }
+  [[nodiscard]] static MarchOp pause(std::uint64_t ns) {
+    return {MarchOpKind::pause, Polarity::background, ns};
+  }
+
+  [[nodiscard]] bool is_read() const { return kind == MarchOpKind::read; }
+  [[nodiscard]] bool is_any_write() const {
+    return kind == MarchOpKind::write || kind == MarchOpKind::nwrc_write;
+  }
+
+  /// "r0", "w1", "nw0", "pause100ms", ...
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const MarchOp&, const MarchOp&) = default;
+};
+
+}  // namespace fastdiag::march

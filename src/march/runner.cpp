@@ -1,0 +1,80 @@
+#include "march/runner.h"
+
+#include "util/require.h"
+
+namespace fastdiag::march {
+
+std::set<sram::CellCoord> RunResult::suspect_cells() const {
+  std::set<sram::CellCoord> cells;
+  for (const auto& mismatch : mismatches) {
+    for (std::size_t j = 0; j < mismatch.expected.width(); ++j) {
+      if (mismatch.expected.get(j) != mismatch.actual.get(j)) {
+        cells.insert(
+            {mismatch.addr, static_cast<std::uint32_t>(j)});
+      }
+    }
+  }
+  return cells;
+}
+
+RunResult MarchRunner::run(sram::Sram& memory, const MarchTest& test) const {
+  require(test.width() >= memory.bits(),
+          "MarchRunner: test narrower than memory '" + memory.config().name +
+              "'");
+  RunResult result;
+  const std::uint64_t start_ns = memory.now_ns();
+  const std::uint32_t words = memory.words();
+
+  for (std::size_t p = 0; p < test.phases().size(); ++p) {
+    const auto& phase = test.phases()[p];
+    const BitVector bg = phase.background.low_bits(memory.bits());
+    const BitVector bg_inv = bg.inverted();
+
+    for (std::size_t e = 0; e < phase.elements.size(); ++e) {
+      const auto& element = phase.elements[e];
+
+      if (element.order == AddrOrder::once) {
+        for (const auto& op : element.ops) {
+          ensure(op.kind == MarchOpKind::pause,
+                 "MarchRunner: non-pause op in once element");
+          memory.advance_time_ns(op.pause_ns);
+          ++result.ops;
+        }
+        continue;
+      }
+
+      for (std::uint32_t i = 0; i < words; ++i) {
+        const std::uint32_t addr =
+            element.order == AddrOrder::down ? words - 1 - i : i;
+        for (const auto& op : element.ops) {
+          memory.advance_time_ns(clock_.period_ns);
+          ++result.ops;
+          const BitVector& data =
+              op.polarity == Polarity::background ? bg : bg_inv;
+          switch (op.kind) {
+            case MarchOpKind::write:
+              memory.write(addr, data);
+              break;
+            case MarchOpKind::nwrc_write:
+              memory.nwrc_write(addr, data);
+              break;
+            case MarchOpKind::read: {
+              const BitVector actual = memory.read(addr);
+              if (actual != data) {
+                result.mismatches.push_back(
+                    Mismatch{p, e, addr, data, actual});
+              }
+              break;
+            }
+            case MarchOpKind::pause:
+              ensure(false, "MarchRunner: pause in addressed element");
+          }
+        }
+      }
+    }
+  }
+  result.elapsed_ns = memory.now_ns() - start_ns;
+  return result;
+}
+
+}  // namespace fastdiag::march

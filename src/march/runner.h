@@ -1,0 +1,51 @@
+// Executes a MarchTest against one memory, word-parallel (the idealized
+// access every BIST architecture ultimately performs), recording every read
+// mismatch.  The serial/SPC/PSC delivery mechanics of the two diagnosis
+// schemes live in src/bisd; this runner is the algorithm-level reference
+// used by the coverage evaluator and the scheme cross-checks.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "march/test.h"
+#include "sram/sram.h"
+#include "sram/timing.h"
+
+namespace fastdiag::march {
+
+struct Mismatch {
+  std::size_t phase = 0;
+  std::size_t element = 0;
+  std::uint32_t addr = 0;
+  BitVector expected;
+  BitVector actual;
+};
+
+struct RunResult {
+  std::vector<Mismatch> mismatches;
+  std::uint64_t ops = 0;        ///< operations issued (pauses included)
+  std::uint64_t elapsed_ns = 0; ///< simulated time consumed by the run
+
+  [[nodiscard]] bool detected() const { return !mismatches.empty(); }
+
+  /// Cells implicated by at least one mismatching read bit.
+  [[nodiscard]] std::set<sram::CellCoord> suspect_cells() const;
+};
+
+class MarchRunner {
+ public:
+  /// @p clock is the per-operation cycle time (default 10 ns, the paper's t).
+  explicit MarchRunner(sram::ClockDomain clock = {}) : clock_(clock) {}
+
+  /// Runs @p test on @p memory.  The test's background width must be >= the
+  /// memory width; wider backgrounds are truncated to the low bits, exactly
+  /// as the MSB-first SPC does for narrower memories (Sec. 3.2).
+  RunResult run(sram::Sram& memory, const MarchTest& test) const;
+
+ private:
+  sram::ClockDomain clock_;
+};
+
+}  // namespace fastdiag::march

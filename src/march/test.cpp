@@ -1,0 +1,99 @@
+#include "march/test.h"
+
+#include "util/require.h"
+
+namespace fastdiag::march {
+
+MarchTest::MarchTest(std::string name, std::vector<MarchPhase> phases)
+    : name_(std::move(name)), phases_(std::move(phases)) {
+  require(!name_.empty(), "MarchTest: name must not be empty");
+  require(!phases_.empty(), "MarchTest: at least one phase required");
+  const std::size_t w = phases_.front().background.width();
+  require(w > 0, "MarchTest: background width must be > 0");
+  for (const auto& phase : phases_) {
+    require(phase.background.width() == w,
+            "MarchTest '" + name_ + "': inconsistent background widths");
+    require(!phase.elements.empty(),
+            "MarchTest '" + name_ + "': empty phase");
+    for (const auto& element : phase.elements) {
+      require(!element.ops.empty(),
+              "MarchTest '" + name_ + "': element without ops");
+      for (const auto& op : element.ops) {
+        // Pauses are wall-clock waits of the whole array; they only make
+        // sense in non-addressed `once` elements.
+        require((op.kind == MarchOpKind::pause) ==
+                    (element.order == AddrOrder::once),
+                "MarchTest '" + name_ +
+                    "': pause ops belong in `once` elements and vice versa");
+      }
+    }
+  }
+}
+
+std::size_t MarchTest::width() const {
+  ensure(!phases_.empty(), "MarchTest::width: empty test");
+  return phases_.front().background.width();
+}
+
+std::uint64_t MarchTest::op_count(std::uint64_t words) const {
+  std::uint64_t ops = 0;
+  for (const auto& phase : phases_) {
+    for (const auto& element : phase.elements) {
+      const std::uint64_t repeat =
+          element.order == AddrOrder::once ? 1 : words;
+      ops += repeat * element.ops.size();
+    }
+  }
+  return ops;
+}
+
+std::uint64_t MarchTest::reads_per_address() const {
+  std::uint64_t reads = 0;
+  for (const auto& phase : phases_) {
+    for (const auto& element : phase.elements) {
+      reads += element.read_count();
+    }
+  }
+  return reads;
+}
+
+std::uint64_t MarchTest::writes_per_address() const {
+  std::uint64_t writes = 0;
+  for (const auto& phase : phases_) {
+    for (const auto& element : phase.elements) {
+      writes += element.write_count();
+    }
+  }
+  return writes;
+}
+
+std::uint64_t MarchTest::total_pause_ns() const {
+  std::uint64_t ns = 0;
+  for (const auto& phase : phases_) {
+    for (const auto& element : phase.elements) {
+      for (const auto& op : element.ops) {
+        if (op.kind == MarchOpKind::pause) {
+          ns += op.pause_ns;
+        }
+      }
+    }
+  }
+  return ns;
+}
+
+std::string MarchTest::to_string() const {
+  std::string out = name_ + ":\n";
+  for (const auto& phase : phases_) {
+    out += "  bg=" + phase.background.to_string() + ": {";
+    for (std::size_t i = 0; i < phase.elements.size(); ++i) {
+      if (i != 0) {
+        out += "; ";
+      }
+      out += phase.elements[i].to_string();
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace fastdiag::march

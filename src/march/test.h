@@ -1,0 +1,57 @@
+// A complete March test: one or more phases, each running a list of March
+// elements under one data background.
+//
+// Classical bit-oriented tests have a single phase with the solid
+// background; March CW runs March C- under the solid background and a
+// shorter top-up element set under each stripe background.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "march/element.h"
+#include "util/bitvec.h"
+
+namespace fastdiag::march {
+
+struct MarchPhase {
+  BitVector background;
+  std::vector<MarchElement> elements;
+};
+
+class MarchTest {
+ public:
+  MarchTest() = default;
+  MarchTest(std::string name, std::vector<MarchPhase> phases);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<MarchPhase>& phases() const {
+    return phases_;
+  }
+
+  /// Word width the test was built for (width of the backgrounds).
+  [[nodiscard]] std::size_t width() const;
+
+  /// Total operations for a memory of @p words addresses (pause ops count
+  /// as one operation; their wall-clock cost is separate).
+  [[nodiscard]] std::uint64_t op_count(std::uint64_t words) const;
+
+  /// Sum of reads per address over all elements ("5" for March C-).
+  [[nodiscard]] std::uint64_t reads_per_address() const;
+
+  /// Sum of writes (incl. NWRC) per address over all elements.
+  [[nodiscard]] std::uint64_t writes_per_address() const;
+
+  /// Total pause time contained in the test, per full run.
+  [[nodiscard]] std::uint64_t total_pause_ns() const;
+
+  /// Multi-line description: name, then one line per phase.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::string name_;
+  std::vector<MarchPhase> phases_;
+};
+
+}  // namespace fastdiag::march

@@ -1,0 +1,81 @@
+#include "nwrtm/nwrtm.h"
+
+namespace fastdiag::nwrtm {
+
+void NwrtmController::assert_mode() {
+  if (!asserted_) {
+    asserted_ = true;
+    ++toggles_;
+  }
+}
+
+void NwrtmController::deassert_mode() {
+  if (asserted_) {
+    asserted_ = false;
+    ++toggles_;
+  }
+}
+
+void NwrtmController::write(sram::Sram& memory, std::uint32_t addr,
+                            const BitVector& value) {
+  if (asserted_) {
+    memory.nwrc_write(addr, value);
+  } else {
+    memory.write(addr, value);
+  }
+}
+
+namespace {
+
+/// Sweeps one polarity: normal-write ~v everywhere, NWRC-write v, read.
+void nwrc_sweep(sram::Sram& memory, bool v, DrfProbeResult& result) {
+  const std::uint32_t c = memory.bits();
+  const BitVector target(c, v);
+  const BitVector opposite(c, !v);
+  for (std::uint32_t addr = 0; addr < memory.words(); ++addr) {
+    memory.write(addr, opposite);
+    memory.nwrc_write(addr, target);
+    const BitVector got = memory.read(addr);
+    result.ops += 3;
+    for (std::uint32_t j = 0; j < c; ++j) {
+      if (got.get(j) != v) {
+        result.suspects.insert({addr, j});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+DrfProbeResult nwrtm_drf_probe(sram::Sram& memory) {
+  DrfProbeResult result;
+  nwrc_sweep(memory, true, result);   // finds DRF1 (open pull-up on the '1' node)
+  nwrc_sweep(memory, false, result);  // finds DRF0
+  return result;
+}
+
+DrfProbeResult delay_drf_probe(sram::Sram& memory, std::uint64_t pause_ns) {
+  DrfProbeResult result;
+  const std::uint32_t c = memory.bits();
+  for (const bool v : {false, true}) {
+    const BitVector pattern(c, v);
+    for (std::uint32_t addr = 0; addr < memory.words(); ++addr) {
+      memory.write(addr, pattern);
+      ++result.ops;
+    }
+    memory.advance_time_ns(pause_ns);
+    result.pause_ns += pause_ns;
+    for (std::uint32_t addr = 0; addr < memory.words(); ++addr) {
+      const BitVector got = memory.read(addr);
+      ++result.ops;
+      for (std::uint32_t j = 0; j < c; ++j) {
+        if (got.get(j) != v) {
+          result.suspects.insert({addr, j});
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fastdiag::nwrtm

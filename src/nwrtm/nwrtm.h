@@ -1,0 +1,67 @@
+// No Write Recovery Test Mode (Sec. 3.4, ref [11]).
+//
+// A single global control gate disables the bitline precharge of every
+// e-SRAM during DRF diagnosis; the NWRTM signal is routed to all memories
+// and driven by the BISD control generator.  While asserted, write cycles
+// become No-Write-Recovery cycles: the rising bitline stays at float GND,
+// so only a healthy pull-up can flip a cell — open-pull-up (DRF) cells fail
+// immediately, replacing the classical 100 ms-per-state retention pause.
+//
+// NwrtmController models the global signal plus the cycle cost of toggling
+// it (the control settle the fast scheme charges 2c cycles for, Eq. (4));
+// DrfProbe offers the two ways to find retention faults — NWRC-based and
+// delay-based — as directly comparable utilities.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "sram/cell_array.h"
+#include "sram/sram.h"
+
+namespace fastdiag::nwrtm {
+
+class NwrtmController {
+ public:
+  /// @p toggle_cost_cycles: controller cycles consumed by each assert /
+  /// deassert for the control line to settle across the SoC.
+  explicit NwrtmController(std::uint64_t toggle_cost_cycles = 0)
+      : toggle_cost_cycles_(toggle_cost_cycles) {}
+
+  void assert_mode();
+  void deassert_mode();
+  [[nodiscard]] bool asserted() const { return asserted_; }
+
+  /// Writes through the mode: an NWRC while asserted, a normal write
+  /// otherwise.  Lets March executors issue one call for both op kinds.
+  void write(sram::Sram& memory, std::uint32_t addr, const BitVector& value);
+
+  [[nodiscard]] std::uint64_t toggles() const { return toggles_; }
+  [[nodiscard]] std::uint64_t toggle_cycles() const {
+    return toggles_ * toggle_cost_cycles_;
+  }
+
+ private:
+  bool asserted_ = false;
+  std::uint64_t toggles_ = 0;
+  std::uint64_t toggle_cost_cycles_;
+};
+
+/// Outcome of a stand-alone DRF probe of one memory.
+struct DrfProbeResult {
+  std::set<sram::CellCoord> suspects;  ///< cells that failed the probe
+  std::uint64_t ops = 0;               ///< memory operations issued
+  std::uint64_t pause_ns = 0;          ///< wall-clock waits consumed
+};
+
+/// NWRC-based probe: for each state v in {1, 0}: write ~v normally, NWRC
+/// write v, read back — a cell that did not flip carries a DRF on the
+/// v-holding node.  No waits at all.
+[[nodiscard]] DrfProbeResult nwrtm_drf_probe(sram::Sram& memory);
+
+/// Classical delay-based probe: write v, wait @p pause_ns, read back, for
+/// both states.  Costs two pauses (the paper's 200 ms).
+[[nodiscard]] DrfProbeResult delay_drf_probe(
+    sram::Sram& memory, std::uint64_t pause_ns = 100'000'000);
+
+}  // namespace fastdiag::nwrtm

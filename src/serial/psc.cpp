@@ -1,0 +1,30 @@
+#include "serial/psc.h"
+
+#include "util/require.h"
+
+namespace fastdiag::serial {
+
+ParallelToSerialConverter::ParallelToSerialConverter(std::size_t width)
+    : stages_(width) {
+  require(width > 0, "PSC: width must be > 0");
+}
+
+void ParallelToSerialConverter::capture(const BitVector& response) {
+  require(response.width() == stages_.width(), "PSC::capture: width mismatch");
+  stages_ = response;
+  next_ = 0;
+  remaining_ = stages_.width();
+}
+
+bool ParallelToSerialConverter::shift_out() {
+  ++shift_clocks_;
+  if (remaining_ == 0) {
+    return false;  // the chain clocks zeros once drained
+  }
+  const bool bit = stages_.get(next_);
+  ++next_;
+  --remaining_;
+  return bit;
+}
+
+}  // namespace fastdiag::serial

@@ -1,0 +1,45 @@
+// Parallel-to-Serial Converter (Fig. 5).
+//
+// Scan-type DFFs separate the memory outputs from the shifting path: with
+// scan_en low a clock captures the memory's read data in parallel; with
+// scan_en high each clock serializes one bit back to the BISD controller,
+// LSB first.  While the PSC shifts, the memory sits in idle (or read-with-
+// data-ignored) mode, so the shift path never runs through memory cells and
+// nothing can mask a downstream fault (Sec. 3.3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bitvec.h"
+
+namespace fastdiag::serial {
+
+class ParallelToSerialConverter {
+ public:
+  explicit ParallelToSerialConverter(std::size_t width);
+
+  [[nodiscard]] std::size_t width() const { return stages_.width(); }
+
+  /// scan_en = 0 capture clock: latches @p response (memory width).
+  void capture(const BitVector& response);
+
+  /// scan_en = 1 shift clock: emits the next bit, LSB first.  Shifting more
+  /// than width() times after a capture returns the zero fill the controller
+  /// clocks through the tail of the chain.
+  bool shift_out();
+
+  /// Bits of the current capture still unshifted.
+  [[nodiscard]] std::size_t remaining() const { return remaining_; }
+
+  /// Total shift clocks seen (for cycle accounting cross-checks).
+  [[nodiscard]] std::uint64_t shift_clocks() const { return shift_clocks_; }
+
+ private:
+  BitVector stages_;
+  std::size_t next_ = 0;       ///< index of the next bit to emit
+  std::size_t remaining_ = 0;  ///< valid bits left from the last capture
+  std::uint64_t shift_clocks_ = 0;
+};
+
+}  // namespace fastdiag::serial

@@ -1,0 +1,60 @@
+#include "serial/serial_interface.h"
+
+#include "util/require.h"
+
+namespace fastdiag::serial {
+
+BidiSerialInterface::BidiSerialInterface(sram::Sram& memory)
+    : memory_(memory) {}
+
+SerialPassResult BidiSerialInterface::pass(ShiftDirection direction,
+                                           const BitVector& pattern) {
+  require(pattern.width() == memory_.bits(),
+          "BidiSerialInterface: pattern width mismatch");
+  return pass(direction, [&pattern](std::uint32_t) { return pattern; });
+}
+
+SerialPassResult BidiSerialInterface::pass(
+    ShiftDirection direction,
+    const std::function<BitVector(std::uint32_t)>& pattern_for) {
+  const std::uint32_t words = memory_.words();
+  const std::uint32_t c = memory_.bits();
+
+  SerialPassResult result;
+  result.observed.reserve(words);
+  result.addresses.reserve(words);
+
+  for (std::uint32_t addr = 0; addr < words; ++addr) {
+    const BitVector pattern = pattern_for(addr);
+    require(pattern.width() == c,
+            "BidiSerialInterface: pattern width mismatch");
+    BitVector observed(c);
+    for (std::uint32_t k = 0; k < c; ++k) {
+      const BitVector word = memory_.read(addr);
+      BitVector next(c);
+      if (direction == ShiftDirection::right) {
+        // Exit at bit c-1; cell c-1's current content is due at clock k for
+        // original position c-1-k.
+        observed.set(c - 1 - k, word.get(c - 1));
+        for (std::uint32_t j = c - 1; j > 0; --j) {
+          next.set(j, word.get(j - 1));
+        }
+        next.set(0, pattern.get(c - 1 - k));  // MSB first into bit 0
+      } else {
+        observed.set(k, word.get(0));
+        for (std::uint32_t j = 0; j + 1 < c; ++j) {
+          next.set(j, word.get(j + 1));
+        }
+        next.set(c - 1, pattern.get(k));  // LSB first into bit c-1
+      }
+      memory_.write(addr, next);
+    }
+    result.observed.push_back(std::move(observed));
+    result.addresses.push_back(addr);
+    result.cycles += c;
+  }
+  total_cycles_ += result.cycles;
+  return result;
+}
+
+}  // namespace fastdiag::serial

@@ -1,0 +1,34 @@
+// A plain DFF shift register, the building block of the SPC and PSC.
+#pragma once
+
+#include <cstddef>
+
+#include "util/bitvec.h"
+
+namespace fastdiag::serial {
+
+class ShiftRegister {
+ public:
+  /// @p width stages, all cleared.
+  explicit ShiftRegister(std::size_t width);
+
+  [[nodiscard]] std::size_t width() const { return bits_.width(); }
+
+  /// One clock: @p in enters stage 0, every stage moves up one position,
+  /// and the former top stage (width-1) falls out and is returned.
+  bool shift_in(bool in);
+
+  /// Parallel load (width must match).
+  void load(const BitVector& value);
+
+  /// Parallel view of the stages (bit i = stage i).
+  [[nodiscard]] const BitVector& stages() const { return bits_; }
+
+  /// Clears every stage.
+  void reset();
+
+ private:
+  BitVector bits_;
+};
+
+}  // namespace fastdiag::serial

@@ -1,0 +1,24 @@
+#include "serial/spc.h"
+
+#include "util/require.h"
+
+namespace fastdiag::serial {
+
+SerialToParallelConverter::SerialToParallelConverter(std::size_t width)
+    : chain_(width) {}
+
+void SerialToParallelConverter::shift_in(bool bit) {
+  (void)chain_.shift_in(bit);
+  ++clocks_;
+}
+
+std::size_t SerialToParallelConverter::deliver(const BitVector& pattern) {
+  require(pattern.width() >= chain_.width(),
+          "SPC::deliver: pattern narrower than converter");
+  for (std::size_t i = pattern.width(); i-- > 0;) {
+    shift_in(pattern.get(i));  // MSB first
+  }
+  return pattern.width();
+}
+
+}  // namespace fastdiag::serial

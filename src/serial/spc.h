@@ -1,0 +1,48 @@
+// Serial-to-Parallel Converter (Fig. 4).
+//
+// The BISD controller's Data Background Generator serializes the pattern for
+// the *widest* memory (width c) and every memory's local SPC picks it up.
+// Sec. 3.2's key design point: both the delivery and the conversion run
+// MSB first.  A narrower SPC (width c' < c) then ends the delivery holding
+// exactly DP[c'-1:0] — the low bits of the pattern — because the high
+// (c - c') bits pass through and fall off.  LSB-first delivery would instead
+// leave DP[c-1 : c-c'], losing the intended low bits and costing coverage.
+#pragma once
+
+#include <cstddef>
+
+#include "serial/shift_register.h"
+#include "util/bitvec.h"
+
+namespace fastdiag::serial {
+
+class SerialToParallelConverter {
+ public:
+  /// @p width is the attached memory's IO width c'.
+  explicit SerialToParallelConverter(std::size_t width);
+
+  [[nodiscard]] std::size_t width() const { return chain_.width(); }
+
+  /// One delivery clock.  Bits arrive MSB first; the newest bit enters
+  /// stage 0 and older bits move up, so after a full delivery stage j holds
+  /// DP[j] and only the high (c - c') bits have fallen off the top.
+  void shift_in(bool bit);
+
+  /// Full delivery of @p pattern (width >= this converter's width): shifts
+  /// pattern.width() clocks, MSB first.  Returns the number of clocks.
+  std::size_t deliver(const BitVector& pattern);
+
+  /// The pattern currently latched, applied to the memory in parallel.
+  [[nodiscard]] const BitVector& parallel_out() const {
+    return chain_.stages();
+  }
+
+  /// Total delivery clocks seen (for cycle accounting cross-checks).
+  [[nodiscard]] std::uint64_t clocks() const { return clocks_; }
+
+ private:
+  ShiftRegister chain_;
+  std::uint64_t clocks_ = 0;
+};
+
+}  // namespace fastdiag::serial

@@ -1,0 +1,54 @@
+#include "sram/cell_array.h"
+
+#include <string>
+
+#include "util/require.h"
+
+namespace fastdiag::sram {
+
+CellArray::CellArray(std::uint32_t rows, std::uint32_t bits)
+    : rows_(rows), bits_(bits) {
+  require(rows > 0 && bits > 0, "CellArray: rows and bits must be > 0");
+  data_.assign(rows, BitVector(bits, false));
+}
+
+void CellArray::check(CellCoord cell) const {
+  require_in_range(cell.row < rows_ && cell.bit < bits_,
+                   "CellArray: cell (" + std::to_string(cell.row) + "," +
+                       std::to_string(cell.bit) + ") outside " +
+                       std::to_string(rows_) + "x" + std::to_string(bits_));
+}
+
+bool CellArray::get(CellCoord cell) const {
+  check(cell);
+  return data_[cell.row].get(cell.bit);
+}
+
+void CellArray::set(CellCoord cell, bool value) {
+  check(cell);
+  data_[cell.row].set(cell.bit, value);
+}
+
+BitVector CellArray::get_row(std::uint32_t row) const {
+  check(CellCoord{row, 0});
+  return data_[row];
+}
+
+void CellArray::set_row(std::uint32_t row, const BitVector& value) {
+  check(CellCoord{row, 0});
+  require(value.width() == bits_, "CellArray::set_row: width mismatch");
+  data_[row] = value;
+}
+
+void CellArray::fill(bool value) {
+  for (auto& row : data_) {
+    row.fill(value);
+  }
+}
+
+std::uint64_t CellArray::flat_index(CellCoord cell) const {
+  check(cell);
+  return static_cast<std::uint64_t>(cell.row) * bits_ + cell.bit;
+}
+
+}  // namespace fastdiag::sram

@@ -1,0 +1,59 @@
+// Raw logical storage of an SRAM cell matrix.
+//
+// CellArray holds only bit values; all defect behaviour is layered on top by
+// a FaultBehavior (see fault_behavior.h).  Keeping the storage dumb lets the
+// fault engine mutate arbitrary cells (coupling faults touch victims far away
+// from the accessed word).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvec.h"
+
+namespace fastdiag::sram {
+
+/// Physical coordinate of one cell: (row, bit-within-row).
+struct CellCoord {
+  std::uint32_t row = 0;
+  std::uint32_t bit = 0;
+
+  friend bool operator==(const CellCoord&, const CellCoord&) = default;
+  /// Lexicographic order so coordinates can key ordered containers.
+  friend auto operator<=>(const CellCoord&, const CellCoord&) = default;
+};
+
+class CellArray {
+ public:
+  CellArray(std::uint32_t rows, std::uint32_t bits);
+
+  [[nodiscard]] std::uint32_t rows() const { return rows_; }
+  [[nodiscard]] std::uint32_t bits() const { return bits_; }
+
+  /// Reads one cell.  Throws std::out_of_range outside the matrix.
+  [[nodiscard]] bool get(CellCoord cell) const;
+
+  /// Writes one cell.
+  void set(CellCoord cell, bool value);
+
+  /// Reads a whole row as a BitVector of width bits().
+  [[nodiscard]] BitVector get_row(std::uint32_t row) const;
+
+  /// Writes a whole row; the vector width must equal bits().
+  void set_row(std::uint32_t row, const BitVector& value);
+
+  /// Sets every cell to @p value.
+  void fill(bool value);
+
+  /// Linear index of a cell (row-major), for dense side tables.
+  [[nodiscard]] std::uint64_t flat_index(CellCoord cell) const;
+
+ private:
+  void check(CellCoord cell) const;
+
+  std::uint32_t rows_;
+  std::uint32_t bits_;
+  std::vector<BitVector> data_;
+};
+
+}  // namespace fastdiag::sram

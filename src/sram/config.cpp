@@ -1,0 +1,23 @@
+#include "sram/config.h"
+
+#include "util/require.h"
+
+namespace fastdiag::sram {
+
+void SramConfig::validate() const {
+  require(!name.empty(), "SramConfig: name must not be empty");
+  require(words > 0, "SramConfig '" + name + "': words must be > 0");
+  require(bits > 0, "SramConfig '" + name + "': bits must be > 0");
+  require(retention_ns > 0,
+          "SramConfig '" + name + "': retention_ns must be > 0");
+}
+
+SramConfig benchmark_sram(const std::string& name) {
+  SramConfig config;
+  config.name = name;
+  config.words = 512;
+  config.bits = 100;
+  return config;
+}
+
+}  // namespace fastdiag::sram

@@ -1,0 +1,56 @@
+// Static description of one embedded SRAM instance.
+//
+// The paper's SoC contains many small, *heterogeneous* e-SRAMs; the shared
+// BISD controller is dimensioned by the largest capacity (n) and the widest
+// IO count (c) among them (Sec. 3.1).  SramConfig carries exactly the
+// parameters that matter for the diagnosis schemes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fastdiag::sram {
+
+struct SramConfig {
+  /// Instance name, used in diagnosis logs and reports.
+  std::string name = "sram";
+
+  /// Number of words (the paper's n).  Must be > 0.
+  std::uint32_t words = 0;
+
+  /// IO width in bits (the paper's c).  Must be > 0.
+  std::uint32_t bits = 0;
+
+  /// Whether the memory has an idle/no-op mode.  When absent, the fast
+  /// scheme keeps the memory in read mode with data ignored while the PSC
+  /// shifts (Sec. 3.3).
+  bool has_idle_mode = true;
+
+  /// Spare rows available for repair (the per-memory "backup memory" of
+  /// Fig. 1/3).
+  std::uint32_t spare_rows = 2;
+
+  /// Spare columns (redundant bit lanes swapped in by the column mux).
+  /// Zero by default — the paper's flow is row/word oriented; column
+  /// spares are this library's extension for 2-D repair studies.
+  std::uint32_t spare_cols = 0;
+
+  /// Data retention threshold of a DRF-defective cell: a cell subject to a
+  /// DRF loses the affected value after holding it this long.  The classical
+  /// external test waits 100 ms per state, i.e. longer than this threshold.
+  std::uint64_t retention_ns = 50'000'000;  // 50 ms
+
+  /// Throws std::invalid_argument when the configuration is unusable.
+  void validate() const;
+
+  /// words * bits.
+  [[nodiscard]] std::uint64_t cell_count() const {
+    return static_cast<std::uint64_t>(words) * bits;
+  }
+};
+
+/// Benchmark e-SRAM of the paper's case study (ref [16]):
+/// n = 512 words, c = 100 IO bits.
+[[nodiscard]] SramConfig benchmark_sram(const std::string& name = "bench512x100");
+
+}  // namespace fastdiag::sram

@@ -1,0 +1,65 @@
+#include "sram/electrical.h"
+
+namespace fastdiag::sram {
+
+BitlinePair bitline_conditioning(bool target, bool nwrtm) {
+  // Writing '1': BLb pulls node B to true GND; BL is the rising side.
+  // Writing '0': symmetric.
+  if (target) {
+    return BitlinePair{nwrtm ? BitlineState::float_gnd
+                             : BitlineState::driven_vcc,
+                       BitlineState::driven_gnd};
+  }
+  return BitlinePair{BitlineState::driven_gnd,
+                     nwrtm ? BitlineState::float_gnd
+                           : BitlineState::driven_vcc};
+}
+
+void SixTCell::settle(std::uint64_t now_ns, std::uint64_t retention_ns) {
+  // An open pull-up cannot replenish the leakage of the node that should sit
+  // at Vcc; after retention_ns the latch tips over to the opposite state.
+  const bool holding_node_broken =
+      value_ ? pullup_a_open_ : pullup_b_open_;
+  if (holding_node_broken && now_ns >= value_since_ns_ &&
+      now_ns - value_since_ns_ >= retention_ns) {
+    value_ = !value_;
+    value_since_ns_ = now_ns;
+  }
+}
+
+bool SixTCell::write_cycle(bool target, const BitlinePair& lines,
+                           std::uint64_t now_ns,
+                           std::uint64_t retention_ns) {
+  settle(now_ns, retention_ns);
+  if (value_ == target) {
+    // No transition required; the falling side is (re)driven anyway, which
+    // refreshes the stored charge.
+    value_since_ns_ = now_ns;
+    return true;
+  }
+
+  // The node that must rise is A for target==1, B for target==0.  It can
+  // reach Vcc through its own pull-up PMOS (if intact) or through an
+  // actively driven bitline; "float GND" provides neither charge nor drive.
+  const bool rising_pullup_open = target ? pullup_a_open_ : pullup_b_open_;
+  const BitlineState rising_line = target ? lines.bl : lines.blb;
+  const bool bitline_supplies_high = rising_line == BitlineState::driven_vcc;
+
+  // The falling node must be pulled to GND by its bitline for any flip.
+  const BitlineState falling_line = target ? lines.blb : lines.bl;
+  const bool falling_driven_low = falling_line == BitlineState::driven_gnd;
+
+  if (falling_driven_low && (!rising_pullup_open || bitline_supplies_high)) {
+    value_ = target;
+    value_since_ns_ = now_ns;
+    return true;
+  }
+  return false;  // write recovery failed: the cell keeps its old value
+}
+
+bool SixTCell::read_cycle(std::uint64_t now_ns, std::uint64_t retention_ns) {
+  settle(now_ns, retention_ns);
+  return value_;
+}
+
+}  // namespace fastdiag::sram

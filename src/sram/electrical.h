@@ -1,0 +1,74 @@
+// Switch-level model of a 6T SRAM cell and its bitline conditioning,
+// sufficient to reproduce the Fig. 6 reasoning of the paper:
+//
+//  * a normal write drives both bitlines, so it flips even a cell whose
+//    pull-up PMOS is open (the written value then *decays* — that is the
+//    data retention fault);
+//  * a No-Write-Recovery Cycle (NWRC) leaves the rising bitline at
+//    "float GND", so the only pull-up path is the cell's own PMOS — a good
+//    cell flips, an open-pull-up cell does not.
+//
+// The system-level simulations use the equivalent logical DRF model in
+// src/faults; tests/test_nwrtm.cpp checks the two models agree.
+#pragma once
+
+#include <cstdint>
+
+namespace fastdiag::sram {
+
+/// Electrical state of one bitline during a write cycle.
+enum class BitlineState {
+  driven_vcc,  ///< actively driven to Vcc by the write driver
+  driven_gnd,  ///< actively driven to GND ("true GND")
+  float_gnd,   ///< discharged but not driven ("float GND", NWRC only)
+  precharged,  ///< precharged high, not driven (read condition)
+};
+
+/// Bitline conditioning for a write of @p target under normal or NWRC mode.
+struct BitlinePair {
+  BitlineState bl;
+  BitlineState blb;
+};
+
+/// Returns the (BL, BLb) conditioning the precharge/write circuitry of
+/// Fig. 6 produces: normal writes drive the rising side to Vcc; with the
+/// NWRTM signal asserted the rising side is left at float GND.
+[[nodiscard]] BitlinePair bitline_conditioning(bool target, bool nwrtm);
+
+/// One 6T cell with independently breakable pull-up PMOS transistors.
+/// The logical value is the state of storage node A; node B is its
+/// complement in a healthy, settled cell.
+class SixTCell {
+ public:
+  SixTCell() = default;
+
+  /// Manufacturing defects: open pull-up on the node that stores the value
+  /// ('1' on node A side, '0' meaning node B holds the '1' level).
+  void break_pullup_a() { pullup_a_open_ = true; }
+  void break_pullup_b() { pullup_b_open_ = true; }
+  [[nodiscard]] bool pullup_a_open() const { return pullup_a_open_; }
+  [[nodiscard]] bool pullup_b_open() const { return pullup_b_open_; }
+
+  /// Applies one write cycle with explicit bitline conditioning at simulated
+  /// time @p now_ns.  Returns true when the cell ends up holding @p target.
+  bool write_cycle(bool target, const BitlinePair& lines,
+                   std::uint64_t now_ns, std::uint64_t retention_ns);
+
+  /// Non-destructive read at @p now_ns; evaluates pending retention decay
+  /// first.  @p retention_ns is the decay threshold of a defective node.
+  [[nodiscard]] bool read_cycle(std::uint64_t now_ns,
+                                std::uint64_t retention_ns);
+
+  /// Value without decay evaluation (for test introspection).
+  [[nodiscard]] bool raw_value() const { return value_; }
+
+ private:
+  void settle(std::uint64_t now_ns, std::uint64_t retention_ns);
+
+  bool value_ = false;
+  bool pullup_a_open_ = false;
+  bool pullup_b_open_ = false;
+  std::uint64_t value_since_ns_ = 0;
+};
+
+}  // namespace fastdiag::sram

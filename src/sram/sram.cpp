@@ -1,0 +1,195 @@
+#include "sram/sram.h"
+
+#include <string>
+
+#include "util/require.h"
+
+namespace fastdiag::sram {
+
+Sram::Sram(SramConfig config, std::unique_ptr<FaultBehavior> behavior)
+    : config_(std::move(config)),
+      behavior_(behavior ? std::move(behavior)
+                         : std::make_unique<FaultFreeBehavior>()),
+      cells_(config_.words, config_.bits) {
+  config_.validate();
+  behavior_->attach(config_);
+  sense_latch_.assign(config_.bits, false);
+  row_remap_.assign(config_.words, std::nullopt);
+  if (config_.spare_rows > 0) {
+    spare_cells_.emplace(config_.spare_rows, config_.bits);
+    spare_in_use_.assign(config_.spare_rows, false);
+  }
+  col_remap_.assign(config_.bits, std::nullopt);
+  if (config_.spare_cols > 0) {
+    spare_col_cells_.emplace(config_.words, config_.spare_cols);
+    col_spare_in_use_.assign(config_.spare_cols, false);
+  }
+}
+
+void Sram::check_port_usable(std::uint32_t addr) const {
+  ensure(mode_ != Mode::idle,
+         "Sram '" + config_.name + "': data port used while idle");
+  require_in_range(addr < config_.words,
+                   "Sram '" + config_.name + "': address " +
+                       std::to_string(addr) + " out of range");
+}
+
+BitVector Sram::read(std::uint32_t addr) {
+  check_port_usable(addr);
+  ++counters_.reads;
+
+  if (row_remap_[addr]) {
+    const BitVector value = spare_cells_->get_row(*row_remap_[addr]);
+    for (std::uint32_t j = 0; j < config_.bits; ++j) {
+      sense_latch_[j] = value.get(j);
+    }
+    return value;
+  }
+
+  behavior_->decode(addr, decode_scratch_);
+  BitVector result(config_.bits);
+  if (decode_scratch_.empty()) {
+    // Address-decoder fault: no wordline fires.  Both bitlines stay
+    // precharged high, which the sense amplifier resolves as logic '1'.
+    result.fill(true);
+    for (std::uint32_t j = 0; j < config_.bits; ++j) {
+      sense_latch_[j] = true;
+    }
+    return result;
+  }
+
+  for (std::uint32_t j = 0; j < config_.bits; ++j) {
+    if (col_remap_[j]) {
+      // Column mux swap: the value comes from the fault-free spare lane
+      // (still through the shared row decode).
+      bool value = true;
+      for (const auto row : decode_scratch_) {
+        value = value && spare_col_cells_->get({row, *col_remap_[j]});
+      }
+      sense_latch_[j] = value;
+      result.set(j, value);
+      continue;
+    }
+    bool any_driver = false;
+    bool value = true;  // wired-AND start: a stored 0 discharges the bitline
+    for (const auto row : decode_scratch_) {
+      bool drives = true;
+      const bool v =
+          behavior_->read_cell(cells_, CellCoord{row, j}, now_ns_, drives);
+      if (drives) {
+        any_driver = true;
+        value = value && v;
+      }
+    }
+    if (!any_driver) {
+      // Stuck-open cell(s): nothing discharges the bitlines, the sense amp
+      // keeps its previous decision.
+      value = sense_latch_[j];
+    }
+    sense_latch_[j] = value;
+    result.set(j, value);
+  }
+  return result;
+}
+
+void Sram::write_impl(std::uint32_t addr, const BitVector& value,
+                      WriteStyle style) {
+  check_port_usable(addr);
+  require(value.width() == config_.bits,
+          "Sram '" + config_.name + "': write width mismatch");
+
+  if (row_remap_[addr]) {
+    // Spare rows are fault-free replacements; NWRC succeeds like a normal
+    // write on healthy cells.
+    spare_cells_->set_row(*row_remap_[addr], value);
+    return;
+  }
+
+  behavior_->decode(addr, decode_scratch_);
+  behavior_->begin_word_op();
+  for (const auto row : decode_scratch_) {
+    for (std::uint32_t j = 0; j < config_.bits; ++j) {
+      if (col_remap_[j]) {
+        // The defective lane is disconnected; its spare is fault-free, so
+        // NWRC and normal writes behave identically.
+        spare_col_cells_->set({row, *col_remap_[j]}, value.get(j));
+        continue;
+      }
+      behavior_->write_cell(cells_, CellCoord{row, j}, value.get(j), style,
+                            now_ns_);
+    }
+  }
+  behavior_->end_word_op(cells_, now_ns_);
+}
+
+void Sram::write(std::uint32_t addr, const BitVector& value) {
+  ++counters_.writes;
+  write_impl(addr, value, WriteStyle::normal);
+}
+
+void Sram::nwrc_write(std::uint32_t addr, const BitVector& value) {
+  ++counters_.nwrc_writes;
+  write_impl(addr, value, WriteStyle::nwrc);
+}
+
+bool Sram::read_bit(std::uint32_t addr, std::uint32_t bit) {
+  require_in_range(bit < config_.bits,
+                   "Sram '" + config_.name + "': bit index out of range");
+  return read(addr).get(bit);
+}
+
+void Sram::repair_row(std::uint32_t addr, std::uint32_t spare) {
+  require_in_range(addr < config_.words,
+                   "Sram::repair_row: address out of range");
+  require(spare_cells_.has_value() && spare < config_.spare_rows,
+          "Sram '" + config_.name + "': spare index out of range");
+  require(!spare_in_use_[spare],
+          "Sram '" + config_.name + "': spare row already allocated");
+  require(!row_remap_[addr].has_value(),
+          "Sram '" + config_.name + "': address already repaired");
+  row_remap_[addr] = spare;
+  spare_in_use_[spare] = true;
+}
+
+std::uint32_t Sram::spares_used() const {
+  std::uint32_t used = 0;
+  for (const bool b : spare_in_use_) {
+    used += b ? 1u : 0u;
+  }
+  return used;
+}
+
+bool Sram::is_repaired(std::uint32_t addr) const {
+  require_in_range(addr < config_.words,
+                   "Sram::is_repaired: address out of range");
+  return row_remap_[addr].has_value();
+}
+
+void Sram::repair_column(std::uint32_t bit, std::uint32_t spare) {
+  require_in_range(bit < config_.bits,
+                   "Sram::repair_column: bit out of range");
+  require(spare_col_cells_.has_value() && spare < config_.spare_cols,
+          "Sram '" + config_.name + "': spare column index out of range");
+  require(!col_spare_in_use_[spare],
+          "Sram '" + config_.name + "': spare column already allocated");
+  require(!col_remap_[bit].has_value(),
+          "Sram '" + config_.name + "': bit already repaired");
+  col_remap_[bit] = spare;
+  col_spare_in_use_[spare] = true;
+}
+
+std::uint32_t Sram::col_spares_used() const {
+  std::uint32_t used = 0;
+  for (const bool b : col_spare_in_use_) {
+    used += b ? 1u : 0u;
+  }
+  return used;
+}
+
+bool Sram::is_column_repaired(std::uint32_t bit) const {
+  require_in_range(bit < config_.bits,
+                   "Sram::is_column_repaired: bit out of range");
+  return col_remap_[bit].has_value();
+}
+
+}  // namespace fastdiag::sram

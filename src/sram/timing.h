@@ -1,0 +1,32 @@
+// Diagnosis-time bookkeeping shared by the BISD schemes.
+//
+// Both schemes count controller clock cycles (period t, the paper uses
+// t = 10 ns) plus explicit wall-clock pauses (the 100 ms-per-state retention
+// waits of delay-based DRF testing).
+#pragma once
+
+#include <cstdint>
+
+namespace fastdiag::sram {
+
+/// The BISD controller clock.
+struct ClockDomain {
+  /// Clock period in nanoseconds (the paper's t).
+  std::uint64_t period_ns = 10;
+};
+
+/// Accumulated diagnosis time.
+struct CycleCounter {
+  std::uint64_t cycles = 0;    ///< controller clock cycles spent
+  std::uint64_t pause_ns = 0;  ///< explicit waits (retention delays)
+
+  void add_cycles(std::uint64_t n) { cycles += n; }
+  void add_pause_ns(std::uint64_t ns) { pause_ns += ns; }
+
+  /// Total elapsed nanoseconds under clock @p clock.
+  [[nodiscard]] std::uint64_t total_ns(const ClockDomain& clock) const {
+    return cycles * clock.period_ns + pause_ns;
+  }
+};
+
+}  // namespace fastdiag::sram

@@ -1,0 +1,149 @@
+#include "util/bitvec.h"
+
+#include <bit>
+
+#include "util/require.h"
+
+namespace fastdiag {
+
+BitVector::BitVector(std::size_t width, bool fill_value) : width_(width) {
+  words_.assign(word_count(), fill_value ? ~std::uint64_t{0} : 0);
+  trim();
+}
+
+BitVector BitVector::from_string(const std::string& bits) {
+  BitVector result(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const char c = bits[i];
+    require(c == '0' || c == '1',
+            "BitVector::from_string: invalid character in '" + bits + "'");
+    // Leftmost character is the MSB.
+    result.set(bits.size() - 1 - i, c == '1');
+  }
+  return result;
+}
+
+BitVector BitVector::from_value(std::size_t width, std::uint64_t value) {
+  require(width <= kBitsPerWord || (value >> kBitsPerWord) == 0,
+          "BitVector::from_value: value wider than 64 bits");
+  BitVector result(width);
+  for (std::size_t i = 0; i < width && i < kBitsPerWord; ++i) {
+    result.set(i, ((value >> i) & 1u) != 0);
+  }
+  return result;
+}
+
+void BitVector::check_index(std::size_t index) const {
+  require_in_range(index < width_, "BitVector: bit index " +
+                                       std::to_string(index) +
+                                       " out of range for width " +
+                                       std::to_string(width_));
+}
+
+bool BitVector::get(std::size_t index) const {
+  check_index(index);
+  return ((words_[index / kBitsPerWord] >> (index % kBitsPerWord)) & 1u) != 0;
+}
+
+void BitVector::set(std::size_t index, bool value) {
+  check_index(index);
+  const std::uint64_t mask = std::uint64_t{1} << (index % kBitsPerWord);
+  if (value) {
+    words_[index / kBitsPerWord] |= mask;
+  } else {
+    words_[index / kBitsPerWord] &= ~mask;
+  }
+}
+
+void BitVector::fill(bool value) {
+  for (auto& w : words_) {
+    w = value ? ~std::uint64_t{0} : 0;
+  }
+  trim();
+}
+
+void BitVector::flip(std::size_t index) { set(index, !get(index)); }
+
+BitVector BitVector::inverted() const {
+  BitVector result = *this;
+  for (auto& w : result.words_) {
+    w = ~w;
+  }
+  result.trim();
+  return result;
+}
+
+std::size_t BitVector::popcount() const {
+  std::size_t total = 0;
+  for (const auto w : words_) {
+    total += static_cast<std::size_t>(std::popcount(w));
+  }
+  return total;
+}
+
+void BitVector::resize(std::size_t width) {
+  width_ = width;
+  words_.resize(word_count(), 0);
+  trim();
+}
+
+BitVector BitVector::low_bits(std::size_t count) const {
+  require(count <= width_, "BitVector::low_bits: count exceeds width");
+  BitVector result = *this;
+  result.resize(count);
+  return result;
+}
+
+std::uint64_t BitVector::to_value() const {
+  require(width_ <= kBitsPerWord, "BitVector::to_value: width exceeds 64");
+  return words_.empty() ? 0 : words_[0];
+}
+
+std::string BitVector::to_string() const {
+  std::string out;
+  out.reserve(width_);
+  for (std::size_t i = width_; i-- > 0;) {
+    out.push_back(get(i) ? '1' : '0');
+  }
+  return out;
+}
+
+void BitVector::trim() {
+  const std::size_t used = width_ % kBitsPerWord;
+  if (used != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << used) - 1;
+  }
+}
+
+bool operator==(const BitVector& a, const BitVector& b) {
+  return a.width_ == b.width_ && a.words_ == b.words_;
+}
+
+BitVector BitVector::operator^(const BitVector& other) const {
+  require(width_ == other.width_, "BitVector::operator^: width mismatch");
+  BitVector result = *this;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    result.words_[i] ^= other.words_[i];
+  }
+  return result;
+}
+
+BitVector BitVector::operator&(const BitVector& other) const {
+  require(width_ == other.width_, "BitVector::operator&: width mismatch");
+  BitVector result = *this;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    result.words_[i] &= other.words_[i];
+  }
+  return result;
+}
+
+BitVector BitVector::operator|(const BitVector& other) const {
+  require(width_ == other.width_, "BitVector::operator|: width mismatch");
+  BitVector result = *this;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    result.words_[i] |= other.words_[i];
+  }
+  return result;
+}
+
+}  // namespace fastdiag

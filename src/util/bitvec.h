@@ -1,0 +1,95 @@
+// Dynamic fixed-width bit vector.
+//
+// Memory words in this project are up to a few hundred bits wide (the paper's
+// benchmark e-SRAM has c = 100 IO bits), so a single machine word is not
+// enough.  BitVector is the word/data-background type used throughout the
+// simulator: SRAM words, serial streams, comparator expectations.
+//
+// Bit 0 is the least significant bit (LSB); serial MSB-first streams are
+// produced by iterating from bit width-1 down to 0.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fastdiag {
+
+class BitVector {
+ public:
+  /// Creates an empty (width 0) vector.
+  BitVector() = default;
+
+  /// Creates a vector of @p width bits, all initialised to @p fill.
+  explicit BitVector(std::size_t width, bool fill = false);
+
+  /// Builds a vector from a string of '0'/'1' characters, MSB first
+  /// (i.e. "100" has bit 2 set and bits 1,0 clear).
+  [[nodiscard]] static BitVector from_string(const std::string& bits);
+
+  /// Builds a vector of @p width bits from the low bits of @p value.
+  [[nodiscard]] static BitVector from_value(std::size_t width,
+                                            std::uint64_t value);
+
+  /// Number of bits.
+  [[nodiscard]] std::size_t width() const { return width_; }
+
+  /// True when width() == 0.
+  [[nodiscard]] bool empty() const { return width_ == 0; }
+
+  /// Reads bit @p index (0 = LSB).  Throws std::out_of_range when outside
+  /// the vector.
+  [[nodiscard]] bool get(std::size_t index) const;
+
+  /// Writes bit @p index.  Throws std::out_of_range when outside the vector.
+  void set(std::size_t index, bool value);
+
+  /// Sets every bit to @p value.
+  void fill(bool value);
+
+  /// Flips bit @p index.
+  void flip(std::size_t index);
+
+  /// Returns the bitwise complement (same width).
+  [[nodiscard]] BitVector inverted() const;
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t popcount() const;
+
+  /// Grows or shrinks to @p width bits; new bits are cleared.
+  void resize(std::size_t width);
+
+  /// Returns the low @p count bits as a new vector (count <= width()).
+  [[nodiscard]] BitVector low_bits(std::size_t count) const;
+
+  /// Low 64 bits as an integer (width() must be <= 64).
+  [[nodiscard]] std::uint64_t to_value() const;
+
+  /// MSB-first string of '0'/'1'.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const BitVector& a, const BitVector& b);
+  friend bool operator!=(const BitVector& a, const BitVector& b) {
+    return !(a == b);
+  }
+
+  BitVector operator^(const BitVector& other) const;
+  BitVector operator&(const BitVector& other) const;
+  BitVector operator|(const BitVector& other) const;
+
+ private:
+  static constexpr std::size_t kBitsPerWord = 64;
+
+  [[nodiscard]] std::size_t word_count() const {
+    return (width_ + kBitsPerWord - 1) / kBitsPerWord;
+  }
+  void check_index(std::size_t index) const;
+  /// Clears any bits stored above width_ so equality/popcount stay exact.
+  void trim();
+
+  std::size_t width_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace fastdiag

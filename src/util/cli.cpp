@@ -1,0 +1,97 @@
+#include "util/cli.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/require.h"
+
+namespace fastdiag {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  require(argc >= 1, "ArgParser: argc must be at least 1");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::string body = arg.substr(2);
+      const auto eq = body.find('=');
+      if (eq != std::string::npos) {
+        options_[body.substr(0, eq)] = body.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        options_[body] = argv[++i];
+      } else {
+        options_[body] = "true";  // bare flag
+      }
+    } else {
+      positional_.push_back(std::move(arg));
+    }
+  }
+}
+
+std::string ArgParser::get_string(const std::string& name,
+                                  const std::string& def,
+                                  const std::string& help) {
+  help_entries_.push_back({name, def, help});
+  const auto it = options_.find(name);
+  if (it == options_.end()) {
+    return def;
+  }
+  consumed_[name] = true;
+  return it->second;
+}
+
+std::uint64_t ArgParser::get_u64(const std::string& name, std::uint64_t def,
+                                 const std::string& help) {
+  const std::string raw = get_string(name, std::to_string(def), help);
+  try {
+    return std::stoull(raw);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name +
+                                " expects an unsigned integer, got '" + raw +
+                                "'");
+  }
+}
+
+double ArgParser::get_double(const std::string& name, double def,
+                             const std::string& help) {
+  const std::string raw = get_string(name, std::to_string(def), help);
+  try {
+    return std::stod(raw);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name +
+                                " expects a number, got '" + raw + "'");
+  }
+}
+
+bool ArgParser::get_flag(const std::string& name, const std::string& help) {
+  help_entries_.push_back({name, "false", help});
+  const auto it = options_.find(name);
+  if (it == options_.end()) {
+    return false;
+  }
+  consumed_[name] = true;
+  return it->second != "false" && it->second != "0";
+}
+
+void ArgParser::print_help(const std::string& program_summary) const {
+  std::printf("%s\n\nUsage: %s [options]\n\nOptions:\n",
+              program_summary.c_str(), program_.c_str());
+  for (const auto& entry : help_entries_) {
+    std::printf("  --%-18s %s (default: %s)\n", entry.name.c_str(),
+                entry.help.c_str(), entry.default_value.c_str());
+  }
+  std::printf("  --%-18s %s\n", "help", "show this message");
+}
+
+void ArgParser::finish() const {
+  for (const auto& [name, value] : options_) {
+    (void)value;
+    require(consumed_.count(name) != 0, "unknown option --" + name);
+  }
+}
+
+}  // namespace fastdiag

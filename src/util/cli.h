@@ -1,0 +1,63 @@
+// Minimal command-line parsing for the example applications.
+//
+// Supports "--name value", "--name=value" and boolean "--flag" options.
+// Unknown options raise an error so typos do not silently fall back to
+// defaults.  Positional arguments are collected in order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fastdiag {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  /// Declares a string option with a default; returns its value.
+  std::string get_string(const std::string& name, const std::string& def,
+                         const std::string& help);
+
+  /// Declares an unsigned option with a default; returns its value.
+  std::uint64_t get_u64(const std::string& name, std::uint64_t def,
+                        const std::string& help);
+
+  /// Declares a floating-point option with a default; returns its value.
+  double get_double(const std::string& name, double def,
+                    const std::string& help);
+
+  /// Declares a boolean flag; present => true.
+  bool get_flag(const std::string& name, const std::string& help);
+
+  /// True when --help was passed.  Call after declaring every option, then
+  /// print_help() and exit.
+  [[nodiscard]] bool help_requested() const { return help_requested_; }
+
+  /// Prints the accumulated option help to stdout.
+  void print_help(const std::string& program_summary) const;
+
+  /// Throws std::invalid_argument when unconsumed --options remain.
+  void finish() const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  struct HelpEntry {
+    std::string name;
+    std::string default_value;
+    std::string help;
+  };
+
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  mutable std::map<std::string, bool> consumed_;
+  std::vector<std::string> positional_;
+  std::vector<HelpEntry> help_entries_;
+  bool help_requested_ = false;
+};
+
+}  // namespace fastdiag

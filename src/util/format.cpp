@@ -1,0 +1,29 @@
+#include "util/format.h"
+
+#include <cmath>
+
+#include "util/table.h"
+
+namespace fastdiag {
+
+std::string fmt_ns(double ns) {
+  const double abs = std::fabs(ns);
+  if (abs < 1e3) {
+    return fmt_double(ns, 0) + " ns";
+  }
+  if (abs < 1e6) {
+    return fmt_double(ns / 1e3, 2) + " us";
+  }
+  if (abs < 1e9) {
+    return fmt_double(ns / 1e6, 2) + " ms";
+  }
+  return fmt_double(ns / 1e9, 3) + " s";
+}
+
+std::string fmt_ratio(double ratio) { return fmt_double(ratio, 1) + "x"; }
+
+std::string fmt_transistors(std::uint64_t count) {
+  return fmt_count(count) + " T";
+}
+
+}  // namespace fastdiag

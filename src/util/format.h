@@ -1,0 +1,19 @@
+// Human-readable formatting of simulator quantities (times, ratios).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fastdiag {
+
+/// Formats a duration given in nanoseconds with an adaptive unit,
+/// e.g. 12 -> "12 ns", 9984400 -> "9.98 ms".
+[[nodiscard]] std::string fmt_ns(double ns);
+
+/// Formats a reduction factor, e.g. 84.37 -> "84.4x".
+[[nodiscard]] std::string fmt_ratio(double ratio);
+
+/// Formats a transistor count as "N T".
+[[nodiscard]] std::string fmt_transistors(std::uint64_t count);
+
+}  // namespace fastdiag

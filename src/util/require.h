@@ -1,0 +1,37 @@
+// Precondition helpers shared by every fastdiag module.
+//
+// Library code validates its public-API arguments with require() and throws
+// std::invalid_argument / std::out_of_range; internal invariants use
+// ensure() which throws std::logic_error.  Exceptions (rather than assert)
+// keep the behaviour identical in all build types, which matters for a
+// simulator whose tests exercise the error paths.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fastdiag {
+
+/// Throws std::invalid_argument with @p message unless @p condition holds.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) {
+    throw std::invalid_argument(message);
+  }
+}
+
+/// Throws std::out_of_range with @p message unless @p condition holds.
+inline void require_in_range(bool condition, const std::string& message) {
+  if (!condition) {
+    throw std::out_of_range(message);
+  }
+}
+
+/// Throws std::logic_error with @p message unless the internal invariant
+/// @p condition holds.  Use for "cannot happen" states.
+inline void ensure(bool condition, const std::string& message) {
+  if (!condition) {
+    throw std::logic_error(message);
+  }
+}
+
+}  // namespace fastdiag

@@ -1,0 +1,90 @@
+#include "util/rng.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace fastdiag {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = splitmix64(sm);
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  require(bound > 0, "Rng::uniform: bound must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+std::uint64_t Rng::uniform_in(std::uint64_t lo, std::uint64_t hi) {
+  require(lo <= hi, "Rng::uniform_in: lo must not exceed hi");
+  return lo + uniform(hi - lo + 1);
+}
+
+bool Rng::bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return uniform_real() < p;
+}
+
+double Rng::uniform_real() {
+  // 53 random mantissa bits -> uniform in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::vector<std::uint64_t> Rng::sample_without_replacement(
+    std::uint64_t population, std::uint64_t count) {
+  require(count <= population,
+          "Rng::sample_without_replacement: count exceeds population");
+  // Floyd's algorithm: O(count) draws, no O(population) storage.
+  std::vector<std::uint64_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t j = population - count; j < population; ++j) {
+    const std::uint64_t t = uniform(j + 1);
+    if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+      chosen.push_back(t);
+    } else {
+      chosen.push_back(j);
+    }
+  }
+  return chosen;
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace fastdiag

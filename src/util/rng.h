@@ -1,0 +1,57 @@
+// Deterministic pseudo-random number generation.
+//
+// Defect injection and workload generation must be reproducible across
+// platforms and standard-library versions, so the project carries its own
+// xoshiro256** implementation (public-domain algorithm by Blackman/Vigna)
+// seeded through SplitMix64, instead of relying on std::mt19937 +
+// distribution objects whose outputs are implementation-defined.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fastdiag {
+
+/// xoshiro256** engine with convenience sampling helpers.
+class Rng {
+ public:
+  /// Seeds the engine; equal seeds give equal sequences on all platforms.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) — bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive — requires lo <= hi.
+  std::uint64_t uniform_in(std::uint64_t lo, std::uint64_t hi);
+
+  /// True with probability @p p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Uniform double in [0, 1).
+  double uniform_real();
+
+  /// Samples @p count distinct values from [0, population) without
+  /// replacement (Floyd's algorithm).  Requires count <= population.
+  std::vector<std::uint64_t> sample_without_replacement(
+      std::uint64_t population, std::uint64_t count);
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform(i));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-memory streams).
+  [[nodiscard]] Rng fork();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace fastdiag

@@ -1,0 +1,103 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "util/require.h"
+
+namespace fastdiag {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  require(!headers_.empty(), "TablePrinter: at least one column required");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  require(cells.size() == headers_.size(),
+          "TablePrinter::add_row: cell count does not match header count");
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TablePrinter::add_separator() { rows_.push_back(Row{true, {}}); }
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t i = 0; i < row.cells.size(); ++i) {
+      widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+  }
+
+  const auto rule = [&os, &widths] {
+    os << '+';
+    for (const auto w : widths) {
+      os << std::string(w + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  const auto line = [&os, &widths](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << ' ' << std::setw(static_cast<int>(widths[i])) << cells[i] << " |";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) {
+    os << title_ << '\n';
+  }
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      rule();
+    } else {
+      line(row.cells);
+    }
+  }
+  rule();
+  for (const auto& note : notes_) {
+    os << "  " << note << '\n';
+  }
+}
+
+std::string TablePrinter::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+std::string fmt_double(double value, int decimals) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(decimals) << value;
+  return oss.str();
+}
+
+std::string fmt_count(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t counter = 0;
+  for (std::size_t i = digits.size(); i-- > 0;) {
+    out.push_back(digits[i]);
+    if (++counter == 3 && i != 0) {
+      out.push_back(',');
+      counter = 0;
+    }
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string fmt_percent(double fraction, int decimals) {
+  return fmt_double(fraction * 100.0, decimals) + "%";
+}
+
+}  // namespace fastdiag

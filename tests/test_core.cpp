@@ -1,0 +1,153 @@
+// Tests for the public DiagnosisSession API (src/core) — end-to-end runs
+// over injected SoCs with scoring and repair.
+#include <gtest/gtest.h>
+
+#include "core/fastdiag.h"
+
+namespace fastdiag::core {
+namespace {
+
+sram::SramConfig small(const std::string& name, std::uint32_t words,
+                       std::uint32_t bits, std::uint32_t spares = 16) {
+  sram::SramConfig config;
+  config.name = name;
+  config.words = words;
+  config.bits = bits;
+  config.spare_rows = spares;
+  return config;
+}
+
+TEST(Session, RequiresAtLeastOneMemory) {
+  DiagnosisSession session;
+  EXPECT_THROW((void)session.run(), std::invalid_argument);
+}
+
+TEST(Session, ValidatesParameters) {
+  DiagnosisSession session;
+  EXPECT_THROW(session.defect_rate(1.5), std::invalid_argument);
+  EXPECT_THROW(session.retention_fraction(-0.1), std::invalid_argument);
+  EXPECT_THROW(session.clock_ns(0), std::invalid_argument);
+}
+
+TEST(Session, FastSchemeFullRecallOnInjectedSoc) {
+  DiagnosisSession session;
+  session.add_sram(small("a", 64, 16))
+      .add_sram(small("b", 32, 8))
+      .defect_rate(0.02)
+      .seed(7);
+  const auto report = session.run();
+  EXPECT_GT(report.injected_faults, 0u);
+  // March CW+NWRTM sees every injected class except some stuck-open cells
+  // (cell_open defects translate to TF or SOF); recall stays high.
+  EXPECT_GE(report.overall_recall(), 0.85);
+  EXPECT_EQ(report.result.iterations, 1u);
+}
+
+TEST(Session, DeterministicUnderSeed) {
+  const auto run = [] {
+    DiagnosisSession session;
+    session.add_sram(small("a", 64, 16)).defect_rate(0.02).seed(99);
+    return session.run();
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.injected_faults, b.injected_faults);
+  EXPECT_EQ(a.result.time.cycles, b.result.time.cycles);
+  EXPECT_EQ(a.result.log.distinct_cell_count(),
+            b.result.log.distinct_cell_count());
+}
+
+TEST(Session, SchemeNamesExposed) {
+  EXPECT_EQ(scheme_choice_name(SchemeChoice::fast), "fast");
+  EXPECT_EQ(scheme_choice_name(SchemeChoice::baseline), "baseline");
+  EXPECT_EQ(scheme_choice_name(SchemeChoice::baseline_with_retention),
+            "baseline-with-retention");
+  EXPECT_EQ(scheme_choice_name(SchemeChoice::fast_without_drf),
+            "fast-without-drf");
+}
+
+TEST(Session, FastBeatsBaselineOnTheSameSoc) {
+  const auto run = [](SchemeChoice choice) {
+    DiagnosisSession session;
+    session.add_sram(small("a", 32, 8, 32))
+        .defect_rate(0.25)  // enough faults to overflow the base part
+        .include_retention_faults(false)
+        .seed(5)
+        .scheme(choice);
+    return session.run();
+  };
+  const auto fast = run(SchemeChoice::fast_without_drf);
+  const auto baseline = run(SchemeChoice::baseline);
+  EXPECT_LT(fast.total_ns, baseline.total_ns);
+  EXPECT_GT(baseline.result.iterations, 1u);
+  EXPECT_EQ(fast.result.iterations, 1u);
+}
+
+TEST(Session, RetentionFaultsNeedTheRightScheme) {
+  const auto run = [](SchemeChoice choice) {
+    DiagnosisSession session;
+    session.add_sram(small("a", 32, 8, 32))
+        .defect_rate(0.01)
+        .include_retention_faults(true)
+        .retention_fraction(1.0)  // plenty of DRFs
+        .seed(13)
+        .scheme(choice);
+    return session.run();
+  };
+  // March CW without NWRTM: the DRFs stay invisible.
+  const auto blind = run(SchemeChoice::fast_without_drf);
+  // With NWRTM everything shows.
+  const auto seeing = run(SchemeChoice::fast);
+  EXPECT_GT(seeing.result.log.distinct_cell_count(),
+            blind.result.log.distinct_cell_count());
+  // The baseline needs the 200 ms pauses for the same coverage.
+  const auto delay = run(SchemeChoice::baseline_with_retention);
+  EXPECT_GT(delay.result.time.pause_ns, 0u);
+  EXPECT_EQ(seeing.result.time.pause_ns, 0u);
+}
+
+TEST(Session, RepairFlowVerifiesClean) {
+  DiagnosisSession session;
+  session.add_sram(small("a", 64, 8, 64))  // spares for every row
+      .defect_rate(0.01)
+      .seed(3)
+      .with_repair(true);
+  const auto report = session.run();
+  ASSERT_TRUE(report.repair.has_value());
+  EXPECT_TRUE(report.repair->fully_repairable());
+  EXPECT_TRUE(report.repair_verified_clean);
+}
+
+TEST(Session, ColumnSpareRepairFlow) {
+  auto config = small("a", 32, 8, 2);
+  config.spare_cols = 4;
+  DiagnosisSession session;
+  session.add_sram(config)
+      .defect_rate(0.02)
+      .include_retention_faults(false)
+      .seed(8)
+      .with_repair(true)
+      .use_column_spares(true);
+  const auto report = session.run();
+  ASSERT_TRUE(report.repair_2d.has_value());
+  EXPECT_FALSE(report.repair.has_value());
+  EXPECT_NE(report.summary().find("spare cols used:"), std::string::npos);
+}
+
+TEST(Session, SummaryMentionsTheKeyNumbers) {
+  DiagnosisSession session;
+  session.add_sram(small("a", 32, 8)).defect_rate(0.02).seed(1);
+  const auto report = session.run();
+  const auto text = report.summary();
+  EXPECT_NE(text.find("scheme:"), std::string::npos);
+  EXPECT_NE(text.find("recall:"), std::string::npos);
+  EXPECT_NE(text.find("diagnosis time:"), std::string::npos);
+}
+
+TEST(Version, Exposed) {
+  EXPECT_STREQ(version(), "1.0.0");
+  EXPECT_EQ(kVersionMajor, 1);
+}
+
+}  // namespace
+}  // namespace fastdiag::core

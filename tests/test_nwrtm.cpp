@@ -1,0 +1,223 @@
+// Unit tests for src/nwrtm: the global NWRTM control, the two DRF probes,
+// and the agreement between the electrical 6T model and the logical DRF
+// fault model.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "faults/fault_set.h"
+#include "nwrtm/nwrtm.h"
+#include "sram/electrical.h"
+#include "sram/sram.h"
+#include "util/rng.h"
+
+namespace fastdiag::nwrtm {
+namespace {
+
+using faults::FaultInstance;
+using faults::FaultKind;
+using sram::CellCoord;
+using sram::Sram;
+using sram::SramConfig;
+
+SramConfig config_8x4() {
+  SramConfig config;
+  config.name = "n8x4";
+  config.words = 8;
+  config.bits = 4;
+  config.retention_ns = 1'000'000;  // 1 ms
+  return config;
+}
+
+Sram faulty(const std::vector<FaultInstance>& instances,
+            SramConfig config = config_8x4()) {
+  return Sram(config, std::make_unique<faults::FaultSet>(instances));
+}
+
+// ------------------------------------------------------------- controller
+
+TEST(NwrtmController, TogglesAreCounted) {
+  NwrtmController controller(/*toggle_cost_cycles=*/4);
+  EXPECT_FALSE(controller.asserted());
+  controller.assert_mode();
+  controller.assert_mode();  // redundant assert: no extra toggle
+  EXPECT_TRUE(controller.asserted());
+  controller.deassert_mode();
+  EXPECT_EQ(controller.toggles(), 2u);
+  EXPECT_EQ(controller.toggle_cycles(), 8u);
+}
+
+TEST(NwrtmController, WriteRoutesThroughMode) {
+  auto memory = faulty({faults::make_cell_fault(FaultKind::drf1, {1, 0})});
+  NwrtmController controller;
+
+  // Mode off: a normal write flips even the DRF cell.
+  controller.write(memory, 1, BitVector::from_string("0001"));
+  EXPECT_EQ(memory.read(1).to_string(), "0001");
+
+  // Reset to 0, then write through the asserted mode: the NWRC fails.
+  controller.write(memory, 1, BitVector::from_string("0000"));
+  controller.assert_mode();
+  controller.write(memory, 1, BitVector::from_string("0001"));
+  EXPECT_EQ(memory.read(1).to_string(), "0000");
+}
+
+// ------------------------------------------------------------------ probes
+
+TEST(NwrtmProbe, FindsExactlyTheDrfCellsWithoutWaiting) {
+  auto memory = faulty({
+      faults::make_cell_fault(FaultKind::drf1, {2, 1}),
+      faults::make_cell_fault(FaultKind::drf0, {5, 3}),
+  });
+  const auto result = nwrtm_drf_probe(memory);
+  EXPECT_EQ(result.pause_ns, 0u);
+  EXPECT_EQ(result.suspects,
+            (std::set<CellCoord>{{2, 1}, {5, 3}}));
+}
+
+TEST(NwrtmProbe, CleanMemoryYieldsNoSuspects) {
+  Sram memory(config_8x4());
+  const auto result = nwrtm_drf_probe(memory);
+  EXPECT_TRUE(result.suspects.empty());
+  // 3 ops per address per polarity.
+  EXPECT_EQ(result.ops, 2u * 3u * 8u);
+}
+
+TEST(DelayProbe, FindsDrfCellsAtTheCostOfTwoPauses) {
+  auto memory = faulty({
+      faults::make_cell_fault(FaultKind::drf1, {2, 1}),
+      faults::make_cell_fault(FaultKind::drf0, {5, 3}),
+  });
+  const auto result = delay_drf_probe(memory, 2'000'000);
+  EXPECT_EQ(result.pause_ns, 4'000'000u);  // two pauses
+  EXPECT_EQ(result.suspects,
+            (std::set<CellCoord>{{2, 1}, {5, 3}}));
+}
+
+TEST(DelayProbe, PauseShorterThanRetentionMissesTheFault) {
+  auto memory = faulty({faults::make_cell_fault(FaultKind::drf1, {2, 1})});
+  const auto result = delay_drf_probe(memory, 500'000);  // < retention 1 ms
+  EXPECT_TRUE(result.suspects.empty());
+}
+
+TEST(Probes, AgreeOnRandomDrfPopulations) {
+  // Property: for pure-DRF fault sets the two probes report identical
+  // suspect sets — NWRTM delivers the delay-based result with zero waiting.
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<FaultInstance> instances;
+    const auto config = config_8x4();
+    const auto count = 1 + rng.uniform(5);
+    const auto sites =
+        rng.sample_without_replacement(config.cell_count(), count);
+    for (const auto site : sites) {
+      const CellCoord cell{static_cast<std::uint32_t>(site / config.bits),
+                           static_cast<std::uint32_t>(site % config.bits)};
+      instances.push_back(faults::make_cell_fault(
+          rng.bernoulli(0.5) ? FaultKind::drf0 : FaultKind::drf1, cell));
+    }
+    auto mem_a = faulty(instances);
+    auto mem_b = faulty(instances);
+    const auto nwrtm_result = nwrtm_drf_probe(mem_a);
+    const auto delay_result = delay_drf_probe(mem_b, 2'000'000);
+    EXPECT_EQ(nwrtm_result.suspects, delay_result.suspects)
+        << "trial " << trial;
+    EXPECT_EQ(nwrtm_result.pause_ns, 0u);
+    EXPECT_GT(delay_result.pause_ns, 0u);
+  }
+}
+
+// --------------------------------- electrical vs. logical model agreement
+
+/// Drives the switch-level cell and the logical DRF model with the same
+/// operation sequence and checks they never disagree on a read.
+TEST(ModelAgreement, ElectricalAndLogicalDrf1Match) {
+  constexpr std::uint64_t kRetention = 1'000'000;
+  Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    sram::SixTCell cell;
+    cell.break_pullup_a();  // loses stored '1' -> DRF1
+
+    SramConfig config;
+    config.name = "m1x1";
+    config.words = 1;
+    config.bits = 1;
+    config.retention_ns = kRetention;
+    auto memory = faulty(
+        {faults::make_cell_fault(FaultKind::drf1, {0, 0})}, config);
+
+    std::uint64_t now = 0;
+    for (int step = 0; step < 40; ++step) {
+      const auto action = rng.uniform(4);
+      switch (action) {
+        case 0: {  // normal write of a random value
+          const bool v = rng.bernoulli(0.5);
+          (void)cell.write_cycle(v, sram::bitline_conditioning(v, false), now,
+                                 kRetention);
+          memory.write(0, BitVector::from_value(1, v ? 1 : 0));
+          break;
+        }
+        case 1: {  // NWRC write of a random value
+          const bool v = rng.bernoulli(0.5);
+          (void)cell.write_cycle(v, sram::bitline_conditioning(v, true), now,
+                                 kRetention);
+          memory.nwrc_write(0, BitVector::from_value(1, v ? 1 : 0));
+          break;
+        }
+        case 2: {  // let time pass (sometimes beyond retention)
+          const std::uint64_t dt = rng.uniform(2 * kRetention);
+          now += dt;
+          memory.advance_time_ns(dt);
+          break;
+        }
+        default: {  // compare reads
+          const bool electrical = cell.read_cycle(now, kRetention);
+          const bool logical = memory.read(0).get(0);
+          ASSERT_EQ(electrical, logical)
+              << "trial " << trial << " step " << step << " now " << now;
+          break;
+        }
+      }
+    }
+  }
+}
+
+TEST(ModelAgreement, ElectricalAndLogicalDrf0Match) {
+  constexpr std::uint64_t kRetention = 1'000'000;
+  sram::SixTCell cell;
+  cell.break_pullup_b();
+
+  SramConfig config;
+  config.name = "m1x1";
+  config.words = 1;
+  config.bits = 1;
+  config.retention_ns = kRetention;
+  auto memory =
+      faulty({faults::make_cell_fault(FaultKind::drf0, {0, 0})}, config);
+
+  // Deterministic scripted sequence covering both polarities and decay.
+  std::uint64_t now = 0;
+  const auto step = [&](bool v, bool nwrtm, std::uint64_t dt) {
+    now += dt;
+    memory.advance_time_ns(dt);
+    (void)cell.write_cycle(v, sram::bitline_conditioning(v, nwrtm), now,
+                           kRetention);
+    if (nwrtm) {
+      memory.nwrc_write(0, BitVector::from_value(1, v ? 1 : 0));
+    } else {
+      memory.write(0, BitVector::from_value(1, v ? 1 : 0));
+    }
+    EXPECT_EQ(cell.read_cycle(now, kRetention), memory.read(0).get(0));
+  };
+
+  step(true, false, 10);           // normal w1
+  step(false, true, 10);           // NWRC w0 fails on DRF0
+  step(false, false, 10);          // normal w0 succeeds
+  now += 2 * kRetention;           // decay window
+  memory.advance_time_ns(2 * kRetention);
+  EXPECT_EQ(cell.read_cycle(now, kRetention), memory.read(0).get(0));
+  EXPECT_TRUE(memory.read(0).get(0));  // the stored 0 leaked to 1
+}
+
+}  // namespace
+}  // namespace fastdiag::nwrtm

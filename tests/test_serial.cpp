@@ -1,0 +1,274 @@
+// Unit tests for src/serial: shift register, SPC (Fig. 4), PSC (Fig. 5),
+// and the serialized interfaces of [7,8]/[9,10] with their masking
+// behaviour (Fig. 2).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "faults/fault_set.h"
+#include "serial/psc.h"
+#include "serial/serial_interface.h"
+#include "serial/shift_register.h"
+#include "serial/spc.h"
+#include "sram/sram.h"
+
+namespace fastdiag::serial {
+namespace {
+
+using faults::FaultKind;
+using sram::Sram;
+using sram::SramConfig;
+
+SramConfig config_nx(std::uint32_t words, std::uint32_t bits) {
+  SramConfig config;
+  config.name = "s" + std::to_string(words) + "x" + std::to_string(bits);
+  config.words = words;
+  config.bits = bits;
+  return config;
+}
+
+// ------------------------------------------------------------ ShiftRegister
+
+TEST(ShiftRegister, ShiftsThrough) {
+  ShiftRegister sr(3);
+  EXPECT_FALSE(sr.shift_in(true));
+  EXPECT_FALSE(sr.shift_in(false));
+  EXPECT_FALSE(sr.shift_in(true));
+  // Stage contents now (stage0..2) = 1,0,1; next shifts pop stage 2.
+  EXPECT_TRUE(sr.shift_in(false));
+  EXPECT_FALSE(sr.shift_in(false));
+  EXPECT_TRUE(sr.shift_in(false));
+}
+
+TEST(ShiftRegister, LoadAndStages) {
+  ShiftRegister sr(4);
+  sr.load(BitVector::from_string("1010"));
+  EXPECT_EQ(sr.stages().to_string(), "1010");
+  sr.reset();
+  EXPECT_EQ(sr.stages().popcount(), 0u);
+}
+
+TEST(ShiftRegister, ZeroWidthRejected) {
+  EXPECT_THROW(ShiftRegister sr(0), std::invalid_argument);
+}
+
+// -------------------------------------------------------------------- SPC
+
+TEST(Spc, FullWidthDeliveryMsbFirst) {
+  SerialToParallelConverter spc(4);
+  const auto pattern = BitVector::from_string("1011");
+  EXPECT_EQ(spc.deliver(pattern), 4u);
+  EXPECT_EQ(spc.parallel_out(), pattern);
+  EXPECT_EQ(spc.clocks(), 4u);
+}
+
+TEST(Spc, NarrowSpcKeepsLowBits) {
+  // Fig. 4: a c'=3 SPC fed the widest pattern DP[3:0] MSB-first must end
+  // holding DP[2:0]; the high bit passes through and falls off.
+  SerialToParallelConverter spc(3);
+  (void)spc.deliver(BitVector::from_string("1011"));
+  EXPECT_EQ(spc.parallel_out().to_string(), "011");
+}
+
+TEST(Spc, LsbFirstDeliveryWouldLoseLowBits) {
+  // Sec. 3.2's counter-example: with LSB-first delivery the narrow SPC ends
+  // holding DP[c-1 : c-c'] instead of DP[c'-1:0] — the design defect the
+  // MSB-first choice avoids.
+  SerialToParallelConverter spc(3);
+  const auto pattern = BitVector::from_string("1011");
+  for (std::size_t i = 0; i < pattern.width(); ++i) {
+    spc.shift_in(pattern.get(i));  // LSB first
+  }
+  // Stage j ends with pattern bit (width-1) - ... : the *high* bits.
+  EXPECT_EQ(spc.parallel_out().to_string(), "101");  // DP[3:1], not DP[2:0]
+}
+
+TEST(Spc, DeliverRejectsNarrowPattern) {
+  SerialToParallelConverter spc(4);
+  EXPECT_THROW((void)spc.deliver(BitVector::from_string("101")),
+               std::invalid_argument);
+}
+
+TEST(Spc, RepeatedDeliveriesOverwrite) {
+  SerialToParallelConverter spc(4);
+  (void)spc.deliver(BitVector::from_string("1111"));
+  (void)spc.deliver(BitVector::from_string("0010"));
+  EXPECT_EQ(spc.parallel_out().to_string(), "0010");
+  EXPECT_EQ(spc.clocks(), 8u);
+}
+
+// -------------------------------------------------------------------- PSC
+
+TEST(Psc, CaptureThenShiftLsbFirst) {
+  ParallelToSerialConverter psc(4);
+  psc.capture(BitVector::from_string("1010"));
+  EXPECT_EQ(psc.remaining(), 4u);
+  EXPECT_FALSE(psc.shift_out());  // bit 0
+  EXPECT_TRUE(psc.shift_out());   // bit 1
+  EXPECT_FALSE(psc.shift_out());  // bit 2
+  EXPECT_TRUE(psc.shift_out());   // bit 3
+  EXPECT_EQ(psc.remaining(), 0u);
+}
+
+TEST(Psc, DrainedChainClocksZeros) {
+  ParallelToSerialConverter psc(2);
+  psc.capture(BitVector::from_string("11"));
+  (void)psc.shift_out();
+  (void)psc.shift_out();
+  EXPECT_FALSE(psc.shift_out());
+  EXPECT_EQ(psc.shift_clocks(), 3u);
+}
+
+TEST(Psc, RecaptureRestartsStream) {
+  ParallelToSerialConverter psc(2);
+  psc.capture(BitVector::from_string("01"));
+  (void)psc.shift_out();
+  psc.capture(BitVector::from_string("10"));
+  EXPECT_FALSE(psc.shift_out());
+  EXPECT_TRUE(psc.shift_out());
+}
+
+TEST(Psc, WidthMismatchRejected) {
+  ParallelToSerialConverter psc(4);
+  EXPECT_THROW(psc.capture(BitVector(3)), std::invalid_argument);
+}
+
+// -------------------------------------------------- serialized interfaces
+
+TEST(BidiSerial, FaultFreePassObservesOldContentAndWritesPattern) {
+  Sram memory(config_nx(4, 4));
+  memory.write(2, BitVector::from_string("1001"));
+  BidiSerialInterface interface(memory);
+  const auto result =
+      interface.pass(ShiftDirection::right, BitVector::from_string("1111"));
+  ASSERT_EQ(result.observed.size(), 4u);
+  EXPECT_EQ(result.observed[2].to_string(), "1001");  // old content streamed
+  EXPECT_EQ(memory.read(2).to_string(), "1111");      // new background landed
+  EXPECT_EQ(result.cycles, 16u);                      // n * c
+}
+
+TEST(BidiSerial, LeftPassEquivalentOnFaultFreeMemory) {
+  Sram memory(config_nx(4, 4));
+  memory.write(1, BitVector::from_string("0110"));
+  BidiSerialInterface interface(memory);
+  const auto result =
+      interface.pass(ShiftDirection::left, BitVector::from_string("0000"));
+  EXPECT_EQ(result.observed[1].to_string(), "0110");
+  EXPECT_EQ(memory.read(1).to_string(), "0000");
+}
+
+TEST(BidiSerial, PatternWidthMismatchRejected) {
+  Sram memory(config_nx(4, 4));
+  BidiSerialInterface interface(memory);
+  EXPECT_THROW((void)interface.pass(ShiftDirection::right, BitVector(5)),
+               std::invalid_argument);
+}
+
+TEST(BidiSerial, TotalCyclesAccumulate) {
+  Sram memory(config_nx(3, 5));
+  BidiSerialInterface interface(memory);
+  (void)interface.pass(ShiftDirection::right, BitVector(5, true));
+  (void)interface.pass(ShiftDirection::left, BitVector(5, false));
+  EXPECT_EQ(interface.total_cycles(), 30u);
+}
+
+/// Builds a memory whose word 0 holds all ones with SA0 faults at @p bits.
+Sram ones_with_sa0(std::uint32_t c, std::vector<std::uint32_t> bits) {
+  std::vector<faults::FaultInstance> instances;
+  for (const auto bit : bits) {
+    instances.push_back(faults::make_cell_fault(FaultKind::sa0, {0, bit}));
+  }
+  Sram memory(config_nx(1, c), std::make_unique<faults::FaultSet>(instances));
+  memory.write(0, BitVector(c, true));
+  return memory;
+}
+
+TEST(BidiSerial, RightPassMasksFaultsBelowTheHighestOne) {
+  // SA0 at bits 2 and 5 of an 8-bit word full of ones.  Shifting right, the
+  // observed stream is clean above bit 5, corrupted at and below it: the
+  // fault at bit 2 is indistinguishable (masked).
+  auto memory = ones_with_sa0(8, {2, 5});
+  BidiSerialInterface interface(memory);
+  const auto result =
+      interface.pass(ShiftDirection::right, BitVector(8, true));
+  const auto& seen = result.observed[0];
+  for (std::uint32_t j = 6; j < 8; ++j) {
+    EXPECT_TRUE(seen.get(j)) << "bit " << j << " should be clean";
+  }
+  for (std::uint32_t j = 0; j <= 5; ++j) {
+    EXPECT_FALSE(seen.get(j)) << "bit " << j << " should be corrupted";
+  }
+}
+
+TEST(BidiSerial, LeftPassExposesTheLowestFault) {
+  auto memory = ones_with_sa0(8, {2, 5});
+  BidiSerialInterface interface(memory);
+  const auto result = interface.pass(ShiftDirection::left, BitVector(8, true));
+  const auto& seen = result.observed[0];
+  for (std::uint32_t j = 0; j < 2; ++j) {
+    EXPECT_TRUE(seen.get(j)) << "bit " << j << " should be clean";
+  }
+  for (std::uint32_t j = 2; j < 8; ++j) {
+    EXPECT_FALSE(seen.get(j)) << "bit " << j << " should be corrupted";
+  }
+}
+
+TEST(BidiSerial, TwoPassesTogetherLocateExactlyTheOuterPair) {
+  // The bi-directional interface's whole point (Sec. 2): right + left
+  // locate the outermost faulty cells — and nothing in between.  With
+  // faults at 2, 4 and 5, the pair (5 from the right, 2 from the left) is
+  // diagnosable; bit 4 stays hidden this element.
+  auto memory = ones_with_sa0(8, {2, 4, 5});
+  BidiSerialInterface interface(memory);
+  const auto right =
+      interface.pass(ShiftDirection::right, BitVector(8, true));
+  // Refill with ones so the left pass sees the same precondition.
+  memory.write(0, BitVector(8, true));
+  const auto left = interface.pass(ShiftDirection::left, BitVector(8, true));
+
+  // First corrupted position from the exit end:
+  std::uint32_t right_boundary = 8;
+  for (std::uint32_t j = 8; j-- > 0;) {
+    if (!right.observed[0].get(j)) {
+      right_boundary = j;
+      break;
+    }
+  }
+  std::uint32_t left_boundary = 8;
+  for (std::uint32_t j = 0; j < 8; ++j) {
+    if (!left.observed[0].get(j)) {
+      left_boundary = j;
+      break;
+    }
+  }
+  EXPECT_EQ(right_boundary, 5u);
+  EXPECT_EQ(left_boundary, 2u);
+}
+
+TEST(UniSerial, OnlyRightShiftAvailable) {
+  auto memory = ones_with_sa0(8, {2, 5});
+  UniSerialInterface interface(memory);
+  const auto result = interface.pass(BitVector(8, true));
+  // Identical to the bidirectional right pass: bit 2 masked by bit 5.
+  EXPECT_FALSE(result.observed[0].get(5));
+  EXPECT_FALSE(result.observed[0].get(2));
+  EXPECT_TRUE(result.observed[0].get(7));
+  EXPECT_EQ(interface.total_cycles(), 8u);
+}
+
+TEST(BidiSerial, FaultySerialWriteCorruptsDownstreamFill) {
+  // Data shifted *through* a stuck cell arrives corrupted: after shifting
+  // ones through SA0@bit1 of a 4-bit word, cells above the fault hold the
+  // forced zero, not the intended background.
+  std::vector<faults::FaultInstance> instances = {
+      faults::make_cell_fault(FaultKind::sa0, {0, 1})};
+  Sram memory(config_nx(1, 4), std::make_unique<faults::FaultSet>(instances));
+  BidiSerialInterface interface(memory);
+  (void)interface.pass(ShiftDirection::right, BitVector(4, true));
+  EXPECT_TRUE(memory.peek({0, 0}));   // below the fault: filled fine
+  EXPECT_FALSE(memory.peek({0, 2}));  // transited through the stuck cell
+  EXPECT_FALSE(memory.peek({0, 3}));
+}
+
+}  // namespace
+}  // namespace fastdiag::serial

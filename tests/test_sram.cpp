@@ -1,0 +1,329 @@
+// Unit tests for src/sram: config, cell array, behavioral memory, repair,
+// and the switch-level 6T cell model (Fig. 6 reasoning).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sram/cell_array.h"
+#include "sram/config.h"
+#include "sram/electrical.h"
+#include "sram/sram.h"
+#include "sram/timing.h"
+
+namespace fastdiag::sram {
+namespace {
+
+SramConfig small_config() {
+  SramConfig config;
+  config.name = "t8x4";
+  config.words = 8;
+  config.bits = 4;
+  return config;
+}
+
+// ------------------------------------------------------------------ Config
+
+TEST(SramConfig, ValidConfigPasses) { EXPECT_NO_THROW(small_config().validate()); }
+
+TEST(SramConfig, ZeroWordsRejected) {
+  auto config = small_config();
+  config.words = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(SramConfig, ZeroBitsRejected) {
+  auto config = small_config();
+  config.bits = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(SramConfig, EmptyNameRejected) {
+  auto config = small_config();
+  config.name.clear();
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(SramConfig, BenchmarkMatchesPaperCaseStudy) {
+  const auto config = benchmark_sram();
+  EXPECT_EQ(config.words, 512u);
+  EXPECT_EQ(config.bits, 100u);
+  EXPECT_EQ(config.cell_count(), 51'200u);
+}
+
+// --------------------------------------------------------------- CellArray
+
+TEST(CellArray, StartsAllZero) {
+  CellArray cells(4, 3);
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    for (std::uint32_t b = 0; b < 3; ++b) {
+      EXPECT_FALSE(cells.get({r, b}));
+    }
+  }
+}
+
+TEST(CellArray, SetGetRoundTrip) {
+  CellArray cells(4, 3);
+  cells.set({2, 1}, true);
+  EXPECT_TRUE(cells.get({2, 1}));
+  EXPECT_FALSE(cells.get({1, 2}));
+}
+
+TEST(CellArray, RowAccess) {
+  CellArray cells(4, 3);
+  cells.set_row(1, BitVector::from_string("101"));
+  EXPECT_EQ(cells.get_row(1).to_string(), "101");
+  EXPECT_TRUE(cells.get({1, 0}));
+  EXPECT_FALSE(cells.get({1, 1}));
+  EXPECT_TRUE(cells.get({1, 2}));
+}
+
+TEST(CellArray, OutOfRangeThrows) {
+  CellArray cells(4, 3);
+  EXPECT_THROW((void)cells.get({4, 0}), std::out_of_range);
+  EXPECT_THROW((void)cells.get({0, 3}), std::out_of_range);
+  EXPECT_THROW(cells.set_row(0, BitVector(5)), std::invalid_argument);
+}
+
+TEST(CellArray, FlatIndexIsRowMajor) {
+  CellArray cells(4, 3);
+  EXPECT_EQ(cells.flat_index({0, 0}), 0u);
+  EXPECT_EQ(cells.flat_index({1, 0}), 3u);
+  EXPECT_EQ(cells.flat_index({2, 2}), 8u);
+}
+
+TEST(CellArray, FillSetsEverything) {
+  CellArray cells(3, 3);
+  cells.fill(true);
+  EXPECT_TRUE(cells.get({2, 2}));
+  cells.fill(false);
+  EXPECT_FALSE(cells.get({2, 2}));
+}
+
+// -------------------------------------------------------------------- Sram
+
+TEST(Sram, FaultFreeReadAfterWrite) {
+  Sram mem(small_config());
+  const auto word = BitVector::from_string("1010");
+  mem.write(3, word);
+  EXPECT_EQ(mem.read(3), word);
+  EXPECT_EQ(mem.read(0), BitVector(4, false));
+}
+
+TEST(Sram, WriteWidthMismatchThrows) {
+  Sram mem(small_config());
+  EXPECT_THROW(mem.write(0, BitVector(5)), std::invalid_argument);
+}
+
+TEST(Sram, AddressOutOfRangeThrows) {
+  Sram mem(small_config());
+  EXPECT_THROW((void)mem.read(8), std::out_of_range);
+  EXPECT_THROW(mem.write(100, BitVector(4)), std::out_of_range);
+}
+
+TEST(Sram, IdleModeBlocksPort) {
+  Sram mem(small_config());
+  mem.set_mode(Mode::idle);
+  EXPECT_THROW((void)mem.read(0), std::logic_error);
+  EXPECT_THROW(mem.write(0, BitVector(4)), std::logic_error);
+  mem.set_mode(Mode::normal);
+  EXPECT_NO_THROW((void)mem.read(0));
+}
+
+TEST(Sram, CountersTrackOperations) {
+  Sram mem(small_config());
+  (void)mem.read(0);
+  mem.write(1, BitVector(4));
+  mem.nwrc_write(1, BitVector(4, true));
+  EXPECT_EQ(mem.counters().reads, 1u);
+  EXPECT_EQ(mem.counters().writes, 1u);
+  EXPECT_EQ(mem.counters().nwrc_writes, 1u);
+  mem.reset_counters();
+  EXPECT_EQ(mem.counters().reads, 0u);
+}
+
+TEST(Sram, NwrcBehavesLikeWriteOnHealthyCells) {
+  Sram mem(small_config());
+  mem.nwrc_write(2, BitVector::from_string("1111"));
+  EXPECT_EQ(mem.read(2), BitVector::from_string("1111"));
+  mem.nwrc_write(2, BitVector::from_string("0000"));
+  EXPECT_EQ(mem.read(2), BitVector::from_string("0000"));
+}
+
+TEST(Sram, ReadBitMatchesWordRead) {
+  Sram mem(small_config());
+  mem.write(5, BitVector::from_string("0110"));
+  EXPECT_FALSE(mem.read_bit(5, 0));
+  EXPECT_TRUE(mem.read_bit(5, 1));
+  EXPECT_TRUE(mem.read_bit(5, 2));
+  EXPECT_FALSE(mem.read_bit(5, 3));
+  EXPECT_THROW((void)mem.read_bit(5, 4), std::out_of_range);
+}
+
+TEST(Sram, TimeAdvances) {
+  Sram mem(small_config());
+  EXPECT_EQ(mem.now_ns(), 0u);
+  mem.advance_time_ns(125);
+  mem.advance_time_ns(75);
+  EXPECT_EQ(mem.now_ns(), 200u);
+}
+
+TEST(Sram, PokePeekBypassPort) {
+  Sram mem(small_config());
+  mem.poke({4, 2}, true);
+  EXPECT_TRUE(mem.peek({4, 2}));
+  EXPECT_EQ(mem.counters().reads, 0u);
+}
+
+// ------------------------------------------------------------------ Repair
+
+TEST(SramRepair, RemapsRowToSpare) {
+  Sram mem(small_config());
+  mem.repair_row(3, 0);
+  EXPECT_TRUE(mem.is_repaired(3));
+  EXPECT_FALSE(mem.is_repaired(2));
+  EXPECT_EQ(mem.spares_used(), 1u);
+  mem.write(3, BitVector::from_string("1001"));
+  EXPECT_EQ(mem.read(3), BitVector::from_string("1001"));
+}
+
+TEST(SramRepair, SpareDoubleUseRejected) {
+  Sram mem(small_config());
+  mem.repair_row(3, 0);
+  EXPECT_THROW(mem.repair_row(4, 0), std::invalid_argument);
+}
+
+TEST(SramRepair, AddressDoubleRepairRejected) {
+  Sram mem(small_config());
+  mem.repair_row(3, 0);
+  EXPECT_THROW(mem.repair_row(3, 1), std::invalid_argument);
+}
+
+TEST(SramRepair, SpareIndexOutOfRangeRejected) {
+  Sram mem(small_config());  // spare_rows defaults to 2
+  EXPECT_THROW(mem.repair_row(0, 2), std::invalid_argument);
+}
+
+TEST(SramRepair, NoSparesConfiguredRejected) {
+  auto config = small_config();
+  config.spare_rows = 0;
+  Sram mem(config);
+  EXPECT_THROW(mem.repair_row(0, 0), std::invalid_argument);
+}
+
+// ----------------------------------------------------- Electrical 6T model
+
+constexpr std::uint64_t kRetention = 1000;  // ns, for the cell-level tests
+
+TEST(SixTCell, NormalWriteFlipsHealthyCell) {
+  SixTCell cell;
+  EXPECT_TRUE(cell.write_cycle(true, bitline_conditioning(true, false), 0,
+                               kRetention));
+  EXPECT_TRUE(cell.read_cycle(1, kRetention));
+  EXPECT_TRUE(cell.write_cycle(false, bitline_conditioning(false, false), 2,
+                               kRetention));
+  EXPECT_FALSE(cell.read_cycle(3, kRetention));
+}
+
+TEST(SixTCell, NwrcFlipsHealthyCell) {
+  // Sec. 3.4: "a good cell has no problem writing a ONE" under NWRC.
+  SixTCell cell;
+  EXPECT_TRUE(cell.write_cycle(true, bitline_conditioning(true, true), 0,
+                               kRetention));
+  EXPECT_TRUE(cell.read_cycle(1, kRetention));
+}
+
+TEST(SixTCell, NwrcFailsOnOpenPullup) {
+  // The faulty cell's node A "never exceeds node B": no flip under NWRC.
+  SixTCell cell;
+  cell.break_pullup_a();
+  EXPECT_FALSE(cell.write_cycle(true, bitline_conditioning(true, true), 0,
+                                kRetention));
+  EXPECT_FALSE(cell.read_cycle(1, kRetention));
+}
+
+TEST(SixTCell, NormalWriteStillFlipsOpenPullupCell) {
+  // A normal W1 drives BL to Vcc, so the defective cell flips anyway —
+  // which is exactly why plain March tests cannot see the defect.
+  SixTCell cell;
+  cell.break_pullup_a();
+  EXPECT_TRUE(cell.write_cycle(true, bitline_conditioning(true, false), 0,
+                               kRetention));
+  EXPECT_TRUE(cell.read_cycle(1, kRetention));
+}
+
+TEST(SixTCell, OpenPullupValueDecaysAfterRetention) {
+  SixTCell cell;
+  cell.break_pullup_a();
+  EXPECT_TRUE(cell.write_cycle(true, bitline_conditioning(true, false), 0,
+                               kRetention));
+  EXPECT_TRUE(cell.read_cycle(kRetention - 1, kRetention));   // still holds
+  EXPECT_FALSE(cell.read_cycle(kRetention + 1, kRetention));  // decayed
+}
+
+TEST(SixTCell, HealthyCellRetainsIndefinitely) {
+  SixTCell cell;
+  EXPECT_TRUE(cell.write_cycle(true, bitline_conditioning(true, false), 0,
+                               kRetention));
+  EXPECT_TRUE(cell.read_cycle(kRetention * 1000, kRetention));
+}
+
+TEST(SixTCell, OppositeSidePullupHandlesZero) {
+  // DRF on the '0'-storing side: node B's pull-up is open, so the cell
+  // cannot *hold* 0; NWRC toward 0 fails.
+  SixTCell cell;
+  cell.break_pullup_b();
+  EXPECT_TRUE(cell.write_cycle(true, bitline_conditioning(true, false), 0,
+                               kRetention));
+  EXPECT_FALSE(cell.write_cycle(false, bitline_conditioning(false, true), 1,
+                                kRetention));
+  EXPECT_TRUE(cell.read_cycle(2, kRetention));
+  // Normal write of 0 succeeds but decays.
+  EXPECT_TRUE(cell.write_cycle(false, bitline_conditioning(false, false), 3,
+                               kRetention));
+  EXPECT_FALSE(cell.read_cycle(4, kRetention));  // holds 0 for now
+  EXPECT_TRUE(cell.read_cycle(4 + kRetention, kRetention));  // decayed to 1
+}
+
+TEST(SixTCell, RewriteRefreshesRetentionClock) {
+  SixTCell cell;
+  cell.break_pullup_a();
+  EXPECT_TRUE(cell.write_cycle(true, bitline_conditioning(true, false), 0,
+                               kRetention));
+  // Refresh just before decay; the clock restarts.
+  EXPECT_TRUE(cell.write_cycle(true, bitline_conditioning(true, false),
+                               kRetention - 1, kRetention));
+  EXPECT_TRUE(cell.read_cycle(2 * kRetention - 2, kRetention));
+  EXPECT_FALSE(cell.read_cycle(2 * kRetention, kRetention));
+}
+
+TEST(Bitlines, ConditioningMatchesFigureSix) {
+  const auto normal_w1 = bitline_conditioning(true, false);
+  EXPECT_EQ(normal_w1.bl, BitlineState::driven_vcc);
+  EXPECT_EQ(normal_w1.blb, BitlineState::driven_gnd);
+
+  const auto nwrc_w1 = bitline_conditioning(true, true);
+  EXPECT_EQ(nwrc_w1.bl, BitlineState::float_gnd);
+  EXPECT_EQ(nwrc_w1.blb, BitlineState::driven_gnd);
+
+  const auto nwrc_w0 = bitline_conditioning(false, true);
+  EXPECT_EQ(nwrc_w0.bl, BitlineState::driven_gnd);
+  EXPECT_EQ(nwrc_w0.blb, BitlineState::float_gnd);
+}
+
+// ------------------------------------------------------------------ Timing
+
+TEST(Timing, CycleCounterTotals) {
+  CycleCounter counter;
+  counter.add_cycles(100);
+  counter.add_pause_ns(500);
+  ClockDomain clock{10};
+  EXPECT_EQ(counter.total_ns(clock), 1'500u);
+}
+
+TEST(Timing, DefaultClockIsTenNs) {
+  ClockDomain clock;
+  EXPECT_EQ(clock.period_ns, 10u);
+}
+
+}  // namespace
+}  // namespace fastdiag::sram

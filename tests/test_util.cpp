@@ -1,0 +1,349 @@
+// Unit tests for src/util: BitVector, Rng, TablePrinter, formatting, CLI.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "util/bitvec.h"
+#include "util/cli.h"
+#include "util/format.h"
+#include "util/require.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace fastdiag {
+namespace {
+
+// ---------------------------------------------------------------- BitVector
+
+TEST(BitVector, DefaultIsEmpty) {
+  BitVector v;
+  EXPECT_EQ(v.width(), 0u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(BitVector, ConstructsWithFill) {
+  BitVector zeros(100, false);
+  BitVector ones(100, true);
+  EXPECT_EQ(zeros.popcount(), 0u);
+  EXPECT_EQ(ones.popcount(), 100u);
+}
+
+TEST(BitVector, SetAndGetRoundTrip) {
+  BitVector v(130);
+  v.set(0, true);
+  v.set(64, true);
+  v.set(129, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(129));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.popcount(), 3u);
+}
+
+TEST(BitVector, OutOfRangeThrows) {
+  BitVector v(8);
+  EXPECT_THROW((void)v.get(8), std::out_of_range);
+  EXPECT_THROW(v.set(100, true), std::out_of_range);
+}
+
+TEST(BitVector, FromStringMsbFirst) {
+  const auto v = BitVector::from_string("100");
+  EXPECT_EQ(v.width(), 3u);
+  EXPECT_TRUE(v.get(2));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_FALSE(v.get(0));
+}
+
+TEST(BitVector, FromStringRejectsJunk) {
+  EXPECT_THROW((void)BitVector::from_string("10x"), std::invalid_argument);
+}
+
+TEST(BitVector, ToStringRoundTrip) {
+  const std::string s = "1011001110001111";
+  EXPECT_EQ(BitVector::from_string(s).to_string(), s);
+}
+
+TEST(BitVector, FromValue) {
+  const auto v = BitVector::from_value(8, 0xA5);
+  EXPECT_EQ(v.to_value(), 0xA5u);
+  EXPECT_EQ(v.to_string(), "10100101");
+}
+
+TEST(BitVector, InvertedFlipsEveryBitAndKeepsWidth) {
+  auto v = BitVector::from_string("1100");
+  const auto inv = v.inverted();
+  EXPECT_EQ(inv.to_string(), "0011");
+  EXPECT_EQ(inv.width(), 4u);
+}
+
+TEST(BitVector, InvertedTrimsPaddingBits) {
+  // Width not a multiple of 64: inversion must not set bits beyond width.
+  BitVector v(70, false);
+  const auto inv = v.inverted();
+  EXPECT_EQ(inv.popcount(), 70u);
+  EXPECT_EQ(inv.inverted().popcount(), 0u);
+}
+
+TEST(BitVector, EqualityIncludesWidth) {
+  EXPECT_NE(BitVector(4, false), BitVector(5, false));
+  EXPECT_EQ(BitVector::from_string("101"), BitVector::from_value(3, 5));
+}
+
+TEST(BitVector, XorAndOr) {
+  const auto a = BitVector::from_string("1100");
+  const auto b = BitVector::from_string("1010");
+  EXPECT_EQ((a ^ b).to_string(), "0110");
+  EXPECT_EQ((a & b).to_string(), "1000");
+  EXPECT_EQ((a | b).to_string(), "1110");
+}
+
+TEST(BitVector, WidthMismatchThrows) {
+  EXPECT_THROW((void)(BitVector(4) ^ BitVector(5)), std::invalid_argument);
+}
+
+TEST(BitVector, LowBits) {
+  const auto v = BitVector::from_string("110101");
+  EXPECT_EQ(v.low_bits(3).to_string(), "101");
+  EXPECT_THROW((void)v.low_bits(7), std::invalid_argument);
+}
+
+TEST(BitVector, ResizeClearsNewBits) {
+  auto v = BitVector::from_string("111");
+  v.resize(6);
+  EXPECT_EQ(v.to_string(), "000111");
+  v.resize(2);
+  EXPECT_EQ(v.to_string(), "11");
+}
+
+TEST(BitVector, FillSetsEveryBit) {
+  BitVector v(66);
+  v.fill(true);
+  EXPECT_EQ(v.popcount(), 66u);
+  v.fill(false);
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+// ---------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    any_diff |= (a.next_u64() != b.next_u64());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+}
+
+TEST(Rng, UniformZeroBoundThrows) {
+  Rng rng(7);
+  EXPECT_THROW((void)rng.uniform(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformInInclusiveRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_in(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng rng(13);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    hits += rng.bernoulli(0.25) ? 1 : 0;
+  }
+  const double rate = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng rng(17);
+  const auto sample = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const auto v : sample) {
+    EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(Rng, SampleWholePopulation) {
+  Rng rng(19);
+  const auto sample = rng.sample_without_replacement(10, 10);
+  std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleTooLargeThrows) {
+  Rng rng(21);
+  EXPECT_THROW((void)rng.sample_without_replacement(5, 6),
+               std::invalid_argument);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.fork();
+  // The child stream must not simply mirror the parent.
+  bool any_diff = false;
+  for (int i = 0; i < 8; ++i) {
+    any_diff |= (parent.next_u64() != child.next_u64());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::multiset<int> a(v.begin(), v.end()), b(shuffled.begin(),
+                                              shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+// ------------------------------------------------------------------- Table
+
+TEST(Table, RendersHeadersAndRows) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, RowArityMismatchThrows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, TitleAndNotesAppear) {
+  TablePrinter t({"col"});
+  t.set_title("My Title");
+  t.add_row({"x"});
+  t.add_note("footnote text");
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("My Title"), std::string::npos);
+  EXPECT_NE(s.find("footnote text"), std::string::npos);
+}
+
+TEST(Table, EmptyHeaderListThrows) {
+  EXPECT_THROW(TablePrinter t({}), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- Formatting
+
+TEST(Format, CountInsertsSeparators) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+}
+
+TEST(Format, PercentFromFraction) {
+  EXPECT_EQ(fmt_percent(0.5), "50.0%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+}
+
+TEST(Format, NsAdaptiveUnits) {
+  EXPECT_EQ(fmt_ns(12), "12 ns");
+  EXPECT_EQ(fmt_ns(1500), "1.50 us");
+  EXPECT_EQ(fmt_ns(9984400), "9.98 ms");
+  EXPECT_EQ(fmt_ns(2e9), "2.000 s");
+}
+
+TEST(Format, Ratio) { EXPECT_EQ(fmt_ratio(84.37), "84.4x"); }
+
+// --------------------------------------------------------------------- CLI
+
+TEST(Cli, ParsesSpaceAndEqualsForms) {
+  const char* argv[] = {"prog", "--words", "512", "--bits=100"};
+  ArgParser p(4, argv);
+  EXPECT_EQ(p.get_u64("words", 0, ""), 512u);
+  EXPECT_EQ(p.get_u64("bits", 0, ""), 100u);
+  p.finish();
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  ArgParser p(1, argv);
+  EXPECT_EQ(p.get_u64("words", 64, ""), 64u);
+  EXPECT_EQ(p.get_string("name", "m0", ""), "m0");
+  EXPECT_DOUBLE_EQ(p.get_double("rate", 0.01, ""), 0.01);
+  EXPECT_FALSE(p.get_flag("verbose", ""));
+}
+
+TEST(Cli, FlagPresence) {
+  const char* argv[] = {"prog", "--verbose"};
+  ArgParser p(2, argv);
+  EXPECT_TRUE(p.get_flag("verbose", ""));
+  p.finish();
+}
+
+TEST(Cli, UnknownOptionRejectedByFinish) {
+  const char* argv[] = {"prog", "--typo", "3"};
+  ArgParser p(3, argv);
+  (void)p.get_u64("words", 64, "");
+  EXPECT_THROW(p.finish(), std::invalid_argument);
+}
+
+TEST(Cli, BadIntegerThrows) {
+  const char* argv[] = {"prog", "--words", "abc"};
+  ArgParser p(3, argv);
+  EXPECT_THROW((void)p.get_u64("words", 0, ""), std::invalid_argument);
+}
+
+TEST(Cli, HelpDetected) {
+  const char* argv[] = {"prog", "--help"};
+  ArgParser p(2, argv);
+  EXPECT_TRUE(p.help_requested());
+}
+
+TEST(Cli, PositionalCollected) {
+  const char* argv[] = {"prog", "input.txt", "--n", "4", "more"};
+  ArgParser p(5, argv);
+  (void)p.get_u64("n", 0, "");
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "input.txt");
+  EXPECT_EQ(p.positional()[1], "more");
+}
+
+// ----------------------------------------------------------------- require
+
+TEST(Require, ThrowsMatchingTypes) {
+  EXPECT_NO_THROW(require(true, "ok"));
+  EXPECT_THROW(require(false, "bad"), std::invalid_argument);
+  EXPECT_THROW(require_in_range(false, "bad"), std::out_of_range);
+  EXPECT_THROW(ensure(false, "bad"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace fastdiag
