@@ -134,8 +134,8 @@ void table_register_ablation() {
     config.spare_rows = 64;
     bisd::SocUnderTest soc;
     soc.add_memory(config, truth);
-    bisd::BaselineScheme scheme;
-    const auto result = scheme.diagnose(soc);
+    const auto scheme = core::SchemeRegistry::global().make("baseline", {});
+    const auto result = scheme->diagnose(soc);
     table.add_row({std::to_string(rows), std::to_string(result.iterations),
                    fmt_double(static_cast<double>(
                                   result.log.distinct_cell_count()) /

@@ -69,18 +69,19 @@ void table_scheme_level() {
     return out;
   }();
 
+  // Schemes come from the v2 registry by name — the same factories every
+  // API client uses.
+  auto& registry = core::SchemeRegistry::global();
   double base_total = 0, prop_total = 0, nwrtm_total = 0;
   for (const auto& population : populations) {
-    const double base = scheme_detection(population, [] {
-      return std::make_unique<bisd::BaselineScheme>();
+    const double base = scheme_detection(population, [&registry] {
+      return registry.make("baseline", {});
     });
-    const double prop = scheme_detection(population, [] {
-      bisd::FastSchemeOptions options;
-      options.include_drf = false;
-      return std::make_unique<bisd::FastScheme>(options);
+    const double prop = scheme_detection(population, [&registry] {
+      return registry.make("fast-without-drf", {});
     });
-    const double nwrtm = scheme_detection(population, [] {
-      return std::make_unique<bisd::FastScheme>();
+    const double nwrtm = scheme_detection(population, [&registry] {
+      return registry.make("fast", {});
     });
     base_total += base;
     prop_total += prop;

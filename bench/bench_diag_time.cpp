@@ -105,15 +105,13 @@ void table_simulated() {
     faults::InjectionSpec spec;
     spec.cell_defect_rate = rate;
 
+    auto& registry = core::SchemeRegistry::global();
     auto base_soc = bisd::SocUnderTest::from_injection({config}, spec, 21);
-    bisd::BaselineScheme baseline;
-    const auto base = baseline.diagnose(base_soc);
+    const auto base = registry.make("baseline", {})->diagnose(base_soc);
 
     auto fast_soc = bisd::SocUnderTest::from_injection({config}, spec, 21);
-    bisd::FastSchemeOptions options;
-    options.include_drf = false;
-    bisd::FastScheme fast(options);
-    const auto quick = fast.diagnose(fast_soc);
+    const auto quick =
+        registry.make("fast-without-drf", {})->diagnose(fast_soc);
 
     const auto identity =
         (17 + 9 * base.iterations) * static_cast<std::uint64_t>(n) * c;
@@ -141,10 +139,9 @@ void BM_FastSchemeDiagnose(benchmark::State& state) {
   faults::InjectionSpec spec;
   for (auto _ : state) {
     auto soc = bisd::SocUnderTest::from_injection({config}, spec, 3);
-    bisd::FastSchemeOptions options;
-    options.include_drf = false;
-    bisd::FastScheme scheme(options);
-    benchmark::DoNotOptimize(scheme.diagnose(soc));
+    const auto scheme =
+        core::SchemeRegistry::global().make("fast-without-drf", {});
+    benchmark::DoNotOptimize(scheme->diagnose(soc));
   }
   state.SetItemsProcessed(state.iterations() * words);
 }
@@ -160,8 +157,8 @@ void BM_BaselineDiagnose(benchmark::State& state) {
   faults::InjectionSpec spec;
   for (auto _ : state) {
     auto soc = bisd::SocUnderTest::from_injection({config}, spec, 3);
-    bisd::BaselineScheme scheme;
-    benchmark::DoNotOptimize(scheme.diagnose(soc));
+    const auto scheme = core::SchemeRegistry::global().make("baseline", {});
+    benchmark::DoNotOptimize(scheme->diagnose(soc));
   }
   state.SetItemsProcessed(state.iterations() * words);
 }

@@ -80,15 +80,13 @@ void table_simulated() {
   spec.include_retention = true;
   spec.retention_fraction = 0.5;
 
+  auto& registry = core::SchemeRegistry::global();
   auto base_soc = bisd::SocUnderTest::from_injection({config}, spec, 5);
-  bisd::BaselineSchemeOptions base_options;
-  base_options.include_drf = true;
-  bisd::BaselineScheme baseline(base_options);
-  const auto base = baseline.diagnose(base_soc);
+  const auto base =
+      registry.make("baseline-with-retention", {})->diagnose(base_soc);
 
   auto fast_soc = bisd::SocUnderTest::from_injection({config}, spec, 5);
-  bisd::FastScheme fast;  // include_drf defaults to true
-  const auto quick = fast.diagnose(fast_soc);
+  const auto quick = registry.make("fast", {})->diagnose(fast_soc);
 
   const sram::ClockDomain clock{10};
   TablePrinter table({"scheme", "k", "cycles", "pauses", "total",
@@ -135,8 +133,8 @@ void BM_MarchCwNwrtmOverFastScheme(benchmark::State& state) {
   for (auto _ : state) {
     bisd::SocUnderTest soc;
     soc.add_memory(config);
-    bisd::FastScheme scheme;
-    benchmark::DoNotOptimize(scheme.diagnose(soc));
+    const auto scheme = core::SchemeRegistry::global().make("fast", {});
+    benchmark::DoNotOptimize(scheme->diagnose(soc));
   }
   state.SetItemsProcessed(state.iterations() * config.words);
 }

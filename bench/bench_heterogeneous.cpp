@@ -50,10 +50,9 @@ void table_controller_scaling() {
     for (const auto& config : configs) {
       soc.add_memory(config);
     }
-    bisd::FastSchemeOptions options;
-    options.include_drf = false;
-    bisd::FastScheme scheme(options);
-    const auto result = scheme.diagnose(soc);
+    const auto scheme =
+        core::SchemeRegistry::global().make("fast-without-drf", {});
+    const auto result = scheme->diagnose(soc);
 
     // Redundant (wrapped) address steps per element sweep.
     std::string redundant;
@@ -83,10 +82,9 @@ void table_wraparound_correctness() {
     faults::InjectionSpec spec;
     spec.cell_defect_rate = 0.02;
     auto soc = bisd::SocUnderTest::from_injection(configs, spec, 9);
-    bisd::FastSchemeOptions options;
-    options.include_drf = false;
-    bisd::FastScheme scheme(options);
-    const auto result = scheme.diagnose(soc);
+    const auto scheme =
+        core::SchemeRegistry::global().make("fast-without-drf", {});
+    const auto result = scheme->diagnose(soc);
 
     std::size_t truth = 0, matched = 0, spurious = 0, diagnosed = 0;
     for (std::size_t i = 0; i < soc.memory_count(); ++i) {
@@ -118,10 +116,9 @@ void BM_HeterogeneousSoc(benchmark::State& state) {
     for (const auto& config : configs) {
       soc.add_memory(config);
     }
-    bisd::FastSchemeOptions options;
-    options.include_drf = false;
-    bisd::FastScheme scheme(options);
-    benchmark::DoNotOptimize(scheme.diagnose(soc));
+    const auto scheme =
+        core::SchemeRegistry::global().make("fast-without-drf", {});
+    benchmark::DoNotOptimize(scheme->diagnose(soc));
   }
 }
 BENCHMARK(BM_HeterogeneousSoc)->Arg(0)->Arg(1);

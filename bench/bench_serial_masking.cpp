@@ -99,15 +99,13 @@ void table_defect_rate_series() {
     faults::InjectionSpec spec;
     spec.cell_defect_rate = rate;
 
+    auto& registry = core::SchemeRegistry::global();
     auto base_soc = bisd::SocUnderTest::from_injection({config}, spec, 77);
-    bisd::BaselineScheme baseline;
-    const auto base = baseline.diagnose(base_soc);
+    const auto base = registry.make("baseline", {})->diagnose(base_soc);
 
     auto fast_soc = bisd::SocUnderTest::from_injection({config}, spec, 77);
-    bisd::FastSchemeOptions options;
-    options.include_drf = false;
-    bisd::FastScheme fast(options);
-    const auto quick = fast.diagnose(fast_soc);
+    const auto quick =
+        registry.make("fast-without-drf", {})->diagnose(fast_soc);
 
     const double per_iter =
         base.iterations == 0

@@ -127,6 +127,33 @@ int main(int argc, char** argv) {
         static_cast<double>(probe.ops * t_ns);
     std::printf("\nNWRTM speedup on DRF diagnosis alone: %s\n",
                 fmt_ratio(speedup).c_str());
+
+    // ---- part 3: the same story at the scheme level ---------------------
+    // A two-scheme sweep through the engine: both runs see the same
+    // DRF-heavy injection, only the diagnosis architecture differs.
+    core::SweepSpec sweep;
+    sweep.base = core::SessionSpec::builder()
+                     .add_sram(config)
+                     .defect_rate(0.01)
+                     .include_retention_faults(true)
+                     .retention_fraction(1.0)
+                     .seed(2005);
+    sweep.schemes = {"fast", "baseline-with-retention"};
+    const auto batch = core::DiagnosisEngine({.workers = 2}).run_sweep(sweep);
+    if (!batch) {
+      std::fprintf(stderr, "bad configuration — %s\n",
+                   batch.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("\nwhole-scheme comparison on a DRF-heavy %llux%llu:\n",
+                static_cast<unsigned long long>(words),
+                static_cast<unsigned long long>(bits));
+    for (const auto& scheme : batch.value().per_scheme()) {
+      std::printf("  %-26s recall %s  diagnosis time %s\n",
+                  scheme.scheme_name.c_str(),
+                  fmt_percent(scheme.recall.mean).c_str(),
+                  fmt_ns(scheme.total_ns.mean).c_str());
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -3,10 +3,14 @@
 //   $ march_lab                                  # list the library
 //   $ march_lab --matrix                         # coverage matrix
 //   $ march_lab --march "{any(w0); up(r0,w1); down(r1,w0)}" --matrix
+//   $ march_lab --march "..." --diagnose         # run it end to end
 //
 // Lists the built-in March tests with their complexities, optionally parses
 // a user-supplied March element string, and evaluates RAMSES-style fault
-// coverage on a small geometry.
+// coverage on a small geometry.  With --diagnose, the custom test is
+// registered as a scheme in the SchemeRegistry ("lab-custom") and executed
+// end to end through the DiagnosisEngine — the v2 plug-in path, no core
+// changes needed.
 #include <cstdio>
 #include <exception>
 #include <iostream>
@@ -60,6 +64,42 @@ void coverage_matrix(const march::MarchTest& test, std::uint32_t words,
   table.print(std::cout);
 }
 
+/// The registry plug-in path: wrap the custom test in a FastScheme and run
+/// it end to end over an injected SoC, exactly like a built-in scheme.
+void diagnose_custom(const march::MarchTest& test, std::uint32_t words,
+                     std::uint32_t bits) {
+  core::SchemeRegistry registry;
+  registry.register_scheme(
+      "lab-custom", {.covers_drf = false, .needs_repair_pass = false},
+      [test](const core::SchemeContext& context) {
+        bisd::FastSchemeOptions options;
+        options.clock = context.clock;
+        options.include_drf = false;
+        options.test = test;
+        return std::make_unique<bisd::FastScheme>(options);
+      });
+
+  sram::SramConfig geometry;
+  geometry.name = "lab";
+  geometry.words = words;
+  geometry.bits = bits;
+  const auto spec = core::SessionSpec::builder()
+                        .add_sram(geometry)
+                        .defect_rate(0.02)
+                        .include_retention_faults(false)
+                        .seed(2005)
+                        .scheme("lab-custom")
+                        .build(registry);
+  if (!spec) {
+    std::fprintf(stderr, "bad configuration — %s\n",
+                 spec.error().to_string().c_str());
+    return;
+  }
+  const auto report = core::DiagnosisEngine::execute(spec.value(), registry);
+  std::printf("\nend-to-end diagnosis with the custom test:\n%s",
+              report.summary().c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -71,6 +111,8 @@ int main(int argc, char** argv) {
     const auto custom =
         args.get_string("march", "", "March element string to evaluate");
     const bool matrix = args.get_flag("matrix", "run the coverage matrix");
+    const bool diagnose =
+        args.get_flag("diagnose", "run the custom test end to end");
     if (args.help_requested()) {
       args.print_help("March algorithm laboratory");
       return 0;
@@ -93,12 +135,18 @@ int main(int argc, char** argv) {
         std::printf("\n");
         coverage_matrix(test, w, b, samples);
       }
+      if (diagnose) {
+        diagnose_custom(test, w, b);
+      }
       return 0;
     }
 
     if (matrix) {
       std::printf("\n");
       coverage_matrix(march::march_cw_nwrtm(b), w, b, samples);
+    }
+    if (diagnose) {
+      diagnose_custom(march::march_cw(b), w, b);
     }
     return 0;
   } catch (const std::exception& e) {

@@ -6,6 +6,9 @@
 // (including the data-retention faults prior schemes miss), runs the
 // SPC/PSC + March CW + NWRTM diagnosis, and prints the session report plus
 // the first few scan-out records.
+//
+// v2 API shape: describe the run as an immutable SessionSpec (validated
+// up front, no run()-time surprises), then hand it to the DiagnosisEngine.
 #include <cstdio>
 #include <exception>
 
@@ -32,9 +35,18 @@ int main(int argc, char** argv) {
     config.bits = static_cast<std::uint32_t>(bits);
     config.spare_rows = 8;
 
-    core::DiagnosisSession session;
-    session.add_sram(config).defect_rate(rate).seed(seed).with_repair(true);
-    const auto report = session.run();
+    const auto spec = core::SessionSpec::builder()
+                          .add_sram(config)
+                          .defect_rate(rate)
+                          .seed(seed)
+                          .with_repair(true)
+                          .build();
+    if (!spec) {
+      std::fprintf(stderr, "bad configuration — %s\n",
+                   spec.error().to_string().c_str());
+      return 1;
+    }
+    const auto report = core::DiagnosisEngine::execute(spec.value());
 
     std::printf("%s\n", report.summary().c_str());
 

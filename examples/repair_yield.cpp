@@ -27,32 +27,48 @@ int main(int argc, char** argv) {
       return 0;
     }
     args.finish();
+    if (trials == 0) {
+      std::fprintf(stderr, "error: --trials must be > 0\n");
+      return 1;
+    }
 
     TablePrinter table({"spare rows/memory", "fully repairable", "clean after repair",
                         "avg faulty rows"});
     table.set_title("diagnose-repair yield, " + std::to_string(memories) +
                     " x 128x16 e-SRAMs, rate " + fmt_percent(rate));
 
+    // The Monte-Carlo is a seed sweep per spare budget; the engine fans
+    // the trials out across every core.
+    const core::DiagnosisEngine engine({.workers = 0});
     for (const std::uint32_t spares : {0u, 1u, 2u, 4u, 8u}) {
+      std::vector<sram::SramConfig> configs;
+      for (std::uint64_t m = 0; m < memories; ++m) {
+        sram::SramConfig config;
+        config.name = "buf" + std::to_string(m);
+        config.words = 128;
+        config.bits = 16;
+        config.spare_rows = spares;
+        configs.push_back(config);
+      }
+      core::SweepSpec sweep;
+      sweep.base = core::SessionSpec::builder()
+                       .add_srams(configs)
+                       .defect_rate(rate)
+                       .with_repair(true);
+      for (std::uint64_t trial = 0; trial < trials; ++trial) {
+        sweep.seeds.push_back(1000 + trial);
+      }
+      const auto batch = engine.run_sweep(sweep);
+      if (!batch) {
+        std::fprintf(stderr, "bad configuration — %s\n",
+                     batch.error().to_string().c_str());
+        return 1;
+      }
+
       std::uint64_t repairable = 0;
       std::uint64_t clean = 0;
       std::uint64_t faulty_rows = 0;
-      for (std::uint64_t trial = 0; trial < trials; ++trial) {
-        std::vector<sram::SramConfig> configs;
-        for (std::uint64_t m = 0; m < memories; ++m) {
-          sram::SramConfig config;
-          config.name = "buf" + std::to_string(m);
-          config.words = 128;
-          config.bits = 16;
-          config.spare_rows = spares;
-          configs.push_back(config);
-        }
-        core::DiagnosisSession session;
-        session.add_srams(configs)
-            .defect_rate(rate)
-            .seed(1000 + trial)
-            .with_repair(true);
-        const auto report = session.run();
+      for (const auto& report : batch.value().runs) {
         if (report.repair->fully_repairable()) {
           ++repairable;
         }

@@ -1,0 +1,199 @@
+#include "core/engine.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "bisd/repair.h"
+#include "bisd/soc.h"
+#include "util/require.h"
+
+namespace fastdiag::core {
+
+std::size_t SweepSpec::cardinality() const {
+  const auto axis = [](std::size_t size) { return size == 0 ? 1 : size; };
+  return axis(socs.size()) * axis(schemes.size()) *
+         axis(defect_rates.size()) * axis(seeds.size());
+}
+
+Expected<std::vector<SessionSpec>, ConfigError> SweepSpec::expand(
+    const SchemeRegistry& registry) const {
+  for (const auto& soc : socs) {
+    if (soc.empty()) {
+      return make_unexpected(ConfigError{
+          ConfigErrorCode::empty_sweep,
+          "sweep axis 'socs' contains an empty configuration list"});
+    }
+  }
+  std::vector<SessionSpec> specs;
+  specs.reserve(cardinality());
+
+  // Single-iteration stand-ins keep the nested loops uniform when an axis
+  // is empty (base value applies).
+  const std::size_t soc_n = socs.empty() ? 1 : socs.size();
+  const std::size_t scheme_n = schemes.empty() ? 1 : schemes.size();
+  const std::size_t rate_n = defect_rates.empty() ? 1 : defect_rates.size();
+  const std::size_t seed_n = seeds.empty() ? 1 : seeds.size();
+
+  for (std::size_t si = 0; si < soc_n; ++si) {
+    for (std::size_t ci = 0; ci < scheme_n; ++ci) {
+      for (std::size_t ri = 0; ri < rate_n; ++ri) {
+        for (std::size_t di = 0; di < seed_n; ++di) {
+          auto builder = base;
+          if (!socs.empty()) {
+            builder.clear_srams().add_srams(socs[si]);
+          }
+          if (!schemes.empty()) {
+            builder.scheme(schemes[ci]);
+          }
+          if (!defect_rates.empty()) {
+            builder.defect_rate(defect_rates[ri]);
+          }
+          if (!seeds.empty()) {
+            builder.seed(seeds[di]);
+          }
+          auto spec = builder.build(registry);
+          if (!spec) {
+            return make_unexpected(spec.error());
+          }
+          specs.push_back(std::move(spec).value());
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+DiagnosisEngine::DiagnosisEngine(EngineOptions options)
+    : options_(options) {}
+
+std::size_t DiagnosisEngine::worker_count(std::size_t batch_size) const {
+  std::size_t workers = options_.workers;
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) {
+      workers = 1;
+    }
+  }
+  if (batch_size < workers) {
+    workers = batch_size;
+  }
+  return workers == 0 ? 1 : workers;
+}
+
+const SchemeRegistry& DiagnosisEngine::registry() const {
+  return options_.registry != nullptr ? *options_.registry
+                                      : SchemeRegistry::global();
+}
+
+Report DiagnosisEngine::execute(const SessionSpec& spec,
+                                const SchemeRegistry& registry) {
+  auto soc = bisd::SocUnderTest::from_injection(spec.configs(),
+                                                spec.injection(), spec.seed());
+  auto scheme = registry.make(spec.scheme(), {.clock = spec.clock()});
+
+  Report report;
+  report.scheme_name = spec.scheme();
+  report.scheme_description = scheme->name();
+  report.seed = spec.seed();
+  report.defect_rate = spec.injection().cell_defect_rate;
+  report.injected_faults = soc.total_faults();
+  report.result = scheme->diagnose(soc);
+  report.total_ns = report.result.total_ns(spec.clock());
+
+  for (std::size_t i = 0; i < soc.memory_count(); ++i) {
+    report.matches.push_back(faults::match_diagnosis(
+        soc.truth(i), report.result.log.cells(i), soc.config(i)));
+  }
+
+  if (spec.repair()) {
+    bool repairable = false;
+    if (spec.column_spares()) {
+      report.repair_2d = bisd::plan_repair_2d(report.result.log, soc);
+      bisd::apply_repair(soc, *report.repair_2d);
+      repairable = report.repair_2d->fully_repairable();
+    } else {
+      report.repair = bisd::plan_repair(report.result.log, soc);
+      bisd::apply_repair(soc, *report.repair);
+      repairable = report.repair->fully_repairable();
+    }
+    const auto verify = scheme->diagnose(soc);
+    // Clean when nothing new shows up beyond what we could not repair.
+    report.repair_verified_clean = repairable && verify.log.empty();
+  }
+  return report;
+}
+
+AggregateReport DiagnosisEngine::run_batch(
+    const std::vector<SessionSpec>& specs,
+    const RunObserver& observer) const {
+  AggregateReport aggregate;
+  aggregate.runs.resize(specs.size());
+  if (specs.empty()) {
+    return aggregate;
+  }
+
+  const SchemeRegistry& schemes = registry();
+  const std::size_t workers = worker_count(specs.size());
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      aggregate.runs[i] = execute(specs[i], schemes);
+      if (observer) {
+        observer(i, aggregate.runs[i]);
+      }
+    }
+    return aggregate;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex observer_mutex;
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= specs.size()) {
+        return;
+      }
+      try {
+        aggregate.runs[i] = execute(specs[i], schemes);
+        if (observer) {
+          const std::lock_guard<std::mutex> lock(observer_mutex);
+          observer(i, aggregate.runs[i]);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back(worker);
+  }
+  for (auto& thread : pool) {
+    thread.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+  return aggregate;
+}
+
+Expected<AggregateReport, ConfigError> DiagnosisEngine::run_sweep(
+    const SweepSpec& sweep, const RunObserver& observer) const {
+  auto specs = sweep.expand(registry());
+  if (!specs) {
+    return make_unexpected(specs.error());
+  }
+  return run_batch(specs.value(), observer);
+}
+
+}  // namespace fastdiag::core

@@ -1,0 +1,94 @@
+// DiagnosisEngine: batched, parallel execution of validated SessionSpecs.
+//
+// Each run owns its RNG, its SoC and its scheme instance, so runs are
+// embarrassingly parallel: the engine fans a batch out across a worker
+// thread pool and still produces bit-identical per-run Reports to serial
+// execution — a Report depends only on its spec, never on scheduling.
+//
+// SweepSpec builds such batches declaratively: the cartesian product of
+// SoC configurations x schemes x defect rates x seeds over a shared base
+// spec, validated axis by axis through the same Expected pipeline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/errors.h"
+#include "core/expected.h"
+#include "core/report.h"
+#include "core/spec.h"
+
+namespace fastdiag::core {
+
+/// Cartesian sweep over a base spec.  An empty axis keeps the base value;
+/// a non-empty axis replaces it with each listed value in turn.  Expansion
+/// order is socs (outermost), then schemes, then defect rates, then seeds
+/// (innermost) — AggregateReport::runs follows this order.
+struct SweepSpec {
+  SessionSpec::Builder base;
+
+  std::vector<std::vector<sram::SramConfig>> socs;
+  std::vector<std::string> schemes;
+  std::vector<double> defect_rates;
+  std::vector<std::uint64_t> seeds;
+
+  /// Number of specs expand() yields: the product of every non-empty
+  /// axis's size (empty axes count as 1).
+  [[nodiscard]] std::size_t cardinality() const;
+
+  /// Expands the product into validated specs.  Fails with the first
+  /// per-spec ConfigError, or with empty_sweep when an axis is explicitly
+  /// empty of usable values (e.g. socs contains an empty config list).
+  [[nodiscard]] Expected<std::vector<SessionSpec>, ConfigError> expand(
+      const SchemeRegistry& registry = SchemeRegistry::global()) const;
+};
+
+struct EngineOptions {
+  /// Worker threads for run_batch(); 0 picks the hardware concurrency.
+  /// Batches of one spec and workers == 1 never spawn threads.
+  std::size_t workers = 1;
+
+  /// Registry schemes are resolved from; nullptr means the global one.
+  /// Must outlive the engine.
+  const SchemeRegistry* registry = nullptr;
+};
+
+class DiagnosisEngine {
+ public:
+  explicit DiagnosisEngine(EngineOptions options = {});
+
+  /// Executes one spec on the calling thread: injects defects, runs the
+  /// scheme, scores against ground truth, optionally repairs + re-verifies.
+  [[nodiscard]] static Report execute(
+      const SessionSpec& spec,
+      const SchemeRegistry& registry = SchemeRegistry::global());
+
+  /// Called once per finished run, possibly from a worker thread but never
+  /// concurrently (the engine serializes observer calls).  @p index is the
+  /// run's position in the submitted batch; completion order across
+  /// indices is unspecified under > 1 worker.
+  using RunObserver = std::function<void(std::size_t index, const Report&)>;
+
+  /// Executes the batch across the worker pool and aggregates.  Per-run
+  /// Reports land in AggregateReport::runs at their submission index.
+  [[nodiscard]] AggregateReport run_batch(
+      const std::vector<SessionSpec>& specs,
+      const RunObserver& observer = {}) const;
+
+  /// Convenience: expand the sweep, then run_batch() the product.
+  [[nodiscard]] Expected<AggregateReport, ConfigError> run_sweep(
+      const SweepSpec& sweep, const RunObserver& observer = {}) const;
+
+  /// Threads run_batch() would use for a batch of @p batch_size runs.
+  [[nodiscard]] std::size_t worker_count(std::size_t batch_size) const;
+
+ private:
+  [[nodiscard]] const SchemeRegistry& registry() const;
+
+  EngineOptions options_;
+};
+
+}  // namespace fastdiag::core

@@ -1,0 +1,26 @@
+#include "core/errors.h"
+
+#include "util/require.h"
+
+namespace fastdiag::core {
+
+const char* config_error_code_name(ConfigErrorCode code) {
+  switch (code) {
+    case ConfigErrorCode::no_memory: return "no_memory";
+    case ConfigErrorCode::invalid_memory: return "invalid_memory";
+    case ConfigErrorCode::invalid_clock: return "invalid_clock";
+    case ConfigErrorCode::invalid_defect_rate: return "invalid_defect_rate";
+    case ConfigErrorCode::invalid_retention_fraction:
+      return "invalid_retention_fraction";
+    case ConfigErrorCode::unknown_scheme: return "unknown_scheme";
+    case ConfigErrorCode::empty_sweep: return "empty_sweep";
+  }
+  ensure(false, "config_error_code_name: unknown code");
+  return "?";
+}
+
+std::string ConfigError::to_string() const {
+  return std::string(config_error_code_name(code)) + ": " + message;
+}
+
+}  // namespace fastdiag::core

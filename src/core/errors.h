@@ -1,0 +1,32 @@
+// Configuration-error vocabulary of the spec-building layer.
+//
+// SessionSpec::Builder::build() and SweepSpec::expand() return
+// Expected<..., ConfigError>; the code enumerates every way a spec can be
+// rejected so callers can branch without string matching.
+#pragma once
+
+#include <string>
+
+namespace fastdiag::core {
+
+enum class ConfigErrorCode {
+  no_memory,                   ///< the spec names no SRAM at all
+  invalid_memory,              ///< an SramConfig failed its own validate()
+  invalid_clock,               ///< controller clock period is zero
+  invalid_defect_rate,         ///< defect rate outside [0, 1]
+  invalid_retention_fraction,  ///< retention fraction outside [0, 1]
+  unknown_scheme,              ///< scheme name not present in the registry
+  empty_sweep,                 ///< a sweep axis was set but expands to nothing
+};
+
+[[nodiscard]] const char* config_error_code_name(ConfigErrorCode code);
+
+struct ConfigError {
+  ConfigErrorCode code;
+  std::string message;
+
+  /// "unknown_scheme: no scheme named 'marchx' is registered"
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace fastdiag::core

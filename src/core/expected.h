@@ -1,0 +1,74 @@
+// A minimal Expected<T, E>: either a value or an error, never both.
+//
+// The spec-building layer reports configuration problems as values instead
+// of exceptions (construction of a SessionSpec is an ordinary, fallible
+// operation, not a programming error), and the project targets C++20, so it
+// carries its own small vocabulary type rather than requiring
+// std::expected from C++23.
+#pragma once
+
+#include <utility>
+#include <variant>
+
+#include "util/require.h"
+
+namespace fastdiag::core {
+
+/// Tag wrapper distinguishing an error from a value when T and E convert
+/// into each other.  Usually constructed through make_unexpected().
+template <typename E>
+struct Unexpected {
+  E error;
+};
+
+template <typename E>
+[[nodiscard]] Unexpected<std::decay_t<E>> make_unexpected(E&& error) {
+  return Unexpected<std::decay_t<E>>{std::forward<E>(error)};
+}
+
+template <typename T, typename E>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Unexpected<E> unexpected)
+      : storage_(std::in_place_index<1>, std::move(unexpected.error)) {}
+
+  [[nodiscard]] bool has_value() const { return storage_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  /// Accessors ensure() the matching state; violating them is a logic
+  /// error in the caller, not a recoverable condition.
+  [[nodiscard]] const T& value() const& {
+    ensure(has_value(), "Expected::value: holds an error");
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    ensure(has_value(), "Expected::value: holds an error");
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    ensure(has_value(), "Expected::value: holds an error");
+    return std::get<0>(std::move(storage_));
+  }
+
+  [[nodiscard]] const E& error() const& {
+    ensure(!has_value(), "Expected::error: holds a value");
+    return std::get<1>(storage_);
+  }
+  [[nodiscard]] E& error() & {
+    ensure(!has_value(), "Expected::error: holds a value");
+    return std::get<1>(storage_);
+  }
+
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return has_value() ? std::get<0>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, E> storage_;
+};
+
+}  // namespace fastdiag::core

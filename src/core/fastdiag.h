@@ -4,12 +4,31 @@
 //
 //   #include "core/fastdiag.h"
 //
-//   fastdiag::core::DiagnosisSession session;
-//   session.add_sram(fastdiag::sram::benchmark_sram())
-//          .defect_rate(0.01)
-//          .seed(42);
-//   const auto report = session.run();
+//   using namespace fastdiag;
+//
+//   // Build an immutable, up-front-validated spec...
+//   const auto spec = core::SessionSpec::builder()
+//                         .add_sram(sram::benchmark_sram())
+//                         .defect_rate(0.01)
+//                         .seed(42)
+//                         .build();
+//   if (!spec) {
+//     std::cerr << spec.error().to_string() << '\n';
+//     return 1;
+//   }
+//   // ...and run it; or sweep seeds x schemes across a worker pool:
+//   const auto report = core::DiagnosisEngine::execute(spec.value());
 //   std::cout << report.summary();
+//
+//   core::SweepSpec sweep;
+//   sweep.base = spec.value().rebuild();
+//   sweep.schemes = {"fast", "baseline"};
+//   sweep.seeds = {1, 2, 3, 4};
+//   const auto batch = core::DiagnosisEngine({.workers = 8}).run_sweep(sweep);
+//   std::cout << batch.value().summary();
+//
+// Custom schemes plug into core::SchemeRegistry::global() by name; see
+// README.md for the v1 -> v2 migration guide.
 //
 // Reproduction of: B. Wang, Y. Wu, A. Ivanov, "A Fast Diagnosis Scheme for
 // Distributed Small Embedded SRAMs", DATE 2005.
@@ -21,7 +40,13 @@
 #include "bisd/fast_scheme.h"      // IWYU pragma: export
 #include "bisd/repair.h"           // IWYU pragma: export
 #include "bisd/soc.h"              // IWYU pragma: export
+#include "core/engine.h"           // IWYU pragma: export
+#include "core/errors.h"           // IWYU pragma: export
+#include "core/expected.h"         // IWYU pragma: export
+#include "core/registry.h"         // IWYU pragma: export
+#include "core/report.h"           // IWYU pragma: export
 #include "core/session.h"          // IWYU pragma: export
+#include "core/spec.h"             // IWYU pragma: export
 #include "faults/dictionary.h"     // IWYU pragma: export
 #include "faults/fault_set.h"      // IWYU pragma: export
 #include "faults/injector.h"       // IWYU pragma: export
@@ -37,11 +62,11 @@
 
 namespace fastdiag {
 
-inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMajor = 2;
 inline constexpr int kVersionMinor = 0;
 inline constexpr int kVersionPatch = 0;
 
-/// "1.0.0"
-[[nodiscard]] inline const char* version() { return "1.0.0"; }
+/// "2.0.0"
+[[nodiscard]] inline const char* version() { return "2.0.0"; }
 
 }  // namespace fastdiag

@@ -1,0 +1,188 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "util/format.h"
+#include "util/require.h"
+#include "util/table.h"
+
+namespace fastdiag::core {
+
+double Report::overall_recall() const {
+  std::size_t truth = 0;
+  std::size_t matched = 0;
+  for (const auto& match : matches) {
+    truth += match.truth_faults;
+    matched += match.matched_faults;
+  }
+  return truth == 0 ? 1.0
+                    : static_cast<double>(matched) /
+                          static_cast<double>(truth);
+}
+
+std::string Report::summary() const {
+  std::ostringstream out;
+  out << "scheme:            " << scheme_name;
+  if (!scheme_description.empty() && scheme_description != scheme_name) {
+    out << " — " << scheme_description;
+  }
+  out << '\n';
+  out << "injected faults:   " << injected_faults << '\n';
+  out << "diagnosed cells:   " << result.log.distinct_cell_count() << '\n';
+  out << "recall:            " << fmt_percent(overall_recall()) << '\n';
+  out << "iterations (k):    " << result.iterations << '\n';
+  out << "controller cycles: " << fmt_count(result.time.cycles) << '\n';
+  out << "retention pauses:  "
+      << fmt_ns(static_cast<double>(result.time.pause_ns)) << '\n';
+  out << "diagnosis time:    " << fmt_ns(static_cast<double>(total_ns))
+      << '\n';
+  if (repair) {
+    out << "repaired rows:     " << repair->repaired_row_count() << '\n';
+    out << "unrepaired rows:   " << repair->unrepaired_row_count() << '\n';
+  }
+  if (repair_2d) {
+    out << "spare rows used:   " << repair_2d->spare_rows_used() << '\n';
+    out << "spare cols used:   " << repair_2d->spare_cols_used() << '\n';
+    std::size_t unrepaired = 0;
+    for (const auto& m : repair_2d->memories) {
+      unrepaired += m.unrepaired.size();
+    }
+    out << "unrepaired cells:  " << unrepaired << '\n';
+  }
+  if (repair || repair_2d) {
+    out << "post-repair clean: " << (repair_verified_clean ? "yes" : "no")
+        << '\n';
+  }
+  return out.str();
+}
+
+namespace {
+
+/// Nearest-rank percentile over an ascending @p sorted vector.
+std::uint64_t percentile_of(const std::vector<std::uint64_t>& sorted,
+                            double percentile) {
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(percentile / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+template <typename Values>
+RunStats stats_of(const Values& values) {
+  RunStats stats;
+  if (values.empty()) {
+    return stats;
+  }
+  stats.min = stats.max = static_cast<double>(values.front());
+  double sum = 0.0;
+  for (const auto value : values) {
+    const double v = static_cast<double>(value);
+    stats.min = std::min(stats.min, v);
+    stats.max = std::max(stats.max, v);
+    sum += v;
+  }
+  stats.mean = sum / static_cast<double>(values.size());
+  return stats;
+}
+
+}  // namespace
+
+RunStats AggregateReport::recall_stats() const {
+  std::vector<double> recalls;
+  recalls.reserve(runs.size());
+  for (const auto& run : runs) {
+    recalls.push_back(run.overall_recall());
+  }
+  return stats_of(recalls);
+}
+
+RunStats AggregateReport::diagnosis_time_stats_ns() const {
+  std::vector<std::uint64_t> times;
+  times.reserve(runs.size());
+  for (const auto& run : runs) {
+    times.push_back(run.total_ns);
+  }
+  return stats_of(times);
+}
+
+std::vector<std::uint64_t> AggregateReport::diagnosis_times_ns() const {
+  std::vector<std::uint64_t> times;
+  times.reserve(runs.size());
+  for (const auto& run : runs) {
+    times.push_back(run.total_ns);
+  }
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+std::uint64_t AggregateReport::diagnosis_time_percentile_ns(
+    double percentile) const {
+  require(percentile >= 0.0 && percentile <= 100.0,
+          "AggregateReport: percentile outside [0, 100]");
+  const auto times = diagnosis_times_ns();
+  require(!times.empty(), "AggregateReport: no runs to take percentiles of");
+  return percentile_of(times, percentile);
+}
+
+std::vector<AggregateReport::SchemeSummary> AggregateReport::per_scheme()
+    const {
+  std::map<std::string, std::vector<const Report*>> by_scheme;
+  for (const auto& run : runs) {
+    by_scheme[run.scheme_name].push_back(&run);
+  }
+  std::vector<SchemeSummary> out;
+  out.reserve(by_scheme.size());
+  for (const auto& [name, scheme_runs] : by_scheme) {
+    SchemeSummary summary;
+    summary.scheme_name = name;
+    summary.runs = scheme_runs.size();
+    std::vector<double> recalls;
+    std::vector<std::uint64_t> times;
+    recalls.reserve(scheme_runs.size());
+    times.reserve(scheme_runs.size());
+    for (const auto* run : scheme_runs) {
+      recalls.push_back(run->overall_recall());
+      times.push_back(run->total_ns);
+    }
+    summary.recall = stats_of(recalls);
+    summary.total_ns = stats_of(times);
+    out.push_back(std::move(summary));
+  }
+  return out;
+}
+
+std::string AggregateReport::summary() const {
+  std::ostringstream out;
+  out << "runs:              " << runs.size() << '\n';
+  if (runs.empty()) {
+    return out.str();
+  }
+  const auto recall = recall_stats();
+  const auto time = diagnosis_time_stats_ns();
+  out << "recall:            mean " << fmt_percent(recall.mean) << "  min "
+      << fmt_percent(recall.min) << "  max " << fmt_percent(recall.max)
+      << '\n';
+  out << "diagnosis time:    mean " << fmt_ns(time.mean) << "  min "
+      << fmt_ns(time.min) << "  max " << fmt_ns(time.max) << '\n';
+  const auto times = diagnosis_times_ns();
+  const auto percentile = [&times](double p) {
+    return static_cast<double>(percentile_of(times, p));
+  };
+  out << "time p50/p90/p99:  " << fmt_ns(percentile(50.0)) << " / "
+      << fmt_ns(percentile(90.0)) << " / " << fmt_ns(percentile(99.0))
+      << '\n';
+  const auto schemes = per_scheme();
+  if (schemes.size() > 1) {
+    out << "per scheme:\n";
+    for (const auto& scheme : schemes) {
+      out << "  " << scheme.scheme_name << ": runs " << scheme.runs
+          << "  recall mean " << fmt_percent(scheme.recall.mean)
+          << "  time mean " << fmt_ns(scheme.total_ns.mean) << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace fastdiag::core

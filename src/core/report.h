@@ -1,0 +1,89 @@
+// Per-run and aggregate reporting of diagnosis results.
+//
+// Report is what one executed SessionSpec produces: the diagnosis log and
+// timing, per-memory scoring against the injected ground truth, and the
+// optional repair outcome.  AggregateReport is what a batch produces:
+// every per-run Report (in spec order, independent of execution order)
+// plus recall/time distributions and per-scheme comparisons.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bisd/repair.h"
+#include "bisd/scheme.h"
+#include "faults/dictionary.h"
+
+namespace fastdiag::core {
+
+struct Report {
+  /// Registry key of the scheme that ran ("fast", "baseline", ...); the
+  /// identity AggregateReport groups by.
+  std::string scheme_name;
+
+  /// The scheme's own descriptive name, e.g. "fast-spc-psc (March CW+NWRTM)".
+  std::string scheme_description;
+
+  std::uint64_t seed = 0;
+  double defect_rate = 0.0;
+
+  bisd::DiagnosisResult result;
+  std::vector<faults::MatchReport> matches;  ///< per memory
+  std::uint64_t total_ns = 0;
+  std::size_t injected_faults = 0;
+
+  /// Only populated when the spec asked for repair; exactly one of the two
+  /// plans is set, depending on use_column_spares().
+  std::optional<bisd::RepairPlan> repair;
+  std::optional<bisd::RepairPlan2D> repair_2d;
+  bool repair_verified_clean = false;
+
+  /// Fault-weighted recall over every memory.
+  [[nodiscard]] double overall_recall() const;
+
+  /// Human-readable multi-line summary.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Minimum / mean / maximum of one metric across a batch.
+struct RunStats {
+  double min = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+struct AggregateReport {
+  /// One entry per input spec, in the order the specs were submitted
+  /// (worker scheduling never reorders results).
+  std::vector<Report> runs;
+
+  [[nodiscard]] std::size_t run_count() const { return runs.size(); }
+
+  [[nodiscard]] RunStats recall_stats() const;
+  [[nodiscard]] RunStats diagnosis_time_stats_ns() const;
+
+  /// Sorted diagnosis times, for percentile reads of the distribution.
+  [[nodiscard]] std::vector<std::uint64_t> diagnosis_times_ns() const;
+
+  /// Nearest-rank percentile of the diagnosis-time distribution;
+  /// @p percentile in [0, 100].
+  [[nodiscard]] std::uint64_t diagnosis_time_percentile_ns(
+      double percentile) const;
+
+  struct SchemeSummary {
+    std::string scheme_name;
+    std::size_t runs = 0;
+    RunStats recall;
+    RunStats total_ns;
+  };
+
+  /// One row per distinct scheme in the batch, sorted by name.
+  [[nodiscard]] std::vector<SchemeSummary> per_scheme() const;
+
+  /// Human-readable multi-line summary including the per-scheme table.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace fastdiag::core

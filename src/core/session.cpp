@@ -1,13 +1,9 @@
 #include "core/session.h"
 
-#include <memory>
-#include <sstream>
+#include <stdexcept>
 
-#include "bisd/baseline_scheme.h"
-#include "bisd/fast_scheme.h"
-#include "util/format.h"
+#include "core/engine.h"
 #include "util/require.h"
-#include "util/table.h"
 
 namespace fastdiag::core {
 
@@ -23,15 +19,9 @@ std::string scheme_choice_name(SchemeChoice choice) {
   return "?";
 }
 
-faults::InjectionSpec DiagnosisSession::default_spec() {
-  faults::InjectionSpec spec;
-  spec.include_retention = true;
-  return spec;
-}
-
 DiagnosisSession& DiagnosisSession::add_sram(const sram::SramConfig& config) {
-  config.validate();
-  configs_.push_back(config);
+  config.validate();  // v1 threw from the setter; keep that contract
+  builder_.add_sram(config);
   return *this;
 }
 
@@ -45,162 +35,56 @@ DiagnosisSession& DiagnosisSession::add_srams(
 
 DiagnosisSession& DiagnosisSession::clock_ns(std::uint64_t period_ns) {
   require(period_ns > 0, "DiagnosisSession: clock period must be > 0");
-  clock_.period_ns = period_ns;
+  builder_.clock_ns(period_ns);
   return *this;
 }
 
 DiagnosisSession& DiagnosisSession::defect_rate(double rate) {
   require(rate >= 0.0 && rate <= 1.0,
           "DiagnosisSession: defect rate must be in [0,1]");
-  spec_.cell_defect_rate = rate;
+  builder_.defect_rate(rate);
   return *this;
 }
 
 DiagnosisSession& DiagnosisSession::include_retention_faults(bool include) {
-  spec_.include_retention = include;
+  builder_.include_retention_faults(include);
   return *this;
 }
 
 DiagnosisSession& DiagnosisSession::retention_fraction(double fraction) {
   require(fraction >= 0.0 && fraction <= 1.0,
           "DiagnosisSession: retention fraction must be in [0,1]");
-  spec_.retention_fraction = fraction;
+  builder_.retention_fraction(fraction);
   return *this;
 }
 
 DiagnosisSession& DiagnosisSession::seed(std::uint64_t seed) {
-  seed_ = seed;
+  builder_.seed(seed);
   return *this;
 }
 
 DiagnosisSession& DiagnosisSession::scheme(SchemeChoice choice) {
-  choice_ = choice;
+  builder_.scheme(scheme_choice_name(choice));
   return *this;
 }
 
 DiagnosisSession& DiagnosisSession::with_repair(bool repair) {
-  repair_ = repair;
+  builder_.with_repair(repair);
   return *this;
 }
 
 DiagnosisSession& DiagnosisSession::use_column_spares(bool use) {
-  column_spares_ = use;
+  builder_.use_column_spares(use);
   return *this;
 }
 
-namespace {
-
-std::unique_ptr<bisd::DiagnosisScheme> make_scheme(
-    SchemeChoice choice, const sram::ClockDomain& clock) {
-  switch (choice) {
-    case SchemeChoice::fast: {
-      bisd::FastSchemeOptions options;
-      options.clock = clock;
-      options.include_drf = true;
-      return std::make_unique<bisd::FastScheme>(options);
-    }
-    case SchemeChoice::fast_without_drf: {
-      bisd::FastSchemeOptions options;
-      options.clock = clock;
-      options.include_drf = false;
-      return std::make_unique<bisd::FastScheme>(options);
-    }
-    case SchemeChoice::baseline: {
-      bisd::BaselineSchemeOptions options;
-      options.clock = clock;
-      options.include_drf = false;
-      return std::make_unique<bisd::BaselineScheme>(options);
-    }
-    case SchemeChoice::baseline_with_retention: {
-      bisd::BaselineSchemeOptions options;
-      options.clock = clock;
-      options.include_drf = true;
-      return std::make_unique<bisd::BaselineScheme>(options);
-    }
-  }
-  ensure(false, "make_scheme: unknown choice");
-  return nullptr;
-}
-
-}  // namespace
-
-double DiagnosisSession::Report::overall_recall() const {
-  std::size_t truth = 0;
-  std::size_t matched = 0;
-  for (const auto& match : matches) {
-    truth += match.truth_faults;
-    matched += match.matched_faults;
-  }
-  return truth == 0 ? 1.0
-                    : static_cast<double>(matched) /
-                          static_cast<double>(truth);
-}
-
-std::string DiagnosisSession::Report::summary() const {
-  std::ostringstream out;
-  out << "scheme:            " << scheme_name << '\n';
-  out << "injected faults:   " << injected_faults << '\n';
-  out << "diagnosed cells:   " << result.log.distinct_cell_count() << '\n';
-  out << "recall:            " << fmt_percent(overall_recall()) << '\n';
-  out << "iterations (k):    " << result.iterations << '\n';
-  out << "controller cycles: " << fmt_count(result.time.cycles) << '\n';
-  out << "retention pauses:  " << fmt_ns(static_cast<double>(result.time.pause_ns))
-      << '\n';
-  out << "diagnosis time:    " << fmt_ns(static_cast<double>(total_ns))
-      << '\n';
-  if (repair) {
-    out << "repaired rows:     " << repair->repaired_row_count() << '\n';
-    out << "unrepaired rows:   " << repair->unrepaired_row_count() << '\n';
-  }
-  if (repair_2d) {
-    out << "spare rows used:   " << repair_2d->spare_rows_used() << '\n';
-    out << "spare cols used:   " << repair_2d->spare_cols_used() << '\n';
-    std::size_t unrepaired = 0;
-    for (const auto& m : repair_2d->memories) {
-      unrepaired += m.unrepaired.size();
-    }
-    out << "unrepaired cells:  " << unrepaired << '\n';
-  }
-  if (repair || repair_2d) {
-    out << "post-repair clean: " << (repair_verified_clean ? "yes" : "no")
-        << '\n';
-  }
-  return out.str();
-}
-
 DiagnosisSession::Report DiagnosisSession::run() {
-  require(!configs_.empty(), "DiagnosisSession: add at least one SRAM");
-
-  auto soc = bisd::SocUnderTest::from_injection(configs_, spec_, seed_);
-  auto scheme = make_scheme(choice_, clock_);
-
-  Report report;
-  report.scheme_name = scheme->name();
-  report.injected_faults = soc.total_faults();
-  report.result = scheme->diagnose(soc);
-  report.total_ns = report.result.total_ns(clock_);
-
-  for (std::size_t i = 0; i < soc.memory_count(); ++i) {
-    report.matches.push_back(faults::match_diagnosis(
-        soc.truth(i), report.result.log.cells(i), soc.config(i)));
+  const auto spec = builder_.build();
+  if (!spec) {
+    throw std::invalid_argument("DiagnosisSession: " +
+                                spec.error().to_string());
   }
-
-  if (repair_) {
-    bool repairable = false;
-    if (column_spares_) {
-      report.repair_2d = bisd::plan_repair_2d(report.result.log, soc);
-      bisd::apply_repair(soc, *report.repair_2d);
-      repairable = report.repair_2d->fully_repairable();
-    } else {
-      report.repair = bisd::plan_repair(report.result.log, soc);
-      bisd::apply_repair(soc, *report.repair);
-      repairable = report.repair->fully_repairable();
-    }
-    const auto verify = scheme->diagnose(soc);
-    // Clean when nothing new shows up beyond what we could not repair.
-    report.repair_verified_clean = repairable && verify.log.empty();
-  }
-  return report;
+  return DiagnosisEngine::execute(spec.value());
 }
 
 }  // namespace fastdiag::core

@@ -1,27 +1,28 @@
-// DiagnosisSession: the one-stop public API.
+// DiagnosisSession: DEPRECATED v1 facade, kept as a thin shim.
 //
-// A session describes a SoC (memory configurations), a manufacturing model
-// (defect rate, retention-fault share, seed), a scheme choice, and whether
-// to repair.  run() injects defects, executes the diagnosis, scores the log
-// against the injected ground truth, optionally repairs and re-verifies,
-// and returns everything in a Report.
+// New code should build an immutable core::SessionSpec (validated up
+// front, non-throwing) and execute it through core::DiagnosisEngine —
+// which also batches, sweeps and parallelizes.  See README.md for the
+// migration guide.
+//
+// The shim preserves v1 call semantics: throwing setters, a blocking
+// run(), and the SchemeChoice enum (now mapped onto registry names).
+// One report difference: Report::scheme_name now holds the registry key
+// ("fast"); the v1 descriptive string moved to scheme_description.
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <string>
 #include <vector>
 
-#include "bisd/repair.h"
-#include "bisd/scheme.h"
-#include "bisd/soc.h"
-#include "faults/dictionary.h"
-#include "faults/injector.h"
+#include "core/report.h"
+#include "core/spec.h"
 #include "sram/config.h"
-#include "sram/timing.h"
 
 namespace fastdiag::core {
 
+/// DEPRECATED: schemes are registry names now (scheme_choice_name() gives
+/// the mapping); the enum remains for source compatibility only.
 enum class SchemeChoice {
   fast,                     ///< proposed: SPC/PSC + March CW + NWRTM
   fast_without_drf,         ///< proposed minus NWRTM (March CW only)
@@ -29,6 +30,7 @@ enum class SchemeChoice {
   baseline_with_retention,  ///< [7,8] plus the delay-based DRF block
 };
 
+/// The SchemeRegistry key the enum value maps to.
 [[nodiscard]] std::string scheme_choice_name(SchemeChoice choice);
 
 class DiagnosisSession {
@@ -59,40 +61,16 @@ class DiagnosisSession {
   /// configs with spare_cols > 0 to make a difference; default false).
   DiagnosisSession& use_column_spares(bool use);
 
-  struct Report {
-    std::string scheme_name;
-    bisd::DiagnosisResult result;
-    std::vector<faults::MatchReport> matches;  ///< per memory
-    std::uint64_t total_ns = 0;
-    std::size_t injected_faults = 0;
+  /// v1 nested type, now the shared core::Report.
+  using Report = core::Report;
 
-    /// Only populated when with_repair(true); exactly one of the two plans
-    /// is set, depending on use_column_spares().
-    std::optional<bisd::RepairPlan> repair;
-    std::optional<bisd::RepairPlan2D> repair_2d;
-    bool repair_verified_clean = false;
-
-    /// Fault-weighted recall over every memory.
-    [[nodiscard]] double overall_recall() const;
-
-    /// Human-readable multi-line summary.
-    [[nodiscard]] std::string summary() const;
-  };
-
-  /// Executes the configured session.  Throws std::invalid_argument when no
-  /// memory was added or a parameter is out of range.
+  /// Executes the configured session via DiagnosisEngine::execute().
+  /// Throws std::invalid_argument when no memory was added (parameter
+  /// errors throw from the setters, as in v1).
   [[nodiscard]] Report run();
 
  private:
-  std::vector<sram::SramConfig> configs_;
-  sram::ClockDomain clock_{10};
-  faults::InjectionSpec spec_ = default_spec();
-  std::uint64_t seed_ = 1;
-  SchemeChoice choice_ = SchemeChoice::fast;
-  bool repair_ = false;
-  bool column_spares_ = false;
-
-  [[nodiscard]] static faults::InjectionSpec default_spec();
+  SessionSpec::Builder builder_ = SessionSpec::builder();
 };
 
 }  // namespace fastdiag::core

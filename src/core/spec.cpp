@@ -1,0 +1,130 @@
+#include "core/spec.h"
+
+#include <exception>
+
+#include "util/table.h"
+
+namespace fastdiag::core {
+
+SessionSpec::Builder SessionSpec::builder() { return Builder(); }
+
+SessionSpec::Builder SessionSpec::rebuild() const {
+  Builder builder;
+  builder.draft_ = *this;
+  return builder;
+}
+
+std::string SessionSpec::label() const {
+  return scheme_ + " seed=" + std::to_string(seed_) +
+         " rate=" + fmt_percent(injection_.cell_defect_rate) +
+         " memories=" + std::to_string(configs_.size());
+}
+
+SessionSpec::Builder::Builder() {
+  draft_.injection_.include_retention = true;
+}
+
+SessionSpec::Builder& SessionSpec::Builder::add_sram(
+    const sram::SramConfig& config) {
+  draft_.configs_.push_back(config);
+  return *this;
+}
+
+SessionSpec::Builder& SessionSpec::Builder::add_srams(
+    const std::vector<sram::SramConfig>& configs) {
+  draft_.configs_.insert(draft_.configs_.end(), configs.begin(),
+                         configs.end());
+  return *this;
+}
+
+SessionSpec::Builder& SessionSpec::Builder::clear_srams() {
+  draft_.configs_.clear();
+  return *this;
+}
+
+SessionSpec::Builder& SessionSpec::Builder::clock_ns(
+    std::uint64_t period_ns) {
+  draft_.clock_.period_ns = period_ns;
+  return *this;
+}
+
+SessionSpec::Builder& SessionSpec::Builder::defect_rate(double rate) {
+  draft_.injection_.cell_defect_rate = rate;
+  return *this;
+}
+
+SessionSpec::Builder& SessionSpec::Builder::include_retention_faults(
+    bool include) {
+  draft_.injection_.include_retention = include;
+  return *this;
+}
+
+SessionSpec::Builder& SessionSpec::Builder::retention_fraction(
+    double fraction) {
+  draft_.injection_.retention_fraction = fraction;
+  return *this;
+}
+
+SessionSpec::Builder& SessionSpec::Builder::seed(std::uint64_t seed) {
+  draft_.seed_ = seed;
+  return *this;
+}
+
+SessionSpec::Builder& SessionSpec::Builder::scheme(const std::string& name) {
+  draft_.scheme_ = name;
+  return *this;
+}
+
+SessionSpec::Builder& SessionSpec::Builder::with_repair(bool repair) {
+  draft_.repair_ = repair;
+  return *this;
+}
+
+SessionSpec::Builder& SessionSpec::Builder::use_column_spares(bool use) {
+  draft_.column_spares_ = use;
+  return *this;
+}
+
+Expected<SessionSpec, ConfigError> SessionSpec::Builder::build(
+    const SchemeRegistry& registry) const {
+  const auto fail = [](ConfigErrorCode code, std::string message) {
+    return make_unexpected(ConfigError{code, std::move(message)});
+  };
+
+  if (draft_.configs_.empty()) {
+    return fail(ConfigErrorCode::no_memory,
+                "a spec needs at least one SRAM configuration");
+  }
+  for (const auto& config : draft_.configs_) {
+    try {
+      config.validate();
+    } catch (const std::exception& e) {
+      return fail(ConfigErrorCode::invalid_memory,
+                  "SRAM '" + config.name + "': " + e.what());
+    }
+  }
+  if (draft_.clock_.period_ns == 0) {
+    return fail(ConfigErrorCode::invalid_clock,
+                "controller clock period must be > 0 ns");
+  }
+  const double rate = draft_.injection_.cell_defect_rate;
+  if (!(rate >= 0.0 && rate <= 1.0)) {
+    return fail(ConfigErrorCode::invalid_defect_rate,
+                "defect rate " + std::to_string(rate) +
+                    " outside [0, 1]");
+  }
+  const double fraction = draft_.injection_.retention_fraction;
+  if (!(fraction >= 0.0 && fraction <= 1.0)) {
+    return fail(ConfigErrorCode::invalid_retention_fraction,
+                "retention fraction " + std::to_string(fraction) +
+                    " outside [0, 1]");
+  }
+  if (!registry.contains(draft_.scheme_)) {
+    return fail(ConfigErrorCode::unknown_scheme,
+                "no scheme named '" + draft_.scheme_ +
+                    "' is registered");
+  }
+  return draft_;
+}
+
+}  // namespace fastdiag::core

@@ -24,8 +24,8 @@ BitVector BitVector::from_string(const std::string& bits) {
 }
 
 BitVector BitVector::from_value(std::size_t width, std::uint64_t value) {
-  require(width <= kBitsPerWord || (value >> kBitsPerWord) == 0,
-          "BitVector::from_value: value wider than 64 bits");
+  // Bits of value at positions >= min(width, 64) are dropped; widths beyond
+  // 64 zero-fill the upper bits.
   BitVector result(width);
   for (std::size_t i = 0; i < width && i < kBitsPerWord; ++i) {
     result.set(i, ((value >> i) & 1u) != 0);

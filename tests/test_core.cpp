@@ -1,5 +1,5 @@
-// Tests for the public DiagnosisSession API (src/core) — end-to-end runs
-// over injected SoCs with scoring and repair.
+// Tests for the public API (src/core) — spec-built end-to-end runs over
+// injected SoCs with scoring and repair, plus the deprecated v1 shim.
 #include <gtest/gtest.h>
 
 #include "core/fastdiag.h"
@@ -17,25 +17,19 @@ sram::SramConfig small(const std::string& name, std::uint32_t words,
   return config;
 }
 
-TEST(Session, RequiresAtLeastOneMemory) {
-  DiagnosisSession session;
-  EXPECT_THROW((void)session.run(), std::invalid_argument);
+Report run_spec(const SessionSpec::Builder& builder) {
+  const auto spec = builder.build();
+  EXPECT_TRUE(spec.has_value())
+      << (spec ? "" : spec.error().to_string());
+  return DiagnosisEngine::execute(spec.value());
 }
 
-TEST(Session, ValidatesParameters) {
-  DiagnosisSession session;
-  EXPECT_THROW(session.defect_rate(1.5), std::invalid_argument);
-  EXPECT_THROW(session.retention_fraction(-0.1), std::invalid_argument);
-  EXPECT_THROW(session.clock_ns(0), std::invalid_argument);
-}
-
-TEST(Session, FastSchemeFullRecallOnInjectedSoc) {
-  DiagnosisSession session;
-  session.add_sram(small("a", 64, 16))
-      .add_sram(small("b", 32, 8))
-      .defect_rate(0.02)
-      .seed(7);
-  const auto report = session.run();
+TEST(Spec, FastSchemeFullRecallOnInjectedSoc) {
+  const auto report = run_spec(SessionSpec::builder()
+                                   .add_sram(small("a", 64, 16))
+                                   .add_sram(small("b", 32, 8))
+                                   .defect_rate(0.02)
+                                   .seed(7));
   EXPECT_GT(report.injected_faults, 0u);
   // March CW+NWRTM sees every injected class except some stuck-open cells
   // (cell_open defects translate to TF or SOF); recall stays high.
@@ -43,11 +37,22 @@ TEST(Session, FastSchemeFullRecallOnInjectedSoc) {
   EXPECT_EQ(report.result.iterations, 1u);
 }
 
-TEST(Session, DeterministicUnderSeed) {
+TEST(Spec, ReportEchoesTheSpec) {
+  const auto report = run_spec(SessionSpec::builder()
+                                   .add_sram(small("a", 32, 8))
+                                   .defect_rate(0.02)
+                                   .seed(7));
+  EXPECT_EQ(report.seed, 7u);
+  EXPECT_DOUBLE_EQ(report.defect_rate, 0.02);
+  EXPECT_EQ(report.scheme_name, "fast");
+}
+
+TEST(Spec, DeterministicUnderSeed) {
   const auto run = [] {
-    DiagnosisSession session;
-    session.add_sram(small("a", 64, 16)).defect_rate(0.02).seed(99);
-    return session.run();
+    return run_spec(SessionSpec::builder()
+                        .add_sram(small("a", 64, 16))
+                        .defect_rate(0.02)
+                        .seed(99));
   };
   const auto a = run();
   const auto b = run();
@@ -57,96 +62,150 @@ TEST(Session, DeterministicUnderSeed) {
             b.result.log.distinct_cell_count());
 }
 
-TEST(Session, SchemeNamesExposed) {
-  EXPECT_EQ(scheme_choice_name(SchemeChoice::fast), "fast");
-  EXPECT_EQ(scheme_choice_name(SchemeChoice::baseline), "baseline");
-  EXPECT_EQ(scheme_choice_name(SchemeChoice::baseline_with_retention),
-            "baseline-with-retention");
-  EXPECT_EQ(scheme_choice_name(SchemeChoice::fast_without_drf),
-            "fast-without-drf");
-}
-
-TEST(Session, FastBeatsBaselineOnTheSameSoc) {
-  const auto run = [](SchemeChoice choice) {
-    DiagnosisSession session;
-    session.add_sram(small("a", 32, 8, 32))
-        .defect_rate(0.25)  // enough faults to overflow the base part
-        .include_retention_faults(false)
-        .seed(5)
-        .scheme(choice);
-    return session.run();
+TEST(Spec, FastBeatsBaselineOnTheSameSoc) {
+  const auto run = [](const std::string& scheme) {
+    return run_spec(SessionSpec::builder()
+                        .add_sram(small("a", 32, 8, 32))
+                        .defect_rate(0.25)  // enough faults to overflow
+                        .include_retention_faults(false)
+                        .seed(5)
+                        .scheme(scheme));
   };
-  const auto fast = run(SchemeChoice::fast_without_drf);
-  const auto baseline = run(SchemeChoice::baseline);
+  const auto fast = run("fast-without-drf");
+  const auto baseline = run("baseline");
   EXPECT_LT(fast.total_ns, baseline.total_ns);
   EXPECT_GT(baseline.result.iterations, 1u);
   EXPECT_EQ(fast.result.iterations, 1u);
 }
 
-TEST(Session, RetentionFaultsNeedTheRightScheme) {
-  const auto run = [](SchemeChoice choice) {
-    DiagnosisSession session;
-    session.add_sram(small("a", 32, 8, 32))
-        .defect_rate(0.01)
-        .include_retention_faults(true)
-        .retention_fraction(1.0)  // plenty of DRFs
-        .seed(13)
-        .scheme(choice);
-    return session.run();
+TEST(Spec, RetentionFaultsNeedTheRightScheme) {
+  const auto run = [](const std::string& scheme) {
+    return run_spec(SessionSpec::builder()
+                        .add_sram(small("a", 32, 8, 32))
+                        .defect_rate(0.01)
+                        .include_retention_faults(true)
+                        .retention_fraction(1.0)  // plenty of DRFs
+                        .seed(13)
+                        .scheme(scheme));
   };
   // March CW without NWRTM: the DRFs stay invisible.
-  const auto blind = run(SchemeChoice::fast_without_drf);
+  const auto blind = run("fast-without-drf");
   // With NWRTM everything shows.
-  const auto seeing = run(SchemeChoice::fast);
+  const auto seeing = run("fast");
   EXPECT_GT(seeing.result.log.distinct_cell_count(),
             blind.result.log.distinct_cell_count());
   // The baseline needs the 200 ms pauses for the same coverage.
-  const auto delay = run(SchemeChoice::baseline_with_retention);
+  const auto delay = run("baseline-with-retention");
   EXPECT_GT(delay.result.time.pause_ns, 0u);
   EXPECT_EQ(seeing.result.time.pause_ns, 0u);
+  // The capability flags say the same thing up front.
+  EXPECT_TRUE(SchemeRegistry::global().capabilities("fast").covers_drf);
+  EXPECT_FALSE(
+      SchemeRegistry::global().capabilities("fast-without-drf").covers_drf);
 }
 
-TEST(Session, RepairFlowVerifiesClean) {
-  DiagnosisSession session;
-  session.add_sram(small("a", 64, 8, 64))  // spares for every row
-      .defect_rate(0.01)
-      .seed(3)
-      .with_repair(true);
-  const auto report = session.run();
+TEST(Spec, RepairFlowVerifiesClean) {
+  const auto report = run_spec(SessionSpec::builder()
+                                   .add_sram(small("a", 64, 8, 64))
+                                   .defect_rate(0.01)
+                                   .seed(3)
+                                   .with_repair(true));
   ASSERT_TRUE(report.repair.has_value());
   EXPECT_TRUE(report.repair->fully_repairable());
   EXPECT_TRUE(report.repair_verified_clean);
 }
 
-TEST(Session, ColumnSpareRepairFlow) {
+TEST(Spec, ColumnSpareRepairFlow) {
   auto config = small("a", 32, 8, 2);
   config.spare_cols = 4;
-  DiagnosisSession session;
-  session.add_sram(config)
-      .defect_rate(0.02)
-      .include_retention_faults(false)
-      .seed(8)
-      .with_repair(true)
-      .use_column_spares(true);
-  const auto report = session.run();
+  const auto report = run_spec(SessionSpec::builder()
+                                   .add_sram(config)
+                                   .defect_rate(0.02)
+                                   .include_retention_faults(false)
+                                   .seed(8)
+                                   .with_repair(true)
+                                   .use_column_spares(true));
   ASSERT_TRUE(report.repair_2d.has_value());
   EXPECT_FALSE(report.repair.has_value());
   EXPECT_NE(report.summary().find("spare cols used:"), std::string::npos);
 }
 
-TEST(Session, SummaryMentionsTheKeyNumbers) {
-  DiagnosisSession session;
-  session.add_sram(small("a", 32, 8)).defect_rate(0.02).seed(1);
-  const auto report = session.run();
+TEST(Spec, SummaryMentionsTheKeyNumbers) {
+  const auto report = run_spec(SessionSpec::builder()
+                                   .add_sram(small("a", 32, 8))
+                                   .defect_rate(0.02)
+                                   .seed(1));
   const auto text = report.summary();
   EXPECT_NE(text.find("scheme:"), std::string::npos);
   EXPECT_NE(text.find("recall:"), std::string::npos);
   EXPECT_NE(text.find("diagnosis time:"), std::string::npos);
 }
 
+TEST(Spec, RebuildDerivesVariants) {
+  const auto base = SessionSpec::builder()
+                        .add_sram(small("a", 32, 8))
+                        .defect_rate(0.02)
+                        .seed(1)
+                        .build();
+  ASSERT_TRUE(base.has_value());
+  const auto variant = base.value().rebuild().seed(2).build();
+  ASSERT_TRUE(variant.has_value());
+  EXPECT_EQ(variant.value().seed(), 2u);
+  EXPECT_EQ(variant.value().configs().size(), 1u);
+  EXPECT_DOUBLE_EQ(variant.value().injection().cell_defect_rate, 0.02);
+  // The original spec is untouched — specs are values.
+  EXPECT_EQ(base.value().seed(), 1u);
+}
+
+// ---- deprecated v1 shim ---------------------------------------------------
+
+TEST(Session, RequiresAtLeastOneMemory) {
+  DiagnosisSession session;
+  EXPECT_THROW((void)session.run(), std::invalid_argument);
+}
+
+TEST(Session, ValidatesParametersAtTheSetters) {
+  DiagnosisSession session;
+  EXPECT_THROW(session.defect_rate(1.5), std::invalid_argument);
+  EXPECT_THROW(session.retention_fraction(-0.1), std::invalid_argument);
+  EXPECT_THROW(session.clock_ns(0), std::invalid_argument);
+}
+
+TEST(Session, SchemeNamesMatchTheRegistryKeys) {
+  EXPECT_EQ(scheme_choice_name(SchemeChoice::fast), "fast");
+  EXPECT_EQ(scheme_choice_name(SchemeChoice::baseline), "baseline");
+  EXPECT_EQ(scheme_choice_name(SchemeChoice::baseline_with_retention),
+            "baseline-with-retention");
+  EXPECT_EQ(scheme_choice_name(SchemeChoice::fast_without_drf),
+            "fast-without-drf");
+  for (const auto choice :
+       {SchemeChoice::fast, SchemeChoice::fast_without_drf,
+        SchemeChoice::baseline, SchemeChoice::baseline_with_retention}) {
+    EXPECT_TRUE(SchemeRegistry::global().contains(scheme_choice_name(choice)));
+  }
+}
+
+TEST(Session, ShimMatchesEngineBitForBit) {
+  DiagnosisSession session;
+  session.add_sram(small("a", 64, 16)).defect_rate(0.02).seed(7);
+  const auto via_shim = session.run();
+
+  const auto spec = SessionSpec::builder()
+                        .add_sram(small("a", 64, 16))
+                        .defect_rate(0.02)
+                        .seed(7)
+                        .build();
+  ASSERT_TRUE(spec.has_value());
+  const auto via_engine = DiagnosisEngine::execute(spec.value());
+
+  EXPECT_EQ(via_shim.result.log.to_csv(), via_engine.result.log.to_csv());
+  EXPECT_EQ(via_shim.result.time.cycles, via_engine.result.time.cycles);
+  EXPECT_EQ(via_shim.injected_faults, via_engine.injected_faults);
+}
+
 TEST(Version, Exposed) {
-  EXPECT_STREQ(version(), "1.0.0");
-  EXPECT_EQ(kVersionMajor, 1);
+  EXPECT_STREQ(version(), "2.0.0");
+  EXPECT_EQ(kVersionMajor, 2);
 }
 
 }  // namespace

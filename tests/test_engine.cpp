@@ -1,0 +1,341 @@
+// Tests for the v2 API machinery: SessionSpec validation through
+// Expected<_, ConfigError>, the SchemeRegistry, sweep expansion, and the
+// batched parallel DiagnosisEngine (including serial-vs-parallel
+// bit-identity).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "core/fastdiag.h"
+
+namespace fastdiag::core {
+namespace {
+
+sram::SramConfig small(const std::string& name, std::uint32_t words,
+                       std::uint32_t bits, std::uint32_t spares = 16) {
+  sram::SramConfig config;
+  config.name = name;
+  config.words = words;
+  config.bits = bits;
+  config.spare_rows = spares;
+  return config;
+}
+
+// ---- SessionSpec validation ----------------------------------------------
+
+TEST(SpecValidation, EmptySpecFailsWithNoMemory) {
+  const auto spec = SessionSpec::builder().build();
+  ASSERT_FALSE(spec.has_value());
+  EXPECT_EQ(spec.error().code, ConfigErrorCode::no_memory);
+}
+
+TEST(SpecValidation, BadMemoryConfigIsNamedInTheError) {
+  sram::SramConfig broken;
+  broken.name = "zero-words";
+  broken.words = 0;
+  broken.bits = 8;
+  const auto spec = SessionSpec::builder().add_sram(broken).build();
+  ASSERT_FALSE(spec.has_value());
+  EXPECT_EQ(spec.error().code, ConfigErrorCode::invalid_memory);
+  EXPECT_NE(spec.error().message.find("zero-words"), std::string::npos);
+}
+
+TEST(SpecValidation, OutOfRangeParametersAreCaughtAtBuild) {
+  const auto base = SessionSpec::builder().add_sram(small("a", 32, 8));
+
+  auto bad_rate = base;
+  EXPECT_EQ(bad_rate.defect_rate(1.5).build().error().code,
+            ConfigErrorCode::invalid_defect_rate);
+
+  auto bad_fraction = base;
+  EXPECT_EQ(bad_fraction.retention_fraction(-0.1).build().error().code,
+            ConfigErrorCode::invalid_retention_fraction);
+
+  auto bad_clock = base;
+  EXPECT_EQ(bad_clock.clock_ns(0).build().error().code,
+            ConfigErrorCode::invalid_clock);
+}
+
+TEST(SpecValidation, UnknownSchemeFailsAtBuildNotAtRun) {
+  const auto spec = SessionSpec::builder()
+                        .add_sram(small("a", 32, 8))
+                        .scheme("no-such-scheme")
+                        .build();
+  ASSERT_FALSE(spec.has_value());
+  EXPECT_EQ(spec.error().code, ConfigErrorCode::unknown_scheme);
+  EXPECT_NE(spec.error().to_string().find("unknown_scheme"),
+            std::string::npos);
+}
+
+TEST(SpecValidation, BuildersNeverThrow) {
+  // The whole point of the Expected pipeline: collecting bad values is
+  // fine, only build() reports them.
+  EXPECT_NO_THROW(SessionSpec::builder()
+                      .defect_rate(42.0)
+                      .retention_fraction(-3.0)
+                      .clock_ns(0)
+                      .scheme("bogus"));
+}
+
+// ---- SchemeRegistry -------------------------------------------------------
+
+TEST(Registry, BuiltinsAreRegistered) {
+  auto& registry = SchemeRegistry::global();
+  for (const char* name : {"fast", "fast-without-drf", "baseline",
+                           "baseline-with-retention"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+  }
+  const auto names = registry.names();
+  EXPECT_GE(names.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Registry, CapabilitiesDescribeTheBuiltins) {
+  auto& registry = SchemeRegistry::global();
+  EXPECT_TRUE(registry.capabilities("fast").covers_drf);
+  EXPECT_FALSE(registry.capabilities("fast").needs_repair_pass);
+  EXPECT_FALSE(registry.capabilities("baseline").covers_drf);
+  EXPECT_TRUE(registry.capabilities("baseline").needs_repair_pass);
+  EXPECT_TRUE(
+      registry.capabilities("baseline-with-retention").covers_drf);
+}
+
+TEST(Registry, UnknownNamesThrowOnUse) {
+  auto& registry = SchemeRegistry::global();
+  EXPECT_FALSE(registry.contains("no-such-scheme"));
+  EXPECT_THROW((void)registry.make("no-such-scheme", {}),
+               std::invalid_argument);
+  EXPECT_THROW((void)registry.capabilities("no-such-scheme"),
+               std::invalid_argument);
+}
+
+TEST(Registry, UserSchemesPlugInWithoutTouchingCore) {
+  // A private registry keeps the test hermetic; the global one works the
+  // same way.
+  SchemeRegistry registry;
+  registry.register_scheme(
+      "user-fast", {.covers_drf = true, .needs_repair_pass = false},
+      [](const SchemeContext& context) {
+        bisd::FastSchemeOptions options;
+        options.clock = context.clock;
+        return std::make_unique<bisd::FastScheme>(options);
+      });
+  EXPECT_TRUE(registry.contains("user-fast"));
+  EXPECT_EQ(registry.size(), 1u);
+
+  // Specs validate against the registry they are given.
+  const auto spec = SessionSpec::builder()
+                        .add_sram(small("a", 16, 8))
+                        .scheme("user-fast")
+                        .build(registry);
+  ASSERT_TRUE(spec.has_value());
+
+  auto scheme = registry.make("user-fast", {});
+  ASSERT_NE(scheme, nullptr);
+  EXPECT_FALSE(scheme->name().empty());
+}
+
+TEST(Registry, DuplicateAndDegenerateRegistrationsAreRejected) {
+  SchemeRegistry registry;
+  const auto factory = [](const SchemeContext&) {
+    return std::make_unique<bisd::FastScheme>();
+  };
+  registry.register_scheme("dup", {}, factory);
+  EXPECT_THROW(registry.register_scheme("dup", {}, factory),
+               std::invalid_argument);
+  EXPECT_THROW(registry.register_scheme("", {}, factory),
+               std::invalid_argument);
+  EXPECT_THROW(registry.register_scheme("null-factory", {}, nullptr),
+               std::invalid_argument);
+}
+
+// ---- SweepSpec ------------------------------------------------------------
+
+SweepSpec demo_sweep() {
+  SweepSpec sweep;
+  sweep.base = SessionSpec::builder().add_sram(small("a", 32, 8));
+  sweep.schemes = {"fast", "baseline"};
+  sweep.defect_rates = {0.01, 0.02, 0.05};
+  sweep.seeds = {1, 2, 3, 4};
+  return sweep;
+}
+
+TEST(Sweep, CardinalityIsTheProductOfNonEmptyAxes) {
+  auto sweep = demo_sweep();
+  EXPECT_EQ(sweep.cardinality(), 2u * 3u * 4u);
+
+  sweep.socs = {{small("x", 16, 4)}, {small("y", 16, 4), small("z", 8, 4)}};
+  EXPECT_EQ(sweep.cardinality(), 2u * 2u * 3u * 4u);
+
+  SweepSpec trivial;
+  trivial.base = SessionSpec::builder().add_sram(small("a", 32, 8));
+  EXPECT_EQ(trivial.cardinality(), 1u);
+}
+
+TEST(Sweep, ExpansionMatchesCardinalityAndOrder) {
+  const auto sweep = demo_sweep();
+  const auto specs = sweep.expand();
+  ASSERT_TRUE(specs.has_value()) << specs.error().to_string();
+  ASSERT_EQ(specs.value().size(), sweep.cardinality());
+
+  // Innermost axis (seeds) varies fastest.
+  EXPECT_EQ(specs.value()[0].seed(), 1u);
+  EXPECT_EQ(specs.value()[1].seed(), 2u);
+  EXPECT_EQ(specs.value()[0].scheme(), "fast");
+  // After all 3 rates x 4 seeds of "fast", "baseline" starts.
+  EXPECT_EQ(specs.value()[11].scheme(), "fast");
+  EXPECT_EQ(specs.value()[3 * 4].scheme(), "baseline");
+  EXPECT_EQ(specs.value()[3 * 4].seed(), 1u);
+
+  // Every combination is distinct.
+  std::set<std::string> labels;
+  for (const auto& spec : specs.value()) {
+    labels.insert(spec.label());
+  }
+  EXPECT_EQ(labels.size(), specs.value().size());
+}
+
+TEST(Sweep, InvalidAxisValueSurfacesAsConfigError) {
+  auto sweep = demo_sweep();
+  sweep.schemes.push_back("no-such-scheme");
+  const auto specs = sweep.expand();
+  ASSERT_FALSE(specs.has_value());
+  EXPECT_EQ(specs.error().code, ConfigErrorCode::unknown_scheme);
+
+  auto empty_soc = demo_sweep();
+  empty_soc.socs = {{}};
+  EXPECT_EQ(empty_soc.expand().error().code, ConfigErrorCode::empty_sweep);
+}
+
+// ---- DiagnosisEngine ------------------------------------------------------
+
+std::vector<SessionSpec> spec_batch() {
+  SweepSpec sweep;
+  sweep.base = SessionSpec::builder()
+                   .add_sram(small("a", 48, 12))
+                   .add_sram(small("b", 32, 8))
+                   .with_repair(true);
+  sweep.schemes = {"fast", "fast-without-drf"};
+  sweep.defect_rates = {0.01, 0.03};
+  sweep.seeds = {11, 22, 33};
+  auto specs = sweep.expand();
+  EXPECT_TRUE(specs.has_value());
+  return std::move(specs).value();
+}
+
+TEST(Engine, ParallelRunsAreBitIdenticalToSerial) {
+  const auto specs = spec_batch();
+  const auto serial = DiagnosisEngine({.workers = 1}).run_batch(specs);
+  const auto parallel = DiagnosisEngine({.workers = 8}).run_batch(specs);
+
+  ASSERT_EQ(serial.run_count(), specs.size());
+  ASSERT_EQ(parallel.run_count(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& a = serial.runs[i];
+    const auto& b = parallel.runs[i];
+    EXPECT_EQ(a.scheme_name, b.scheme_name) << "run " << i;
+    EXPECT_EQ(a.seed, b.seed) << "run " << i;
+    EXPECT_EQ(a.injected_faults, b.injected_faults) << "run " << i;
+    EXPECT_EQ(a.total_ns, b.total_ns) << "run " << i;
+    EXPECT_EQ(a.result.time.cycles, b.result.time.cycles) << "run " << i;
+    EXPECT_EQ(a.result.log.to_csv(), b.result.log.to_csv()) << "run " << i;
+    EXPECT_EQ(a.repair_verified_clean, b.repair_verified_clean)
+        << "run " << i;
+  }
+}
+
+TEST(Engine, ObserverSeesEveryRunExactlyOnce) {
+  const auto specs = spec_batch();
+  std::atomic<std::size_t> calls{0};
+  std::set<std::size_t> indices;
+  const auto report = DiagnosisEngine({.workers = 4}).run_batch(
+      specs, [&](std::size_t index, const Report& run) {
+        ++calls;
+        indices.insert(index);  // serialized by the engine
+        EXPECT_FALSE(run.scheme_name.empty());
+      });
+  EXPECT_EQ(calls.load(), specs.size());
+  EXPECT_EQ(indices.size(), specs.size());
+  EXPECT_EQ(report.run_count(), specs.size());
+}
+
+TEST(Engine, EmptyBatchIsFine) {
+  const auto report = DiagnosisEngine({.workers = 8}).run_batch({});
+  EXPECT_EQ(report.run_count(), 0u);
+}
+
+TEST(Engine, WorkerCountClampsToBatchAndResolvesAuto) {
+  DiagnosisEngine eight({.workers = 8});
+  EXPECT_EQ(eight.worker_count(3), 3u);
+  EXPECT_EQ(eight.worker_count(100), 8u);
+  DiagnosisEngine automatic({.workers = 0});
+  EXPECT_GE(automatic.worker_count(1000), 1u);
+}
+
+TEST(Engine, AggregateStatsSummarizeTheBatch) {
+  SweepSpec sweep;
+  sweep.base = SessionSpec::builder().add_sram(small("a", 32, 8, 32));
+  sweep.schemes = {"fast", "baseline"};
+  sweep.seeds = {1, 2, 3};
+  const auto report =
+      DiagnosisEngine({.workers = 4}).run_sweep(sweep);
+  ASSERT_TRUE(report.has_value()) << report.error().to_string();
+  const auto& aggregate = report.value();
+  ASSERT_EQ(aggregate.run_count(), 6u);
+
+  const auto recall = aggregate.recall_stats();
+  EXPECT_LE(recall.min, recall.mean);
+  EXPECT_LE(recall.mean, recall.max);
+  EXPECT_GT(recall.max, 0.0);
+
+  const auto time = aggregate.diagnosis_time_stats_ns();
+  EXPECT_LE(time.min, time.mean);
+  EXPECT_LE(time.mean, time.max);
+
+  const auto times = aggregate.diagnosis_times_ns();
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  EXPECT_EQ(aggregate.diagnosis_time_percentile_ns(0.0), times.front());
+  EXPECT_EQ(aggregate.diagnosis_time_percentile_ns(100.0), times.back());
+
+  const auto schemes = aggregate.per_scheme();
+  ASSERT_EQ(schemes.size(), 2u);
+  EXPECT_EQ(schemes[0].scheme_name, "baseline");
+  EXPECT_EQ(schemes[1].scheme_name, "fast");
+  EXPECT_EQ(schemes[0].runs, 3u);
+  EXPECT_EQ(schemes[1].runs, 3u);
+  // The fast scheme is, in fact, faster on the same SoCs.
+  EXPECT_LT(schemes[1].total_ns.mean, schemes[0].total_ns.mean);
+
+  const auto text = aggregate.summary();
+  EXPECT_NE(text.find("runs:"), std::string::npos);
+  EXPECT_NE(text.find("per scheme:"), std::string::npos);
+}
+
+TEST(Engine, SweepOfInvalidSpecsFailsClosed) {
+  SweepSpec sweep;
+  sweep.base = SessionSpec::builder();  // no memory
+  const auto report = DiagnosisEngine().run_sweep(sweep);
+  ASSERT_FALSE(report.has_value());
+  EXPECT_EQ(report.error().code, ConfigErrorCode::no_memory);
+}
+
+// ---- Expected -------------------------------------------------------------
+
+TEST(Expected, ValueAndErrorPaths) {
+  const Expected<int, ConfigError> good(7);
+  EXPECT_TRUE(good.has_value());
+  EXPECT_EQ(good.value(), 7);
+  EXPECT_EQ(good.value_or(0), 7);
+
+  const Expected<int, ConfigError> bad =
+      make_unexpected(ConfigError{ConfigErrorCode::no_memory, "nope"});
+  EXPECT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error().code, ConfigErrorCode::no_memory);
+  EXPECT_EQ(bad.value_or(-1), -1);
+  EXPECT_THROW((void)bad.value(), std::logic_error);
+  EXPECT_THROW((void)good.error(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace fastdiag::core

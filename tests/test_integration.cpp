@@ -244,19 +244,49 @@ TEST(ScanOut, CsvExportRoundTripsTheRecords) {
 
 TEST(Determinism, WholePipelineIsBitExactUnderSeeds) {
   const auto run = [] {
-    core::DiagnosisSession session;
-    session.add_sram(cfg(32, 8, 32))
-        .add_sram(cfg(16, 12, 16))
-        .defect_rate(0.03)
-        .seed(31415)
-        .with_repair(true);
-    return session.run();
+    const auto spec = core::SessionSpec::builder()
+                          .add_sram(cfg(32, 8, 32))
+                          .add_sram(cfg(16, 12, 16))
+                          .defect_rate(0.03)
+                          .seed(31415)
+                          .with_repair(true)
+                          .build();
+    EXPECT_TRUE(spec.has_value());
+    return core::DiagnosisEngine::execute(spec.value());
   };
   const auto a = run();
   const auto b = run();
   EXPECT_EQ(a.result.log.to_csv(), b.result.log.to_csv());
   EXPECT_EQ(a.result.time.cycles, b.result.time.cycles);
   EXPECT_EQ(a.repair->repaired_row_count(), b.repair->repaired_row_count());
+}
+
+TEST(Determinism, BatchResultsAreIndependentOfWorkerInterleaving) {
+  // The cross-module version of the engine guarantee: a batch mixing
+  // repair flows and heterogeneous SoCs replays bit-exactly at any
+  // worker count, and execute() of the same spec matches the batch entry.
+  core::SweepSpec sweep;
+  sweep.base = core::SessionSpec::builder()
+                   .add_sram(cfg(32, 8, 32))
+                   .add_sram(cfg(16, 12, 16))
+                   .with_repair(true);
+  sweep.defect_rates = {0.01, 0.03};
+  sweep.seeds = {271, 828};
+  const auto specs = sweep.expand();
+  ASSERT_TRUE(specs.has_value());
+
+  const auto serial =
+      core::DiagnosisEngine({.workers = 1}).run_batch(specs.value());
+  const auto parallel =
+      core::DiagnosisEngine({.workers = 8}).run_batch(specs.value());
+  ASSERT_EQ(serial.run_count(), parallel.run_count());
+  for (std::size_t i = 0; i < serial.run_count(); ++i) {
+    EXPECT_EQ(serial.runs[i].result.log.to_csv(),
+              parallel.runs[i].result.log.to_csv());
+    const auto solo = core::DiagnosisEngine::execute(specs.value()[i]);
+    EXPECT_EQ(solo.result.log.to_csv(),
+              serial.runs[i].result.log.to_csv());
+  }
 }
 
 }  // namespace

@@ -70,6 +70,22 @@ TEST(BitVector, FromValue) {
   EXPECT_EQ(v.to_string(), "10100101");
 }
 
+TEST(BitVector, FromValueAtAndBeyondWordWidth) {
+  // Regression: the width-64 precondition check used to shift a uint64_t
+  // by 64 (undefined behaviour).  Full-word and wider-than-word widths are
+  // well-defined: value bits land in [0, 64), upper bits zero-fill.
+  const auto full = BitVector::from_value(64, ~std::uint64_t{0});
+  EXPECT_EQ(full.popcount(), 64u);
+  EXPECT_EQ(full.to_value(), ~std::uint64_t{0});
+
+  const auto wide = BitVector::from_value(70, ~std::uint64_t{0});
+  EXPECT_EQ(wide.popcount(), 64u);
+  EXPECT_FALSE(wide.get(69));
+
+  // Bits of value above the width are dropped, not diagnosed.
+  EXPECT_EQ(BitVector::from_value(2, 0xF).to_string(), "11");
+}
+
 TEST(BitVector, InvertedFlipsEveryBitAndKeepsWidth) {
   auto v = BitVector::from_string("1100");
   const auto inv = v.inverted();
