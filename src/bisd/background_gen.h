@@ -22,17 +22,16 @@ class DataBackgroundGenerator {
   }
 
   /// Broadcasts @p pattern (width() bits, MSB first) to every converter.
-  /// Returns the delivery cost in clocks (= width()).
+  /// Returns the delivery cost in clocks (= width(), regardless of how many
+  /// memories listen).  Each converter's deliver() applies the whole
+  /// MSB-first stream word-parallel with identical clock accounting.
   std::uint64_t broadcast(
       const BitVector& pattern,
       const std::vector<serial::SerialToParallelConverter*>& converters) {
     require(pattern.width() == width_,
             "DataBackgroundGenerator: pattern width mismatch");
-    for (std::size_t i = pattern.width(); i-- > 0;) {
-      const bool bit = pattern.get(i);
-      for (auto* converter : converters) {
-        converter->shift_in(bit);
-      }
+    for (auto* converter : converters) {
+      (void)converter->deliver(pattern);
     }
     ++deliveries_;
     return width_;

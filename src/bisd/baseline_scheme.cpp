@@ -180,30 +180,19 @@ DiagnosisResult BaselineScheme::diagnose(SocUnderTest& soc) {
             continue;
           }
           for (std::size_t v = 0; v < seen.observed.size(); ++v) {
-            const BitVector diff = seen.observed[v] ^ want.observed[v];
-            if (diff.popcount() == 0) {
-              continue;
-            }
             // Stream order: right shift exits MSB first, so the first
             // trustworthy mismatch is the highest differing bit; left
-            // shift is the mirror image.
-            std::uint32_t bit = 0;
-            if (spec.dir == ShiftDirection::right) {
-              for (std::uint32_t j = bits; j-- > 0;) {
-                if (diff.get(j)) {
-                  bit = j;
-                  break;
-                }
-              }
-            } else {
-              for (std::uint32_t j = 0; j < bits; ++j) {
-                if (diff.get(j)) {
-                  bit = j;
-                  break;
-                }
-              }
+            // shift is the mirror image.  The limb-wise scan builds no
+            // temporary diff vector.
+            const std::ptrdiff_t bit =
+                spec.dir == ShiftDirection::right
+                    ? seen.observed[v].last_mismatch(want.observed[v])
+                    : seen.observed[v].first_mismatch(want.observed[v]);
+            if (bit < 0) {
+              continue;
             }
-            candidates[i] = Candidate{seen.addresses[v], bit};
+            candidates[i] = Candidate{seen.addresses[v],
+                                      static_cast<std::uint32_t>(bit)};
             break;  // everything after the first failure is untrustworthy
           }
           (void)pass_index;

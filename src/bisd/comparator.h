@@ -1,8 +1,11 @@
 // Comparator array of the BISD controller (Fig. 1 / Fig. 3): one comparator
 // per memory, matching each serialized response bit against its expected
-// value, bit by bit.
+// value.  compare() models one bit per clock; compare_word() folds up to 64
+// clocks of comparisons into one XOR with identical counting, pairing with
+// ParallelToSerialConverter::shift_out_word.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -27,6 +30,22 @@ class ComparatorArray {
       return true;
     }
     return false;
+  }
+
+  /// Compares @p count (<= 64) response bits at once (bit i = the bit of
+  /// clock i).  Counts exactly like @p count compare() calls and returns the
+  /// mismatch mask (bit i set = clock i disagreed).
+  std::uint64_t compare_word(std::size_t index, std::uint64_t expected,
+                             std::uint64_t observed, std::size_t count) {
+    require_in_range(index < comparisons_.size(),
+                     "ComparatorArray: bad memory index");
+    require(count <= 64, "ComparatorArray: at most 64 bits per batch");
+    const std::uint64_t mask =
+        count == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << count) - 1;
+    const std::uint64_t diff = (expected ^ observed) & mask;
+    comparisons_[index] += count;
+    mismatches_[index] += static_cast<std::uint64_t>(std::popcount(diff));
+    return diff;
   }
 
   [[nodiscard]] std::uint64_t comparisons(std::size_t index) const {

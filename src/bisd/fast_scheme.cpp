@@ -1,5 +1,7 @@
 #include "bisd/fast_scheme.h"
 
+#include <algorithm>
+#include <bit>
 #include <memory>
 #include <vector>
 
@@ -143,6 +145,21 @@ DiagnosisResult FastScheme::diagnose(SocUnderTest& soc) {
   ComparatorArray comparators(memories);
   nwrtm::NwrtmController nwrtm_line(/*toggle_cost_cycles=*/c_max);
 
+  // Scratch storage reused by every read op: the hot loop never allocates.
+  std::vector<BitVector> expected(memories);
+  std::vector<std::uint64_t> diff_scratch(memories, 0);
+  BitVector read_scratch;
+
+  // When every memory has an idle mode, nothing touches a data port while
+  // the PSCs drain, so the serialization loop can batch up to 64 shift
+  // clocks into one word compare.  A memory without idle mode must perform
+  // one (data-ignored) read per shift clock at its exact simulated time
+  // (Sec. 3.3), which forces the per-clock loop.
+  bool all_idle = true;
+  for (std::size_t i = 0; i < memories; ++i) {
+    all_idle = all_idle && soc.config(i).has_idle_mode;
+  }
+
   DiagnosisResult result;
   std::uint64_t cycles = 0;
   const auto tick = [&](std::uint64_t n) {
@@ -225,44 +242,92 @@ DiagnosisResult FastScheme::diagnose(SocUnderTest& soc) {
             }
             case MarchOpKind::read: {
               tick(1);  // capture into the PSCs
-              std::vector<BitVector> expected;
-              expected.reserve(memories);
               for (std::size_t i = 0; i < memories; ++i) {
                 const std::uint32_t addr =
                     generators[i].map(step, element.order, n_max);
-                pscs[i].capture(soc.memory(i).read(addr));
-                expected.push_back(golden[i]->read(addr));
+                soc.memory(i).read_into(addr, read_scratch);
+                pscs[i].capture(read_scratch);
+                golden[i]->read_into(addr, expected[i]);
                 if (soc.config(i).has_idle_mode) {
                   soc.memory(i).set_mode(sram::Mode::idle);
                 }
               }
-              // Serialize the responses back, bit by bit, memories in
-              // parallel; narrower PSCs drain into the zero fill.
-              for (std::uint32_t k = 0; k < c_max; ++k) {
-                tick(1);
-                for (std::size_t i = 0; i < memories; ++i) {
-                  const std::uint32_t bits_i = soc.config(i).bits;
-                  if (!soc.config(i).has_idle_mode) {
-                    // No idle mode: keep the memory in read mode with data
-                    // ignored (Sec. 3.3).
-                    const std::uint32_t addr =
-                        generators[i].map(step, element.order, n_max);
-                    (void)soc.memory(i).read(addr);
+              // Serialize the responses back, memories in parallel;
+              // narrower PSCs drain into the zero fill.
+              if (all_idle) {
+                // Word-batched: up to 64 shift clocks per compare, with
+                // cycle accounting and registration order identical to the
+                // per-clock loop — records are emitted clock-major
+                // (memories in index order within a clock), and
+                // record.cycle reconstructs the exact clock the mismatching
+                // bit left the chain.
+                for (std::uint32_t k = 0; k < c_max; k += 64) {
+                  const auto batch = static_cast<std::size_t>(
+                      std::min<std::uint32_t>(64, c_max - k));
+                  const std::uint64_t batch_start_cycles = cycles;
+                  tick(batch);
+                  std::uint64_t any_diff = 0;
+                  for (std::size_t i = 0; i < memories; ++i) {
+                    const std::uint64_t observed =
+                        pscs[i].shift_out_word(batch);
+                    const std::uint64_t expect =
+                        expected[i].word_at(k, batch);
+                    diff_scratch[i] =
+                        comparators.compare_word(i, expect, observed, batch);
+                    any_diff |= diff_scratch[i];
                   }
-                  const bool observed = pscs[i].shift_out();
-                  const bool expect =
-                      k < bits_i ? expected[i].get(k) : false;
-                  if (comparators.compare(i, expect, observed) &&
-                      k < bits_i) {
-                    DiagnosisRecord record;
-                    record.memory_index = i;
-                    record.addr = generators[i].map(step, element.order, n_max);
-                    record.bit = k;
-                    record.background = phase.background;
-                    record.phase = p;
-                    record.element = e;
-                    record.cycle = cycles;
-                    result.log.add(std::move(record));
+                  // Rare path: walk the mismatching clocks in order.
+                  while (any_diff != 0) {
+                    const auto t = static_cast<std::uint32_t>(
+                        std::countr_zero(any_diff));
+                    any_diff &= any_diff - 1;
+                    const std::uint64_t bit_mask = std::uint64_t{1} << t;
+                    for (std::size_t i = 0; i < memories; ++i) {
+                      if ((diff_scratch[i] & bit_mask) == 0 ||
+                          k + t >= soc.config(i).bits) {
+                        continue;
+                      }
+                      DiagnosisRecord record;
+                      record.memory_index = i;
+                      record.addr =
+                          generators[i].map(step, element.order, n_max);
+                      record.bit = k + t;
+                      record.background = phase.background;
+                      record.phase = p;
+                      record.element = e;
+                      record.cycle = batch_start_cycles + t + 1;
+                      result.log.add(std::move(record));
+                    }
+                  }
+                }
+              } else {
+                for (std::uint32_t k = 0; k < c_max; ++k) {
+                  tick(1);
+                  for (std::size_t i = 0; i < memories; ++i) {
+                    const std::uint32_t bits_i = soc.config(i).bits;
+                    if (!soc.config(i).has_idle_mode) {
+                      // No idle mode: keep the memory in read mode with data
+                      // ignored (Sec. 3.3).
+                      const std::uint32_t addr =
+                          generators[i].map(step, element.order, n_max);
+                      soc.memory(i).read_into(addr, read_scratch);
+                    }
+                    const bool observed = pscs[i].shift_out();
+                    const bool expect =
+                        k < bits_i ? expected[i].get(k) : false;
+                    if (comparators.compare(i, expect, observed) &&
+                        k < bits_i) {
+                      DiagnosisRecord record;
+                      record.memory_index = i;
+                      record.addr =
+                          generators[i].map(step, element.order, n_max);
+                      record.bit = k;
+                      record.background = phase.background;
+                      record.phase = p;
+                      record.element = e;
+                      record.cycle = cycles;
+                      result.log.add(std::move(record));
+                    }
                   }
                 }
               }

@@ -72,6 +72,12 @@ void SocUnderTest::advance_time_ns(std::uint64_t ns) {
   }
 }
 
+void SocUnderTest::set_access_kernel(sram::AccessKernel kernel) {
+  for (auto& entry : memories_) {
+    entry.memory->set_access_kernel(kernel);
+  }
+}
+
 std::size_t SocUnderTest::total_faults() const {
   std::size_t total = 0;
   for (const auto& entry : memories_) {

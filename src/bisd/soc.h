@@ -46,6 +46,11 @@ class SocUnderTest {
   /// Advances the simulated wall clock of every memory.
   void advance_time_ns(std::uint64_t ns);
 
+  /// Selects the access kernel of every memory (word_parallel by default;
+  /// per_cell forces the bit-at-a-time reference path everywhere —
+  /// differential tests and benchmarks prove both are bit-identical).
+  void set_access_kernel(sram::AccessKernel kernel);
+
   /// Total injected faults over all memories.
   [[nodiscard]] std::size_t total_faults() const;
 

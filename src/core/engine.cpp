@@ -92,6 +92,7 @@ Report DiagnosisEngine::execute(const SessionSpec& spec,
                                 const SchemeRegistry& registry) {
   auto soc = bisd::SocUnderTest::from_injection(spec.configs(),
                                                 spec.injection(), spec.seed());
+  soc.set_access_kernel(spec.access_kernel());
   auto scheme = registry.make(spec.scheme(), {.clock = spec.clock()});
 
   Report report;

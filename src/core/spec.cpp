@@ -85,6 +85,12 @@ SessionSpec::Builder& SessionSpec::Builder::use_column_spares(bool use) {
   return *this;
 }
 
+SessionSpec::Builder& SessionSpec::Builder::access_kernel(
+    sram::AccessKernel kernel) {
+  draft_.kernel_ = kernel;
+  return *this;
+}
+
 Expected<SessionSpec, ConfigError> SessionSpec::Builder::build(
     const SchemeRegistry& registry) const {
   const auto fail = [](ConfigErrorCode code, std::string message) {

@@ -17,6 +17,7 @@
 #include "core/expected.h"
 #include "core/registry.h"
 #include "faults/injector.h"
+#include "sram/access_kernel.h"
 #include "sram/config.h"
 #include "sram/timing.h"
 
@@ -40,6 +41,7 @@ class SessionSpec {
   [[nodiscard]] const std::string& scheme() const { return scheme_; }
   [[nodiscard]] bool repair() const { return repair_; }
   [[nodiscard]] bool column_spares() const { return column_spares_; }
+  [[nodiscard]] sram::AccessKernel access_kernel() const { return kernel_; }
 
   /// A builder pre-loaded with this spec's values — the way to derive
   /// variants (sweeps change one axis per derived spec).
@@ -58,6 +60,7 @@ class SessionSpec {
   std::string scheme_ = "fast";
   bool repair_ = false;
   bool column_spares_ = false;
+  sram::AccessKernel kernel_ = sram::AccessKernel::word_parallel;
 };
 
 class SessionSpec::Builder {
@@ -94,6 +97,11 @@ class SessionSpec::Builder {
   /// Use the 2-D row+column allocator instead of row-only repair (default
   /// false).
   Builder& use_column_spares(bool use);
+
+  /// Simulation access kernel (default word_parallel).  per_cell forces the
+  /// bit-at-a-time reference path in every memory — slow, but the oracle the
+  /// word-parallel kernel is differentially tested against.
+  Builder& access_kernel(sram::AccessKernel kernel);
 
   /// Validates every collected parameter — memory present, each SramConfig
   /// sane, clock > 0, rates in range, scheme registered in @p registry —

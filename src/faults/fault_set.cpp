@@ -24,9 +24,16 @@ void FaultSet::attach(const sram::SramConfig& config) {
   by_aggressor_.clear();
   pin_by_victim_.clear();
   decode_mods_.clear();
+  dirty_rows_.assign(config_.words, false);
   for (const auto& fault : faults_) {
     fault.validate(config_);
     index_fault(fault);
+  }
+}
+
+void FaultSet::mark_dirty(std::uint32_t row) {
+  if (row < dirty_rows_.size()) {
+    dirty_rows_[row] = true;
   }
 }
 
@@ -34,24 +41,31 @@ void FaultSet::index_fault(const FaultInstance& fault) {
   switch (fault.kind) {
     case FaultKind::sa0:
       cell_state_[key(fault.victim)].sa0 = true;
+      mark_dirty(fault.victim.row);
       return;
     case FaultKind::sa1:
       cell_state_[key(fault.victim)].sa1 = true;
+      mark_dirty(fault.victim.row);
       return;
     case FaultKind::tf_up:
       cell_state_[key(fault.victim)].tf_up = true;
+      mark_dirty(fault.victim.row);
       return;
     case FaultKind::tf_down:
       cell_state_[key(fault.victim)].tf_down = true;
+      mark_dirty(fault.victim.row);
       return;
     case FaultKind::sof:
       cell_state_[key(fault.victim)].sof = true;
+      mark_dirty(fault.victim.row);
       return;
     case FaultKind::drf0:
       cell_state_[key(fault.victim)].drf0 = true;
+      mark_dirty(fault.victim.row);
       return;
     case FaultKind::drf1:
       cell_state_[key(fault.victim)].drf1 = true;
+      mark_dirty(fault.victim.row);
       return;
     case FaultKind::cf_in_up:
     case FaultKind::cf_in_down:
@@ -61,6 +75,10 @@ void FaultSet::index_fault(const FaultInstance& fault) {
     case FaultKind::cf_id_down1:
       by_aggressor_[key(fault.aggressor)].push_back(
           Coupling{fault.kind, fault.victim});
+      // The aggressor's row must take the per-cell path so its transitions
+      // fire the coupling; the victim's row stays fast (the victim only
+      // changes as a side effect of the aggressor access).
+      mark_dirty(fault.aggressor.row);
       return;
     case FaultKind::cf_st_00:
     case FaultKind::cf_st_01:
@@ -75,6 +93,10 @@ void FaultSet::index_fault(const FaultInstance& fault) {
       // Also fire when the aggressor *enters* the trigger state.
       by_aggressor_[key(fault.aggressor)].push_back(
           Coupling{fault.kind, fault.victim});
+      // State coupling pins the victim at read/write time too, so both rows
+      // need the exact path.
+      mark_dirty(fault.aggressor.row);
+      mark_dirty(fault.victim.row);
       return;
     }
     case FaultKind::af_no_access:
@@ -289,6 +311,26 @@ void FaultSet::write_cell(sram::CellArray& cells, sram::CellCoord cell,
     }
   }
   commit_and_propagate(cells, cell, value, now_ns);
+}
+
+void FaultSet::write_row(sram::CellArray& cells, std::uint32_t row,
+                         const BitVector& value, sram::WriteStyle style,
+                         std::uint64_t now_ns) {
+  if (row_is_transparent(row)) {
+    cells.write_row_from(row, value);
+    return;
+  }
+  FaultBehavior::write_row(cells, row, value, style, now_ns);
+}
+
+bool FaultSet::read_row(sram::CellArray& cells, std::uint32_t row,
+                        BitVector& out, BitVector& drives,
+                        std::uint64_t now_ns) {
+  if (row_is_transparent(row)) {
+    cells.read_row_into(row, out);
+    return true;
+  }
+  return FaultBehavior::read_row(cells, row, out, drives, now_ns);
 }
 
 bool FaultSet::read_cell(sram::CellArray& cells, sram::CellCoord cell,

@@ -51,6 +51,25 @@ class FaultSet final : public sram::FaultBehavior {
   void begin_word_op() override;
   void end_word_op(sram::CellArray& cells, std::uint64_t now_ns) override;
 
+  /// Word-level hooks: rows the defect bitmap marks clean take packed limb
+  /// copies; rows carrying any defect state fall back to the exact per-cell
+  /// reference loops.  Since defect rates are small (the case study's 1 %),
+  /// almost every access in a sweep goes fast.
+  void write_row(sram::CellArray& cells, std::uint32_t row,
+                 const BitVector& value, sram::WriteStyle style,
+                 std::uint64_t now_ns) override;
+  bool read_row(sram::CellArray& cells, std::uint32_t row, BitVector& out,
+                BitVector& drives, std::uint64_t now_ns) override;
+
+  /// True when accesses to physical @p row cannot interact with any indexed
+  /// fault: no per-cell defect state, no state-coupling victim and no
+  /// coupling aggressor lives in the row (coupling *victims* of transition-
+  /// triggered faults need no mark — they only change when their aggressor
+  /// fires, which happens on the aggressor's own row access).
+  [[nodiscard]] bool row_is_transparent(std::uint32_t row) const {
+    return row >= dirty_rows_.size() || !dirty_rows_[row];
+  }
+
  private:
   /// Per-cell defect summary (a cell may carry several defects).
   struct CellState {
@@ -81,6 +100,7 @@ class FaultSet final : public sram::FaultBehavior {
   };
 
   void index_fault(const FaultInstance& fault);
+  void mark_dirty(std::uint32_t row);
 
   /// Commits pending retention decay of @p cell, returns the settled value.
   bool settled_value(sram::CellArray& cells, sram::CellCoord cell,
@@ -115,6 +135,11 @@ class FaultSet final : public sram::FaultBehavior {
   };
   bool in_word_op_ = false;
   std::vector<PendingTransition> pending_;
+
+  /// Per-row defect bitmap: rows where any fault state lives (cell defects,
+  /// state-coupling victims, coupling aggressors).  Clean rows take the
+  /// packed word path.
+  std::vector<bool> dirty_rows_;
 
   std::unordered_map<std::uint64_t, CellState> cell_state_;
   std::unordered_map<std::uint64_t, std::vector<Coupling>> by_aggressor_;

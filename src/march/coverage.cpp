@@ -1,5 +1,6 @@
 #include "march/coverage.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "faults/fault_set.h"
@@ -141,9 +142,9 @@ CoverageRow CoverageEvaluator::evaluate(
       continue;
     }
     ++row.detected;
-    const auto suspects = result.suspect_cells();
+    const auto suspects = result.suspect_cells();  // sorted unique
     for (const auto& cell : instance.footprint(geometry_)) {
-      if (suspects.count(cell) != 0) {
+      if (std::binary_search(suspects.begin(), suspects.end(), cell)) {
         ++row.located;
         break;
       }

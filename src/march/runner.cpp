@@ -1,29 +1,41 @@
 #include "march/runner.h"
 
+#include <algorithm>
+#include <bit>
+
 #include "util/require.h"
 
 namespace fastdiag::march {
 
-std::set<sram::CellCoord> RunResult::suspect_cells() const {
-  std::set<sram::CellCoord> cells;
+std::vector<sram::CellCoord> RunResult::suspect_cells() const {
+  std::vector<sram::CellCoord> cells;
   for (const auto& mismatch : mismatches) {
-    for (std::size_t j = 0; j < mismatch.expected.width(); ++j) {
-      if (mismatch.expected.get(j) != mismatch.actual.get(j)) {
-        cells.insert(
-            {mismatch.addr, static_cast<std::uint32_t>(j)});
+    // Walk the differing bits limb-wise.
+    const std::size_t width = mismatch.expected.width();
+    for (std::size_t base = 0; base < width; base += 64) {
+      std::uint64_t diff = mismatch.expected.word_at(base, 64) ^
+                           mismatch.actual.word_at(base, 64);
+      while (diff != 0) {
+        const auto bit = base + static_cast<std::size_t>(std::countr_zero(diff));
+        cells.push_back({mismatch.addr, static_cast<std::uint32_t>(bit)});
+        diff &= diff - 1;
       }
     }
   }
+  std::sort(cells.begin(), cells.end());
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
   return cells;
 }
 
 RunResult MarchRunner::run(sram::Sram& memory, const MarchTest& test) const {
-  require(test.width() >= memory.bits(),
-          "MarchRunner: test narrower than memory '" + memory.config().name +
-              "'");
+  require(test.width() >= memory.bits(), [&] {
+    return "MarchRunner: test narrower than memory '" + memory.config().name +
+           "'";
+  });
   RunResult result;
   const std::uint64_t start_ns = memory.now_ns();
   const std::uint32_t words = memory.words();
+  BitVector actual;  // scratch reused by every read
 
   for (std::size_t p = 0; p < test.phases().size(); ++p) {
     const auto& phase = test.phases()[p];
@@ -59,7 +71,7 @@ RunResult MarchRunner::run(sram::Sram& memory, const MarchTest& test) const {
               memory.nwrc_write(addr, data);
               break;
             case MarchOpKind::read: {
-              const BitVector actual = memory.read(addr);
+              memory.read_into(addr, actual);
               if (actual != data) {
                 result.mismatches.push_back(
                     Mismatch{p, e, addr, data, actual});

@@ -3,10 +3,13 @@
 // mismatch.  The serial/SPC/PSC delivery mechanics of the two diagnosis
 // schemes live in src/bisd; this runner is the algorithm-level reference
 // used by the coverage evaluator and the scheme cross-checks.
+//
+// The run loop is allocation-free: one scratch word is reused across every
+// read (Sram::read_into), and the heap is touched only when a mismatch is
+// recorded.
 #pragma once
 
 #include <cstdint>
-#include <set>
 #include <vector>
 
 #include "march/test.h"
@@ -21,6 +24,8 @@ struct Mismatch {
   std::uint32_t addr = 0;
   BitVector expected;
   BitVector actual;
+
+  friend bool operator==(const Mismatch&, const Mismatch&) = default;
 };
 
 struct RunResult {
@@ -30,8 +35,9 @@ struct RunResult {
 
   [[nodiscard]] bool detected() const { return !mismatches.empty(); }
 
-  /// Cells implicated by at least one mismatching read bit.
-  [[nodiscard]] std::set<sram::CellCoord> suspect_cells() const;
+  /// Cells implicated by at least one mismatching read bit, sorted
+  /// ascending with duplicates removed (probe with std::binary_search).
+  [[nodiscard]] std::vector<sram::CellCoord> suspect_cells() const;
 };
 
 class MarchRunner {

@@ -27,4 +27,14 @@ bool ParallelToSerialConverter::shift_out() {
   return bit;
 }
 
+std::uint64_t ParallelToSerialConverter::shift_out_word(std::size_t count) {
+  require(count <= 64, "PSC::shift_out_word: at most 64 bits per batch");
+  shift_clocks_ += count;
+  const std::size_t take = count < remaining_ ? count : remaining_;
+  const std::uint64_t out = stages_.word_at(next_, take);
+  next_ += take;
+  remaining_ -= take;
+  return out;  // bits past the capture are the chain's zero fill
+}
+
 }  // namespace fastdiag::serial

@@ -29,6 +29,12 @@ class ParallelToSerialConverter {
   /// clocks through the tail of the chain.
   bool shift_out();
 
+  /// @p count (<= 64) shift clocks at once: bit i of the result is the bit
+  /// shift_out() would have emitted on clock i (zero fill past the capture).
+  /// Costs exactly @p count shift clocks — batching changes the simulation
+  /// speed, never the cycle accounting.
+  std::uint64_t shift_out_word(std::size_t count);
+
   /// Bits of the current capture still unshifted.
   [[nodiscard]] std::size_t remaining() const { return remaining_; }
 

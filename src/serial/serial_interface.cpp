@@ -24,30 +24,24 @@ SerialPassResult BidiSerialInterface::pass(
   result.observed.reserve(words);
   result.addresses.reserve(words);
 
+  BitVector word;  // scratch reused by every shift clock
   for (std::uint32_t addr = 0; addr < words; ++addr) {
     const BitVector pattern = pattern_for(addr);
     require(pattern.width() == c,
             "BidiSerialInterface: pattern width mismatch");
     BitVector observed(c);
     for (std::uint32_t k = 0; k < c; ++k) {
-      const BitVector word = memory_.read(addr);
-      BitVector next(c);
+      memory_.read_into(addr, word);
       if (direction == ShiftDirection::right) {
         // Exit at bit c-1; cell c-1's current content is due at clock k for
-        // original position c-1-k.
-        observed.set(c - 1 - k, word.get(c - 1));
-        for (std::uint32_t j = c - 1; j > 0; --j) {
-          next.set(j, word.get(j - 1));
-        }
-        next.set(0, pattern.get(c - 1 - k));  // MSB first into bit 0
+        // original position c-1-k.  The shifted word is built in place with
+        // one limb-wise move, MSB first into bit 0.
+        observed.set(c - 1 - k, word.shift_up_one(pattern.get(c - 1 - k)));
       } else {
-        observed.set(k, word.get(0));
-        for (std::uint32_t j = 0; j + 1 < c; ++j) {
-          next.set(j, word.get(j + 1));
-        }
-        next.set(c - 1, pattern.get(k));  // LSB first into bit c-1
+        // Exit at bit 0, LSB first into bit c-1.
+        observed.set(k, word.shift_down_one(pattern.get(k)));
       }
-      memory_.write(addr, next);
+      memory_.write(addr, word);
     }
     result.observed.push_back(std::move(observed));
     result.addresses.push_back(addr);

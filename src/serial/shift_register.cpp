@@ -8,14 +8,7 @@ ShiftRegister::ShiftRegister(std::size_t width) : bits_(width) {
   require(width > 0, "ShiftRegister: width must be > 0");
 }
 
-bool ShiftRegister::shift_in(bool in) {
-  const bool out = bits_.get(bits_.width() - 1);
-  for (std::size_t i = bits_.width() - 1; i > 0; --i) {
-    bits_.set(i, bits_.get(i - 1));
-  }
-  bits_.set(0, in);
-  return out;
-}
+bool ShiftRegister::shift_in(bool in) { return bits_.shift_up_one(in); }
 
 void ShiftRegister::load(const BitVector& value) {
   require(value.width() == bits_.width(), "ShiftRegister::load: width mismatch");

@@ -5,7 +5,7 @@
 namespace fastdiag::serial {
 
 SerialToParallelConverter::SerialToParallelConverter(std::size_t width)
-    : chain_(width) {}
+    : chain_(width), load_scratch_(width) {}
 
 void SerialToParallelConverter::shift_in(bool bit) {
   (void)chain_.shift_in(bit);
@@ -15,9 +15,11 @@ void SerialToParallelConverter::shift_in(bool bit) {
 std::size_t SerialToParallelConverter::deliver(const BitVector& pattern) {
   require(pattern.width() >= chain_.width(),
           "SPC::deliver: pattern narrower than converter");
-  for (std::size_t i = pattern.width(); i-- > 0;) {
-    shift_in(pattern.get(i));  // MSB first
-  }
+  // MSB-first delivery of a (possibly wider) pattern ends with the chain
+  // holding DP[width-1:0]: the high bits pass through and fall off the top.
+  load_scratch_.assign_low_bits_of(pattern);
+  chain_.load(load_scratch_);
+  clocks_ += pattern.width();
   return pattern.width();
 }
 

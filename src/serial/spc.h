@@ -28,8 +28,11 @@ class SerialToParallelConverter {
   /// DP[j] and only the high (c - c') bits have fallen off the top.
   void shift_in(bool bit);
 
-  /// Full delivery of @p pattern (width >= this converter's width): shifts
-  /// pattern.width() clocks, MSB first.  Returns the number of clocks.
+  /// Full delivery of @p pattern (width >= this converter's width), MSB
+  /// first, costing pattern.width() clocks.  Computed word-parallel: a full
+  /// MSB-first delivery leaves exactly the pattern's low width() bits in the
+  /// chain (the Sec. 3.2 invariant), so the per-clock shift is skipped while
+  /// the clock accounting is unchanged.  Returns the number of clocks.
   std::size_t deliver(const BitVector& pattern);
 
   /// The pattern currently latched, applied to the memory in parallel.
@@ -42,6 +45,7 @@ class SerialToParallelConverter {
 
  private:
   ShiftRegister chain_;
+  BitVector load_scratch_;  ///< reused by deliver(); width() bits
   std::uint64_t clocks_ = 0;
 };
 

@@ -1,0 +1,17 @@
+// Access-kernel selection, shared by the memory model and the public API.
+//
+// Kept in its own header so core/spec.h can name the enum without pulling
+// the whole behavioral memory model into every API translation unit.
+#pragma once
+
+namespace fastdiag::sram {
+
+/// Which access hot path a memory model uses.  word_parallel (the default)
+/// routes single-row, unrepaired-column accesses through the word-level
+/// FaultBehavior hooks — packed limb copies whenever the row carries no
+/// defect; per_cell forces the bit-at-a-time reference loop on every
+/// access.  Both produce bit-identical results — the per_cell kernel
+/// exists so differential tests and benchmarks can prove it.
+enum class AccessKernel { word_parallel, per_cell };
+
+}  // namespace fastdiag::sram

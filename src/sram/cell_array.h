@@ -4,6 +4,12 @@
 // a FaultBehavior (see fault_behavior.h).  Keeping the storage dumb lets the
 // fault engine mutate arbitrary cells (coupling faults touch victims far away
 // from the accessed word).
+//
+// Storage is one packed uint64_t arena, row-major with ceil(bits/64) limbs
+// per row: a whole row is a contiguous limb run, so fault-free word accesses
+// are plain memcpy-class copies (read_row_into / write_row_from) instead of
+// per-cell loops, and no access path allocates.  Unused bits above bits() in
+// each row's top limb are kept zero.
 #pragma once
 
 #include <cstdint>
@@ -39,8 +45,24 @@ class CellArray {
   /// Reads a whole row as a BitVector of width bits().
   [[nodiscard]] BitVector get_row(std::uint32_t row) const;
 
+  /// Reads a whole row into @p out (resized to bits(); reuses its storage —
+  /// the allocation-free path of Sram::read_into).
+  void read_row_into(std::uint32_t row, BitVector& out) const;
+
   /// Writes a whole row; the vector width must equal bits().
   void set_row(std::uint32_t row, const BitVector& value);
+
+  /// Same as set_row; named for symmetry with read_row_into at the
+  /// word-parallel call sites.
+  void write_row_from(std::uint32_t row, const BitVector& value) {
+    set_row(row, value);
+  }
+
+  /// Limbs of one row (words_per_row() of them).
+  [[nodiscard]] const std::uint64_t* row_words(std::uint32_t row) const;
+
+  /// 64-bit limbs per row.
+  [[nodiscard]] std::size_t words_per_row() const { return words_per_row_; }
 
   /// Sets every cell to @p value.
   void fill(bool value);
@@ -53,7 +75,8 @@ class CellArray {
 
   std::uint32_t rows_;
   std::uint32_t bits_;
-  std::vector<BitVector> data_;
+  std::size_t words_per_row_;
+  std::vector<std::uint64_t> arena_;
 };
 
 }  // namespace fastdiag::sram

@@ -4,6 +4,14 @@
 // latches; the defect behaviour is injected through this interface so that
 // the fault engine (src/faults) can stay a separate, independently tested
 // library.  A fault-free memory uses FaultFreeBehavior.
+//
+// The interface is two-tier.  The per-cell hooks (write_cell / read_cell)
+// define the exact defect semantics; the word-level hooks (write_row /
+// read_row) are the performance seam: their default implementations loop
+// per cell — bit-for-bit the reference semantics — while implementations
+// that can prove a row is defect-free override them with packed limb copies
+// (real measurement hardware scans full words per cycle, and so should the
+// simulator).
 #pragma once
 
 #include <cstdint>
@@ -59,9 +67,47 @@ class FaultBehavior {
   /// in which case the caller must fall back to the sense-amp latch.
   virtual bool read_cell(CellArray& cells, CellCoord cell,
                          std::uint64_t now_ns, bool& drives) = 0;
+
+  // ---- word-level hooks (the simulation fast path) -------------------------
+
+  /// One word-write pulse of @p value into physical @p row.  The default
+  /// brackets a per-cell write_cell loop in begin_word_op/end_word_op —
+  /// exactly what Sram's per-cell reference path does for a single decoded
+  /// row — so existing FaultBehavior implementations keep their semantics
+  /// without overriding anything.
+  virtual void write_row(CellArray& cells, std::uint32_t row,
+                         const BitVector& value, WriteStyle style,
+                         std::uint64_t now_ns) {
+    begin_word_op();
+    const std::uint32_t bits = cells.bits();
+    for (std::uint32_t j = 0; j < bits; ++j) {
+      write_cell(cells, CellCoord{row, j}, value.get(j), style, now_ns);
+    }
+    end_word_op(cells, now_ns);
+  }
+
+  /// One word-read of physical @p row into @p out, recording which cells
+  /// drove their bitlines in @p drives (both pre-sized to cells.bits()).
+  /// Returns true when every cell drove — the caller may then skip the
+  /// sense-latch fallback and @p drives is left unspecified.  The default
+  /// loops read_cell per cell.
+  virtual bool read_row(CellArray& cells, std::uint32_t row, BitVector& out,
+                        BitVector& drives, std::uint64_t now_ns) {
+    bool all_drive = true;
+    const std::uint32_t bits = cells.bits();
+    for (std::uint32_t j = 0; j < bits; ++j) {
+      bool cell_drives = true;
+      const bool value =
+          read_cell(cells, CellCoord{row, j}, now_ns, cell_drives);
+      out.set(j, value);
+      drives.set(j, cell_drives);
+      all_drive = all_drive && cell_drives;
+    }
+    return all_drive;
+  }
 };
 
-/// Behaviour of a defect-free memory: identity decode, plain storage.
+/// Behaviour of a defect-free memory: identity decode, plain packed storage.
 class FaultFreeBehavior final : public FaultBehavior {
  public:
   void attach(const SramConfig&) override {}
@@ -79,6 +125,17 @@ class FaultFreeBehavior final : public FaultBehavior {
                  bool& drives) override {
     drives = true;
     return cells.get(cell);
+  }
+
+  void write_row(CellArray& cells, std::uint32_t row, const BitVector& value,
+                 WriteStyle, std::uint64_t) override {
+    cells.write_row_from(row, value);
+  }
+
+  bool read_row(CellArray& cells, std::uint32_t row, BitVector& out,
+                BitVector&, std::uint64_t) override {
+    cells.read_row_into(row, out);
+    return true;
   }
 };
 

@@ -13,7 +13,8 @@ Sram::Sram(SramConfig config, std::unique_ptr<FaultBehavior> behavior)
       cells_(config_.words, config_.bits) {
   config_.validate();
   behavior_->attach(config_);
-  sense_latch_.assign(config_.bits, false);
+  sense_latch_.reset(config_.bits);
+  drives_scratch_.reset(config_.bits);
   row_remap_.assign(config_.words, std::nullopt);
   if (config_.spare_rows > 0) {
     spare_cells_.emplace(config_.spare_rows, config_.bits);
@@ -27,37 +28,65 @@ Sram::Sram(SramConfig config, std::unique_ptr<FaultBehavior> behavior)
 }
 
 void Sram::check_port_usable(std::uint32_t addr) const {
-  ensure(mode_ != Mode::idle,
-         "Sram '" + config_.name + "': data port used while idle");
-  require_in_range(addr < config_.words,
-                   "Sram '" + config_.name + "': address " +
-                       std::to_string(addr) + " out of range");
+  ensure(mode_ != Mode::idle, [this] {
+    return "Sram '" + config_.name + "': data port used while idle";
+  });
+  require_in_range(addr < config_.words, [this, addr] {
+    return "Sram '" + config_.name + "': address " + std::to_string(addr) +
+           " out of range";
+  });
 }
 
 BitVector Sram::read(std::uint32_t addr) {
+  BitVector out;
+  read_into(addr, out);
+  return out;
+}
+
+void Sram::read_into(std::uint32_t addr, BitVector& out) {
   check_port_usable(addr);
   ++counters_.reads;
 
   if (row_remap_[addr]) {
-    const BitVector value = spare_cells_->get_row(*row_remap_[addr]);
-    for (std::uint32_t j = 0; j < config_.bits; ++j) {
-      sense_latch_[j] = value.get(j);
-    }
-    return value;
+    spare_cells_->read_row_into(*row_remap_[addr], out);
+    sense_latch_ = out;
+    return;
   }
 
   behavior_->decode(addr, decode_scratch_);
-  BitVector result(config_.bits);
   if (decode_scratch_.empty()) {
     // Address-decoder fault: no wordline fires.  Both bitlines stay
     // precharged high, which the sense amplifier resolves as logic '1'.
-    result.fill(true);
-    for (std::uint32_t j = 0; j < config_.bits; ++j) {
-      sense_latch_[j] = true;
-    }
-    return result;
+    out.reset(config_.bits);
+    out.fill(true);
+    sense_latch_.fill(true);
+    return;
   }
 
+  if (kernel_ == AccessKernel::word_parallel && !any_col_repair_ &&
+      decode_scratch_.size() == 1) {
+    // Word-parallel fast path: one decoded row, no column muxing.  The
+    // behaviour reads the whole row at once; only rows with non-driving
+    // (stuck-open) cells pay the per-bit sense-latch blend.  read_row
+    // overwrites every bit of out/drives, so width adjustment is the only
+    // preparation needed (no zeroing pass).
+    if (out.width() != config_.bits) {
+      out.reset(config_.bits);
+    }
+    const bool all_drive = behavior_->read_row(cells_, decode_scratch_[0],
+                                               out, drives_scratch_, now_ns_);
+    if (!all_drive) {
+      out.blend(drives_scratch_, sense_latch_);
+    }
+    sense_latch_ = out;
+    return;
+  }
+
+  read_per_cell(out);
+}
+
+void Sram::read_per_cell(BitVector& out) {
+  out.reset(config_.bits);
   for (std::uint32_t j = 0; j < config_.bits; ++j) {
     if (col_remap_[j]) {
       // Column mux swap: the value comes from the fault-free spare lane
@@ -66,8 +95,8 @@ BitVector Sram::read(std::uint32_t addr) {
       for (const auto row : decode_scratch_) {
         value = value && spare_col_cells_->get({row, *col_remap_[j]});
       }
-      sense_latch_[j] = value;
-      result.set(j, value);
+      sense_latch_.set(j, value);
+      out.set(j, value);
       continue;
     }
     bool any_driver = false;
@@ -84,28 +113,37 @@ BitVector Sram::read(std::uint32_t addr) {
     if (!any_driver) {
       // Stuck-open cell(s): nothing discharges the bitlines, the sense amp
       // keeps its previous decision.
-      value = sense_latch_[j];
+      value = sense_latch_.get(j);
     }
-    sense_latch_[j] = value;
-    result.set(j, value);
+    sense_latch_.set(j, value);
+    out.set(j, value);
   }
-  return result;
 }
 
 void Sram::write_impl(std::uint32_t addr, const BitVector& value,
                       WriteStyle style) {
   check_port_usable(addr);
-  require(value.width() == config_.bits,
-          "Sram '" + config_.name + "': write width mismatch");
+  require(value.width() == config_.bits, [this] {
+    return "Sram '" + config_.name + "': write width mismatch";
+  });
 
   if (row_remap_[addr]) {
     // Spare rows are fault-free replacements; NWRC succeeds like a normal
     // write on healthy cells.
-    spare_cells_->set_row(*row_remap_[addr], value);
+    spare_cells_->write_row_from(*row_remap_[addr], value);
     return;
   }
 
   behavior_->decode(addr, decode_scratch_);
+
+  if (kernel_ == AccessKernel::word_parallel && !any_col_repair_ &&
+      decode_scratch_.size() == 1) {
+    // Word-parallel fast path: the behaviour applies the whole word pulse
+    // (defect-free rows take a packed limb copy).
+    behavior_->write_row(cells_, decode_scratch_[0], value, style, now_ns_);
+    return;
+  }
+
   behavior_->begin_word_op();
   for (const auto row : decode_scratch_) {
     for (std::uint32_t j = 0; j < config_.bits; ++j) {
@@ -133,20 +171,25 @@ void Sram::nwrc_write(std::uint32_t addr, const BitVector& value) {
 }
 
 bool Sram::read_bit(std::uint32_t addr, std::uint32_t bit) {
-  require_in_range(bit < config_.bits,
-                   "Sram '" + config_.name + "': bit index out of range");
-  return read(addr).get(bit);
+  require_in_range(bit < config_.bits, [this] {
+    return "Sram '" + config_.name + "': bit index out of range";
+  });
+  read_into(addr, read_scratch_);
+  return read_scratch_.get(bit);
 }
 
 void Sram::repair_row(std::uint32_t addr, std::uint32_t spare) {
   require_in_range(addr < config_.words,
                    "Sram::repair_row: address out of range");
-  require(spare_cells_.has_value() && spare < config_.spare_rows,
-          "Sram '" + config_.name + "': spare index out of range");
-  require(!spare_in_use_[spare],
-          "Sram '" + config_.name + "': spare row already allocated");
-  require(!row_remap_[addr].has_value(),
-          "Sram '" + config_.name + "': address already repaired");
+  require(spare_cells_.has_value() && spare < config_.spare_rows, [this] {
+    return "Sram '" + config_.name + "': spare index out of range";
+  });
+  require(!spare_in_use_[spare], [this] {
+    return "Sram '" + config_.name + "': spare row already allocated";
+  });
+  require(!row_remap_[addr].has_value(), [this] {
+    return "Sram '" + config_.name + "': address already repaired";
+  });
   row_remap_[addr] = spare;
   spare_in_use_[spare] = true;
 }
@@ -168,14 +211,18 @@ bool Sram::is_repaired(std::uint32_t addr) const {
 void Sram::repair_column(std::uint32_t bit, std::uint32_t spare) {
   require_in_range(bit < config_.bits,
                    "Sram::repair_column: bit out of range");
-  require(spare_col_cells_.has_value() && spare < config_.spare_cols,
-          "Sram '" + config_.name + "': spare column index out of range");
-  require(!col_spare_in_use_[spare],
-          "Sram '" + config_.name + "': spare column already allocated");
-  require(!col_remap_[bit].has_value(),
-          "Sram '" + config_.name + "': bit already repaired");
+  require(spare_col_cells_.has_value() && spare < config_.spare_cols, [this] {
+    return "Sram '" + config_.name + "': spare column index out of range";
+  });
+  require(!col_spare_in_use_[spare], [this] {
+    return "Sram '" + config_.name + "': spare column already allocated";
+  });
+  require(!col_remap_[bit].has_value(), [this] {
+    return "Sram '" + config_.name + "': bit already repaired";
+  });
   col_remap_[bit] = spare;
   col_spare_in_use_[spare] = true;
+  any_col_repair_ = true;
 }
 
 std::uint32_t Sram::col_spares_used() const {

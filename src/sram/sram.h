@@ -7,6 +7,13 @@
 // spare rows (the per-memory "backup memory" of Fig. 1/3).
 //
 // All defect behaviour is delegated to the attached FaultBehavior.
+//
+// Access kernel: the word_parallel kernel (default) routes single-row,
+// unrepaired-column accesses through the behaviour's word-level hooks
+// (write_row / read_row), which take packed limb copies when the row carries
+// no defect; the per_cell kernel forces the bit-at-a-time reference loop on
+// every access.  Both produce bit-identical results — the per_cell kernel
+// exists so differential tests and benchmarks can prove it.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +21,7 @@
 #include <optional>
 #include <vector>
 
+#include "sram/access_kernel.h"
 #include "sram/cell_array.h"
 #include "sram/config.h"
 #include "sram/fault_behavior.h"
@@ -48,6 +56,10 @@ class Sram {
   void set_mode(Mode mode) { mode_ = mode; }
   [[nodiscard]] Mode mode() const { return mode_; }
 
+  /// Selects the access kernel (default AccessKernel::word_parallel).
+  void set_access_kernel(AccessKernel kernel) { kernel_ = kernel; }
+  [[nodiscard]] AccessKernel access_kernel() const { return kernel_; }
+
   /// Advances the simulated wall clock (DRF decay is evaluated lazily
   /// against this clock on the next access of each cell).
   void advance_time_ns(std::uint64_t ns) { now_ns_ += ns; }
@@ -59,6 +71,11 @@ class Sram {
   /// std::out_of_range for addr >= words().
   [[nodiscard]] BitVector read(std::uint32_t addr);
 
+  /// Reads the word at @p addr into @p out (resized to bits()).  The
+  /// allocation-free read path: @p out's storage is reused, so a caller
+  /// looping over addresses with one scratch vector never touches the heap.
+  void read_into(std::uint32_t addr, BitVector& out);
+
   /// Writes @p value (width bits()) to @p addr with a normal write cycle.
   void write(std::uint32_t addr, const BitVector& value);
 
@@ -67,6 +84,8 @@ class Sram {
   void nwrc_write(std::uint32_t addr, const BitVector& value);
 
   /// Reads a single bit — convenience for the serial-interface models.
+  /// Performs one full word read (the hardware senses the whole word) but
+  /// allocates nothing.
   [[nodiscard]] bool read_bit(std::uint32_t addr, std::uint32_t bit);
 
   // ---- repair ------------------------------------------------------------
@@ -108,17 +127,21 @@ class Sram {
   void check_port_usable(std::uint32_t addr) const;
   void write_impl(std::uint32_t addr, const BitVector& value,
                   WriteStyle style);
+  /// The bit-at-a-time reference read (wired-AND across decoded rows,
+  /// per-bit sense-latch fallback, column-spare muxing).
+  void read_per_cell(BitVector& out);
 
   SramConfig config_;
   std::unique_ptr<FaultBehavior> behavior_;
   CellArray cells_;
   Mode mode_ = Mode::normal;
+  AccessKernel kernel_ = AccessKernel::word_parallel;
   std::uint64_t now_ns_ = 0;
   OpCounters counters_;
 
   /// Per-column sense-amplifier latch: the last value each column's sense
   /// amp resolved.  Consulted when no accessed cell drives the bitlines.
-  std::vector<bool> sense_latch_;
+  BitVector sense_latch_;
 
   /// Repair state: logical row -> spare slot, plus the spare storage itself
   /// (spare rows are fault-free).
@@ -131,8 +154,11 @@ class Sram {
   std::vector<std::optional<std::uint32_t>> col_remap_;
   std::optional<CellArray> spare_col_cells_;
   std::vector<bool> col_spare_in_use_;
+  bool any_col_repair_ = false;
 
   std::vector<std::uint32_t> decode_scratch_;
+  BitVector drives_scratch_;
+  BitVector read_scratch_;  ///< backs read_bit()
 };
 
 }  // namespace fastdiag::sram

@@ -7,6 +7,13 @@
 //
 // Bit 0 is the least significant bit (LSB); serial MSB-first streams are
 // produced by iterating from bit width-1 down to 0.
+//
+// The simulation hot paths operate on whole 64-bit limbs: the packed
+// CellArray arena copies rows with word_data()/assign_words(), the schemes
+// diff responses with xor_with()/first_mismatch()/last_mismatch(), and the
+// PSC batches serialization with word_at().  Invariant: bits stored above
+// width() are always zero (trim() enforces it), so limb-wise equality,
+// popcount and mismatch scans are exact.
 #pragma once
 
 #include <cstdint>
@@ -60,6 +67,11 @@ class BitVector {
   /// Grows or shrinks to @p width bits; new bits are cleared.
   void resize(std::size_t width);
 
+  /// Sets the width to @p width and clears every bit.  Reuses the existing
+  /// limb storage when it suffices — the scratch-buffer idiom of the hot
+  /// paths (no allocation after the first call at a given width).
+  void reset(std::size_t width);
+
   /// Returns the low @p count bits as a new vector (count <= width()).
   [[nodiscard]] BitVector low_bits(std::size_t count) const;
 
@@ -68,6 +80,60 @@ class BitVector {
 
   /// MSB-first string of '0'/'1'.
   [[nodiscard]] std::string to_string() const;
+
+  // ---- word-level access ---------------------------------------------------
+
+  /// Number of 64-bit limbs backing the vector.
+  [[nodiscard]] std::size_t word_count() const {
+    return (width_ + kBitsPerWord - 1) / kBitsPerWord;
+  }
+
+  /// Raw limb storage (limb i holds bits [64i, 64i+63]).  Bits above
+  /// width() are guaranteed zero.
+  [[nodiscard]] const std::uint64_t* word_data() const {
+    return words_.data();
+  }
+
+  /// Replaces the contents with @p width bits copied from the limb array
+  /// @p words (which must hold at least ceil(width/64) limbs).  Reuses the
+  /// existing storage when possible; the top limb is re-masked, so @p words
+  /// may carry garbage above @p width.
+  void assign_words(const std::uint64_t* words, std::size_t width);
+
+  /// Keeps this vector's width and overwrites it with the low width() bits
+  /// of @p source (source.width() must be >= width()).  This is exactly the
+  /// residue an MSB-first serial delivery of @p source leaves in a narrower
+  /// shift chain (Sec. 3.2).
+  void assign_low_bits_of(const BitVector& source);
+
+  /// Returns up to 64 bits starting at bit @p offset (bit i of the result =
+  /// bit offset+i of the vector); bits past width() read as zero.
+  /// @p count <= 64.
+  [[nodiscard]] std::uint64_t word_at(std::size_t offset,
+                                      std::size_t count) const;
+
+  /// In-place XOR with @p other (same width); no temporary is built.
+  void xor_with(const BitVector& other);
+
+  /// Index of the lowest bit where this and @p other (same width) differ,
+  /// or -1 when they are equal.
+  [[nodiscard]] std::ptrdiff_t first_mismatch(const BitVector& other) const;
+
+  /// Index of the highest differing bit, or -1 when equal.
+  [[nodiscard]] std::ptrdiff_t last_mismatch(const BitVector& other) const;
+
+  /// this = (this & mask) | (fallback & ~mask), limb-wise.  All three must
+  /// share one width.  Used by the sense-amplifier fallback: bits whose cell
+  /// does not drive the bitlines (mask 0) keep the latch value.
+  void blend(const BitVector& mask, const BitVector& fallback);
+
+  /// One shift-register clock toward the MSB: every bit moves up one
+  /// position, @p in enters bit 0, and the former top bit is returned.
+  bool shift_up_one(bool in);
+
+  /// One shift-register clock toward the LSB: every bit moves down one
+  /// position, @p in enters bit width()-1, and the former bit 0 is returned.
+  bool shift_down_one(bool in);
 
   friend bool operator==(const BitVector& a, const BitVector& b);
   friend bool operator!=(const BitVector& a, const BitVector& b) {
@@ -81,9 +147,6 @@ class BitVector {
  private:
   static constexpr std::size_t kBitsPerWord = 64;
 
-  [[nodiscard]] std::size_t word_count() const {
-    return (width_ + kBitsPerWord - 1) / kBitsPerWord;
-  }
   void check_index(std::size_t index) const;
   /// Clears any bits stored above width_ so equality/popcount stay exact.
   void trim();

@@ -5,33 +5,63 @@
 // ensure() which throws std::logic_error.  Exceptions (rather than assert)
 // keep the behaviour identical in all build types, which matters for a
 // simulator whose tests exercise the error paths.
+//
+// Message construction is lazy: call sites pass a string literal (no
+// std::string is materialised unless the check fails) or a callable
+// returning std::string (the concatenation runs only on the failure path).
+// Hot paths — one check per simulated memory operation — depend on the
+// success path being a branch and nothing else.
 #pragma once
 
+#include <concepts>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace fastdiag {
 
-/// Throws std::invalid_argument with @p message unless @p condition holds.
-inline void require(bool condition, const std::string& message) {
-  if (!condition) {
-    throw std::invalid_argument(message);
+namespace detail {
+
+/// Invokes a message callable or passes a string through unchanged.
+template <typename M>
+[[nodiscard]] decltype(auto) render_message(M&& message) {
+  if constexpr (std::invocable<M&>) {
+    return std::forward<M>(message)();
+  } else {
+    return std::forward<M>(message);
   }
 }
 
-/// Throws std::out_of_range with @p message unless @p condition holds.
-inline void require_in_range(bool condition, const std::string& message) {
-  if (!condition) {
-    throw std::out_of_range(message);
+}  // namespace detail
+
+/// Throws std::invalid_argument unless @p condition holds.  @p message is a
+/// string, a string literal, or a callable returning one; callables are only
+/// invoked on failure.
+template <typename M>
+inline void require(bool condition, M&& message) {
+  if (condition) [[likely]] {
+    return;
   }
+  throw std::invalid_argument(detail::render_message(std::forward<M>(message)));
 }
 
-/// Throws std::logic_error with @p message unless the internal invariant
-/// @p condition holds.  Use for "cannot happen" states.
-inline void ensure(bool condition, const std::string& message) {
-  if (!condition) {
-    throw std::logic_error(message);
+/// Throws std::out_of_range unless @p condition holds.
+template <typename M>
+inline void require_in_range(bool condition, M&& message) {
+  if (condition) [[likely]] {
+    return;
   }
+  throw std::out_of_range(detail::render_message(std::forward<M>(message)));
+}
+
+/// Throws std::logic_error unless the internal invariant @p condition holds.
+/// Use for "cannot happen" states.
+template <typename M>
+inline void ensure(bool condition, M&& message) {
+  if (condition) [[likely]] {
+    return;
+  }
+  throw std::logic_error(detail::render_message(std::forward<M>(message)));
 }
 
 }  // namespace fastdiag
