@@ -83,13 +83,7 @@ void scaling_table() {
                       "bit-identical"});
   table.set_title("64-run sweep, 32-SRAM heterogeneous SoC");
 
-  std::string json = "{\"bench\":\"engine_scaling\",\"runs\":" +
-                     std::to_string(kRuns) + ",\"memories\":32," +
-                     "\"hardware_concurrency\":" +
-                     std::to_string(std::thread::hardware_concurrency()) +
-                     ",\"results\":[";
-
-  bool first = true;
+  std::vector<std::string> results;
   for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
     core::AggregateReport report;
     const double seconds = workers == 1
@@ -111,20 +105,27 @@ void scaling_table() {
                    fmt_double(seconds * 1e3, 1) + " ms",
                    fmt_double(runs_per_s, 1), fmt_ratio(speedup),
                    identical ? "yes" : "NO"});
-    json += std::string(first ? "" : ",") + "{\"workers\":" +
-            std::to_string(workers) + ",\"seconds\":" +
-            fmt_double(seconds, 4) + ",\"runs_per_sec\":" +
-            fmt_double(runs_per_s, 2) + ",\"speedup\":" +
-            fmt_double(speedup, 2) + ",\"bit_identical\":" +
-            (identical ? "true" : "false") + "}";
-    first = false;
+    results.push_back(JsonObject()
+                          .field("workers", static_cast<std::uint64_t>(workers))
+                          .field("seconds", seconds)
+                          .field("runs_per_sec", runs_per_s, 2)
+                          .field("speedup", speedup, 2)
+                          .field("bit_identical", identical)
+                          .str());
   }
-  json += "]}";
 
   table.add_note("speedup is bounded by hardware_concurrency = " +
                  std::to_string(std::thread::hardware_concurrency()));
   table.print(std::cout);
-  std::cout << "\nJSON: " << json << "\n";
+  print_json_line(
+      JsonObject()
+          .field("bench", "engine_scaling")
+          .field("runs", static_cast<std::uint64_t>(kRuns))
+          .field("memories", 32)
+          .field("hardware_concurrency",
+                 static_cast<std::uint64_t>(
+                     std::thread::hardware_concurrency()))
+          .raw("results", json_array(results)));
 }
 
 // ---- microbenchmarks ------------------------------------------------------

@@ -152,19 +152,22 @@ void kernel_table() {
   table.add_note("per_cell forces the bit-at-a-time reference access path");
   table.print(std::cout);
 
-  const auto workload_json = [](const char* name, const Comparison& cmp) {
-    return std::string("\"") + name + "\":{\"seconds_word\":" +
-           fmt_double(cmp.word.seconds, 4) + ",\"seconds_cell\":" +
-           fmt_double(cmp.cell.seconds, 4) + ",\"mops_word\":" +
-           fmt_double(cmp.word.mops_per_sec(), 2) + ",\"mops_cell\":" +
-           fmt_double(cmp.cell.mops_per_sec(), 2) + ",\"speedup\":" +
-           fmt_double(cmp.speedup(), 2) + ",\"bit_identical\":" +
-           (cmp.identical ? "true" : "false") + "}";
+  const auto workload_json = [](const Comparison& cmp) {
+    return JsonObject()
+        .field("seconds_word", cmp.word.seconds)
+        .field("seconds_cell", cmp.cell.seconds)
+        .field("mops_word", cmp.word.mops_per_sec(), 2)
+        .field("mops_cell", cmp.cell.mops_per_sec(), 2)
+        .field("speedup", cmp.speedup(), 2)
+        .field("bit_identical", cmp.identical)
+        .str();
   };
-  std::cout << "\nJSON: {\"bench\":\"kernel\",\"memories\":64,"
-            << "\"march\":\"March CW+NWRTM\","
-            << workload_json("fault_free", fault_free) << ","
-            << workload_json("defect_sweep_1pct", sweep) << "}\n";
+  print_json_line(JsonObject()
+                      .field("bench", "kernel")
+                      .field("memories", 64)
+                      .field("march", "March CW+NWRTM")
+                      .raw("fault_free", workload_json(fault_free))
+                      .raw("defect_sweep_1pct", workload_json(sweep)));
 }
 
 // ---- microbenchmarks ------------------------------------------------------

@@ -219,7 +219,8 @@ DiagnosisResult FastScheme::diagnose(SocUnderTest& soc) {
 
       // Address trigger: one full sweep of the largest capacity.
       for (std::uint32_t step = 0; step < n_max; ++step) {
-        for (const auto& op : element.ops) {
+        for (std::size_t o = 0; o < element.ops.size(); ++o) {
+          const auto& op = element.ops[o];
           switch (op.kind) {
             case MarchOpKind::write:
             case MarchOpKind::nwrc_write: {
@@ -295,6 +296,8 @@ DiagnosisResult FastScheme::diagnose(SocUnderTest& soc) {
                       record.background = phase.background;
                       record.phase = p;
                       record.element = e;
+                      record.op = o;
+                      record.visit = step / generators[i].words();
                       record.cycle = batch_start_cycles + t + 1;
                       result.log.add(std::move(record));
                     }
@@ -325,6 +328,8 @@ DiagnosisResult FastScheme::diagnose(SocUnderTest& soc) {
                       record.background = phase.background;
                       record.phase = p;
                       record.element = e;
+                      record.op = o;
+                      record.visit = step / generators[i].words();
                       record.cycle = cycles;
                       result.log.add(std::move(record));
                     }

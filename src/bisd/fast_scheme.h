@@ -51,6 +51,13 @@ class FastScheme final : public DiagnosisScheme {
   [[nodiscard]] std::string name() const override;
   DiagnosisResult diagnose(SocUnderTest& soc) override;
 
+  /// The fast scheme's records are march-attributed, so its log feeds the
+  /// syndrome classifier directly: the test is test_for_width(c_max).
+  [[nodiscard]] std::optional<march::MarchTest> classification_test(
+      std::uint32_t c_max) const override {
+    return test_for_width(c_max);
+  }
+
   /// Closed-form controller-cycle cost of running @p test over a SoC whose
   /// largest memory has @p n_max words and whose widest has @p c_max bits:
   /// per element, c_max for the pattern delivery (write elements only),

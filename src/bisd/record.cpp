@@ -6,8 +6,9 @@ std::string DiagnosisRecord::to_string() const {
   return "mem" + std::to_string(memory_index) + " addr=" +
          std::to_string(addr) + " bit=" + std::to_string(bit) + " bg=" +
          background.to_string() + " phase=" + std::to_string(phase) +
-         " element=" + std::to_string(element) + " cycle=" +
-         std::to_string(cycle);
+         " element=" + std::to_string(element) + " op=" +
+         std::to_string(op) + " visit=" + std::to_string(visit) +
+         " cycle=" + std::to_string(cycle);
 }
 
 std::set<sram::CellCoord> DiagnosisLog::cells(std::size_t memory_index) const {
@@ -49,12 +50,13 @@ std::string DiagnosisLog::to_string() const {
 }
 
 std::string DiagnosisLog::to_csv() const {
-  std::string out = "memory,addr,bit,background,phase,element,cycle\n";
+  std::string out = "memory,addr,bit,background,phase,element,op,visit,cycle\n";
   for (const auto& r : records_) {
     out += std::to_string(r.memory_index) + ',' + std::to_string(r.addr) +
            ',' + std::to_string(r.bit) + ',' + r.background.to_string() +
            ',' + std::to_string(r.phase) + ',' + std::to_string(r.element) +
-           ',' + std::to_string(r.cycle) + '\n';
+           ',' + std::to_string(r.op) + ',' + std::to_string(r.visit) + ',' +
+           std::to_string(r.cycle) + '\n';
   }
   return out;
 }

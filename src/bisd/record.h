@@ -22,6 +22,9 @@ struct DiagnosisRecord {
   BitVector background;          ///< data background in force
   std::size_t phase = 0;         ///< March phase / pass group
   std::size_t element = 0;       ///< March element / pass index
+  std::size_t op = 0;            ///< op index within the element (counts
+                                 ///< writes too, matching MarchElement::ops)
+  std::uint32_t visit = 0;       ///< wrap-around revisit count (0 = first)
   std::uint64_t cycle = 0;       ///< controller cycle of registration
 
   [[nodiscard]] sram::CellCoord cell() const { return {addr, bit}; }

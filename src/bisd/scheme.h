@@ -2,10 +2,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "bisd/record.h"
 #include "bisd/soc.h"
+#include "march/test.h"
 #include "sram/timing.h"
 
 namespace fastdiag::bisd {
@@ -33,6 +35,17 @@ class DiagnosisScheme {
   /// consumed time.  Mutates the memories (patterns are really written; the
   /// baseline additionally repairs located rows to make progress).
   virtual DiagnosisResult diagnose(SocUnderTest& soc) = 0;
+
+  /// The March test whose (phase, element, op) indices this scheme's log
+  /// records refer to, for a SoC whose widest memory has @p c_max bits.
+  /// Schemes whose records are not march-attributed (the pass-based
+  /// baseline) return nullopt — their logs locate faults but cannot feed
+  /// the syndrome classifier.
+  [[nodiscard]] virtual std::optional<march::MarchTest> classification_test(
+      std::uint32_t c_max) const {
+    (void)c_max;
+    return std::nullopt;
+  }
 };
 
 }  // namespace fastdiag::bisd

@@ -2,12 +2,16 @@
 
 #include <atomic>
 #include <exception>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
 
 #include "bisd/repair.h"
 #include "bisd/soc.h"
+#include "diagnosis/classifier.h"
+#include "diagnosis/syndrome.h"
 #include "util/require.h"
 
 namespace fastdiag::core {
@@ -89,7 +93,8 @@ const SchemeRegistry& DiagnosisEngine::registry() const {
 }
 
 Report DiagnosisEngine::execute(const SessionSpec& spec,
-                                const SchemeRegistry& registry) {
+                                const SchemeRegistry& registry,
+                                diagnosis::ClassifierCache* classifier_cache) {
   auto soc = bisd::SocUnderTest::from_injection(spec.configs(),
                                                 spec.injection(), spec.seed());
   soc.set_access_kernel(spec.access_kernel());
@@ -107,6 +112,20 @@ Report DiagnosisEngine::execute(const SessionSpec& spec,
   for (std::size_t i = 0; i < soc.memory_count(); ++i) {
     report.matches.push_back(faults::match_diagnosis(
         soc.truth(i), report.result.log.cells(i), soc.config(i)));
+  }
+
+  if (spec.classify()) {
+    if (const auto test = scheme->classification_test(soc.max_bits())) {
+      const auto syndromes = diagnosis::extract_syndromes(
+          report.result.log, soc.memory_count());
+      diagnosis::ClassifierOptions classifier_options;
+      classifier_options.clock = spec.clock();
+      auto soc_classification = diagnosis::classify_soc(
+          soc, syndromes, *test, classifier_options, classifier_cache);
+      report.classification =
+          ClassificationOutcome{std::move(soc_classification.memories),
+                                std::move(soc_classification.confusion)};
+    }
   }
 
   if (spec.repair()) {
@@ -138,9 +157,13 @@ AggregateReport DiagnosisEngine::run_batch(
 
   const SchemeRegistry& schemes = registry();
   const std::size_t workers = worker_count(specs.size());
+  // Shared across the whole batch (and its workers): runs with identical
+  // (test, geometry, retention) classify against one signature dictionary
+  // instead of rebuilding it per run.
+  diagnosis::ClassifierCache classifier_cache;
   if (workers <= 1) {
     for (std::size_t i = 0; i < specs.size(); ++i) {
-      aggregate.runs[i] = execute(specs[i], schemes);
+      aggregate.runs[i] = execute(specs[i], schemes, &classifier_cache);
       if (observer) {
         observer(i, aggregate.runs[i]);
       }
@@ -160,7 +183,7 @@ AggregateReport DiagnosisEngine::run_batch(
         return;
       }
       try {
-        aggregate.runs[i] = execute(specs[i], schemes);
+        aggregate.runs[i] = execute(specs[i], schemes, &classifier_cache);
         if (observer) {
           const std::lock_guard<std::mutex> lock(observer_mutex);
           observer(i, aggregate.runs[i]);

@@ -62,9 +62,14 @@ class DiagnosisEngine {
 
   /// Executes one spec on the calling thread: injects defects, runs the
   /// scheme, scores against ground truth, optionally repairs + re-verifies.
+  /// When the spec classifies, signature dictionaries come from
+  /// @p classifier_cache if given (run_batch shares one per batch, so a
+  /// sweep builds each distinct dictionary once); else they are rebuilt
+  /// for this call.
   [[nodiscard]] static Report execute(
       const SessionSpec& spec,
-      const SchemeRegistry& registry = SchemeRegistry::global());
+      const SchemeRegistry& registry = SchemeRegistry::global(),
+      diagnosis::ClassifierCache* classifier_cache = nullptr);
 
   /// Called once per finished run, possibly from a worker thread but never
   /// concurrently (the engine serializes observer calls).  @p index is the

@@ -47,6 +47,9 @@
 #include "core/report.h"           // IWYU pragma: export
 #include "core/session.h"          // IWYU pragma: export
 #include "core/spec.h"             // IWYU pragma: export
+#include "diagnosis/classifier.h"  // IWYU pragma: export
+#include "diagnosis/resolution.h"  // IWYU pragma: export
+#include "diagnosis/syndrome.h"    // IWYU pragma: export
 #include "faults/dictionary.h"     // IWYU pragma: export
 #include "faults/fault_set.h"      // IWYU pragma: export
 #include "faults/injector.h"       // IWYU pragma: export
@@ -63,10 +66,10 @@
 namespace fastdiag {
 
 inline constexpr int kVersionMajor = 2;
-inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionMinor = 1;
 inline constexpr int kVersionPatch = 0;
 
-/// "2.0.0"
-[[nodiscard]] inline const char* version() { return "2.0.0"; }
+/// "2.1.0"
+[[nodiscard]] inline const char* version() { return "2.1.0"; }
 
 }  // namespace fastdiag

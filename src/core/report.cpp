@@ -11,6 +11,22 @@
 
 namespace fastdiag::core {
 
+std::size_t ClassificationOutcome::site_count() const {
+  std::size_t count = 0;
+  for (const auto& memory : memories) {
+    count += memory.sites.size();
+  }
+  return count;
+}
+
+std::size_t ClassificationOutcome::classified_site_count() const {
+  std::size_t count = 0;
+  for (const auto& memory : memories) {
+    count += memory.classified_sites();
+  }
+  return count;
+}
+
 double Report::overall_recall() const {
   std::size_t truth = 0;
   std::size_t matched = 0;
@@ -55,6 +71,14 @@ std::string Report::summary() const {
   if (repair || repair_2d) {
     out << "post-repair clean: " << (repair_verified_clean ? "yes" : "no")
         << '\n';
+  }
+  if (classification) {
+    out << "classified sites:  " << classification->classified_site_count()
+        << "/" << classification->site_count() << '\n';
+    out << "classify accuracy: "
+        << fmt_percent(classification->confusion.lenient_accuracy())
+        << " (strict "
+        << fmt_percent(classification->confusion.strict_accuracy()) << ")\n";
   }
   return out.str();
 }
@@ -153,6 +177,16 @@ std::vector<AggregateReport::SchemeSummary> AggregateReport::per_scheme()
   return out;
 }
 
+RunStats AggregateReport::classification_accuracy_stats() const {
+  std::vector<double> accuracies;
+  for (const auto& run : runs) {
+    if (run.classification) {
+      accuracies.push_back(run.classification->confusion.lenient_accuracy());
+    }
+  }
+  return stats_of(accuracies);
+}
+
 std::string AggregateReport::summary() const {
   std::ostringstream out;
   out << "runs:              " << runs.size() << '\n';
@@ -173,6 +207,17 @@ std::string AggregateReport::summary() const {
   out << "time p50/p90/p99:  " << fmt_ns(percentile(50.0)) << " / "
       << fmt_ns(percentile(90.0)) << " / " << fmt_ns(percentile(99.0))
       << '\n';
+  std::size_t classified_runs = 0;
+  for (const auto& run : runs) {
+    classified_runs += run.classification.has_value() ? 1 : 0;
+  }
+  if (classified_runs > 0) {
+    const auto accuracy = classification_accuracy_stats();
+    out << "classify accuracy: mean " << fmt_percent(accuracy.mean)
+        << "  min " << fmt_percent(accuracy.min) << "  max "
+        << fmt_percent(accuracy.max) << "  (" << classified_runs
+        << " runs)\n";
+  }
   const auto schemes = per_scheme();
   if (schemes.size() > 1) {
     out << "per scheme:\n";

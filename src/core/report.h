@@ -14,9 +14,20 @@
 
 #include "bisd/repair.h"
 #include "bisd/scheme.h"
+#include "diagnosis/classifier.h"
 #include "faults/dictionary.h"
 
 namespace fastdiag::core {
+
+/// What spec.classify() adds to a run: per-memory fault-kind verdicts plus
+/// their score against the injected ground truth.
+struct ClassificationOutcome {
+  std::vector<diagnosis::MemoryClassification> memories;
+  faults::ConfusionMatrix confusion;
+
+  [[nodiscard]] std::size_t site_count() const;
+  [[nodiscard]] std::size_t classified_site_count() const;
+};
 
 struct Report {
   /// Registry key of the scheme that ran ("fast", "baseline", ...); the
@@ -39,6 +50,11 @@ struct Report {
   std::optional<bisd::RepairPlan> repair;
   std::optional<bisd::RepairPlan2D> repair_2d;
   bool repair_verified_clean = false;
+
+  /// Only populated when the spec asked for classification and the scheme
+  /// produces march-attributed records (see
+  /// DiagnosisScheme::classification_test).
+  std::optional<ClassificationOutcome> classification;
 
   /// Fault-weighted recall over every memory.
   [[nodiscard]] double overall_recall() const;
@@ -81,6 +97,10 @@ struct AggregateReport {
 
   /// One row per distinct scheme in the batch, sorted by name.
   [[nodiscard]] std::vector<SchemeSummary> per_scheme() const;
+
+  /// Lenient classification accuracy over the runs that classified
+  /// (all-zero when none did).
+  [[nodiscard]] RunStats classification_accuracy_stats() const;
 
   /// Human-readable multi-line summary including the per-scheme table.
   [[nodiscard]] std::string summary() const;

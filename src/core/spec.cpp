@@ -85,6 +85,11 @@ SessionSpec::Builder& SessionSpec::Builder::use_column_spares(bool use) {
   return *this;
 }
 
+SessionSpec::Builder& SessionSpec::Builder::classify(bool classify) {
+  draft_.classify_ = classify;
+  return *this;
+}
+
 SessionSpec::Builder& SessionSpec::Builder::access_kernel(
     sram::AccessKernel kernel) {
   draft_.kernel_ = kernel;

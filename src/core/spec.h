@@ -41,6 +41,7 @@ class SessionSpec {
   [[nodiscard]] const std::string& scheme() const { return scheme_; }
   [[nodiscard]] bool repair() const { return repair_; }
   [[nodiscard]] bool column_spares() const { return column_spares_; }
+  [[nodiscard]] bool classify() const { return classify_; }
   [[nodiscard]] sram::AccessKernel access_kernel() const { return kernel_; }
 
   /// A builder pre-loaded with this spec's values — the way to derive
@@ -60,6 +61,7 @@ class SessionSpec {
   std::string scheme_ = "fast";
   bool repair_ = false;
   bool column_spares_ = false;
+  bool classify_ = false;
   sram::AccessKernel kernel_ = sram::AccessKernel::word_parallel;
 };
 
@@ -97,6 +99,12 @@ class SessionSpec::Builder {
   /// Use the 2-D row+column allocator instead of row-only repair (default
   /// false).
   Builder& use_column_spares(bool use);
+
+  /// Classify diagnosis syndromes into fault-kind hypotheses and score
+  /// them against the injected ground truth (default false).  Only
+  /// march-attributed schemes (the fast family) produce classifiable logs;
+  /// other schemes leave Report::classification empty.
+  Builder& classify(bool classify);
 
   /// Simulation access kernel (default word_parallel).  per_cell forces the
   /// bit-at-a-time reference path in every memory — slow, but the oracle the

@@ -1,0 +1,739 @@
+#include "diagnosis/classifier.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "bisd/soc.h"
+#include "faults/fault_kind.h"
+#include "faults/fault_set.h"
+#include "march/runner.h"
+#include "sram/sram.h"
+#include "util/require.h"
+
+namespace fastdiag::diagnosis {
+namespace {
+
+using faults::FaultInstance;
+using faults::FaultKind;
+using sram::CellCoord;
+
+/// Cell-local fault kinds the dictionary probes directly.
+constexpr FaultKind kCellKinds[] = {
+    FaultKind::sa0,  FaultKind::sa1,  FaultKind::tf_up, FaultKind::tf_down,
+    FaultKind::sof,  FaultKind::drf0, FaultKind::drf1,
+};
+
+/// Coupling kinds (each probed per aggressor placement and bit).
+constexpr FaultKind kCouplingKinds[] = {
+    FaultKind::cf_in_up,    FaultKind::cf_in_down,  FaultKind::cf_id_up0,
+    FaultKind::cf_id_up1,   FaultKind::cf_id_down0, FaultKind::cf_id_down1,
+    FaultKind::cf_st_00,    FaultKind::cf_st_01,    FaultKind::cf_st_10,
+    FaultKind::cf_st_11,
+};
+
+/// Jaccard similarity of two sorted sets (ReadKeys or (ReadKey, bit) pairs).
+template <typename T>
+double jaccard(const std::vector<T>& a, const std::vector<T>& b) {
+  if (a.empty() && b.empty()) {
+    return 1.0;
+  }
+  std::size_t common = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++common;
+      ++ia;
+      ++ib;
+    }
+  }
+  const std::size_t all = a.size() + b.size() - common;
+  return all == 0 ? 1.0
+                  : static_cast<double>(common) / static_cast<double>(all);
+}
+
+/// Stable hypothesis order: confidence descending, then kind declaration
+/// order, then placement, so verdicts are deterministic.
+void sort_hypotheses(std::vector<Hypothesis>& hypotheses) {
+  std::stable_sort(hypotheses.begin(), hypotheses.end(),
+                   [](const Hypothesis& a, const Hypothesis& b) {
+                     if (a.confidence != b.confidence) {
+                       return a.confidence > b.confidence;
+                     }
+                     if (a.kind != b.kind) {
+                       return static_cast<int>(a.kind) <
+                              static_cast<int>(b.kind);
+                     }
+                     return static_cast<int>(a.aggressor.placement) <
+                            static_cast<int>(b.aggressor.placement);
+                   });
+}
+
+}  // namespace
+
+std::string_view aggressor_placement_name(AggressorPlacement p) {
+  switch (p) {
+    case AggressorPlacement::none: return "none";
+    case AggressorPlacement::same_word: return "same-word";
+    case AggressorPlacement::lower_address: return "lower-addr";
+    case AggressorPlacement::higher_address: return "higher-addr";
+  }
+  return "?";
+}
+
+bool AggressorHint::admits(const faults::FaultInstance& fault) const {
+  if (!faults::needs_aggressor(fault.kind)) {
+    return placement == AggressorPlacement::none;
+  }
+  AggressorPlacement actual = AggressorPlacement::same_word;
+  if (fault.aggressor.row < fault.victim.row) {
+    actual = AggressorPlacement::lower_address;
+  } else if (fault.aggressor.row > fault.victim.row) {
+    actual = AggressorPlacement::higher_address;
+  }
+  if (actual != placement) {
+    return false;
+  }
+  return std::find(candidate_bits.begin(), candidate_bits.end(),
+                   fault.aggressor.bit) != candidate_bits.end();
+}
+
+std::string Hypothesis::to_string() const {
+  std::string out(faults::fault_kind_name(kind));
+  out += " conf=" + std::to_string(confidence);
+  if (aggressor.placement != AggressorPlacement::none) {
+    out += " aggr=";
+    out += aggressor_placement_name(aggressor.placement);
+    out += " bits={";
+    for (std::size_t i = 0; i < aggressor.candidate_bits.size(); ++i) {
+      out += (i != 0 ? "," : "") + std::to_string(aggressor.candidate_bits[i]);
+    }
+    out += "}";
+  }
+  return out;
+}
+
+double SiteClassification::top_confidence() const {
+  return hypotheses.empty() ? 0.0 : hypotheses.front().confidence;
+}
+
+std::vector<faults::FaultKind> SiteClassification::top_kinds() const {
+  std::vector<faults::FaultKind> kinds;
+  const double top = top_confidence();
+  for (const auto& hypothesis : hypotheses) {
+    if (hypothesis.confidence < top) {
+      break;
+    }
+    if (std::find(kinds.begin(), kinds.end(), hypothesis.kind) ==
+        kinds.end()) {
+      kinds.push_back(hypothesis.kind);
+    }
+  }
+  return kinds;
+}
+
+std::string SiteClassification::to_string() const {
+  std::string out = site == Site::row
+                        ? "row " + std::to_string(row)
+                        : "cell (" + std::to_string(cell.row) + "," +
+                              std::to_string(cell.bit) + ")";
+  if (hypotheses.empty()) {
+    return out + ": unclassified";
+  }
+  out += ":";
+  for (const auto& hypothesis : hypotheses) {
+    out += ' ';
+    out += hypothesis.to_string();
+    out += ';';
+  }
+  return out;
+}
+
+std::size_t MemoryClassification::classified_sites() const {
+  std::size_t count = 0;
+  for (const auto& site : sites) {
+    count += site.classified() ? 1 : 0;
+  }
+  return count;
+}
+
+std::string MemoryClassification::to_string() const {
+  std::string out = "memory " + std::to_string(memory_index) + ":\n";
+  for (const auto& site : sites) {
+    out += "  " + site.to_string() + '\n';
+  }
+  return out;
+}
+
+FaultClassifier::FaultClassifier(sram::SramConfig config,
+                                 march::MarchTest test,
+                                 ClassifierOptions options)
+    : config_(std::move(config)),
+      test_(std::move(test)),
+      options_(options) {
+  config_.validate();
+  require(test_.width() >= config_.bits,
+          "FaultClassifier: test narrower than the memory");
+  require(options_.probe_words >= 3,
+          "FaultClassifier: probe_words must be >= 3");
+}
+
+std::map<CellCoord, std::vector<ReadKey>> FaultClassifier::probe_signature(
+    const FaultInstance& fault, std::uint32_t probe_words,
+    std::uint32_t sweep) const {
+  auto probe_config = config_;
+  probe_config.name = "probe";
+  probe_config.words = probe_words;
+  probe_config.spare_rows = 0;
+  probe_config.spare_cols = 0;
+  sram::Sram memory(probe_config,
+                    std::make_unique<faults::FaultSet>(
+                        std::vector<FaultInstance>{fault}));
+  const auto result = march::MarchRunner(options_.clock).run(memory, test_, sweep);
+
+  std::map<CellCoord, std::vector<ReadKey>> by_cell;
+  for (const auto& mismatch : result.mismatches) {
+    const ReadKey key{mismatch.phase, mismatch.element, mismatch.visit,
+                      mismatch.op};
+    const std::size_t width = mismatch.expected.width();
+    for (std::uint32_t bit = 0; bit < width; ++bit) {
+      if (mismatch.expected.get(bit) != mismatch.actual.get(bit)) {
+        auto& reads = by_cell[{mismatch.addr, bit}];
+        if (reads.empty() || reads.back() != key) {
+          reads.push_back(key);
+        }
+      }
+    }
+  }
+  return by_cell;
+}
+
+bool FaultClassifier::wrapped() const {
+  return options_.global_words > config_.words;
+}
+
+FaultClassifier::Position FaultClassifier::position_of(
+    std::uint32_t row, std::uint32_t words) const {
+  if (row == 0) {
+    return Position::first;
+  }
+  if (row + 1 == words) {
+    return Position::last;
+  }
+  return Position::middle;
+}
+
+namespace {
+
+/// Cache sentinel for position-category keys (cannot collide with rows).
+std::uint32_t position_key(std::uint32_t position) {
+  return 0x80000000u + position;
+}
+
+}  // namespace
+
+const std::vector<FaultClassifier::CellSignature>&
+FaultClassifier::cell_dictionary(CellCoord cell) const {
+  // Without wrap, the probe shrinks to a few words and the victim keeps
+  // only its sweep-edge category; with wrap, visit counts differ per
+  // address, so the probe keeps the exact geometry and victim row.
+  const bool wrap = wrapped();
+  const std::uint32_t words =
+      wrap ? config_.words : std::min(options_.probe_words, config_.words);
+  const std::uint32_t sweep = wrap ? options_.global_words : words;
+  const auto position = position_of(cell.row, config_.words);
+  std::uint32_t victim_row = cell.row;
+  if (!wrap) {
+    victim_row = words / 2;
+    if (position == Position::first) {
+      victim_row = 0;
+    } else if (position == Position::last) {
+      victim_row = words - 1;
+    }
+  }
+  const auto key = std::make_pair(
+      cell.bit,
+      wrap ? cell.row : position_key(static_cast<std::uint32_t>(position)));
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto cached = cell_cache_.find(key);
+    if (cached != cell_cache_.end()) {
+      return cached->second;
+    }
+  }
+
+  // Build outside the lock so concurrent classify() calls warm distinct
+  // keys in parallel; a racing duplicate build is discarded by emplace.
+  const CellCoord victim{victim_row, cell.bit};
+  std::vector<CellSignature> dictionary;
+  const auto add = [&](const FaultInstance& fault,
+                       AggressorPlacement placement,
+                       std::uint32_t aggressor_bit) {
+    auto by_cell = probe_signature(fault, words, sweep);
+    CellSignature signature;
+    signature.kind = fault.kind;
+    signature.placement = placement;
+    signature.aggressor_bit = aggressor_bit;
+    const auto it = by_cell.find(victim);
+    if (it != by_cell.end()) {
+      signature.reads = it->second;
+    }
+    dictionary.push_back(std::move(signature));
+  };
+
+  for (const auto kind : kCellKinds) {
+    add(faults::make_cell_fault(kind, victim), AggressorPlacement::none, 0);
+  }
+
+  // Representative aggressor rows per placement.  Relative address order is
+  // what march signatures key on; under wrap-around, whether a row falls
+  // below the partial-wrap remainder (and so gets one extra visit per
+  // element) matters too, so both sides of that boundary get a
+  // representative.
+  const std::uint32_t remainder = wrap ? sweep % words : 0;
+  const auto representatives = [&](bool lower) {
+    std::vector<std::uint32_t> rows;
+    const auto push = [&](std::int64_t row) {
+      if (row < 0 || row >= static_cast<std::int64_t>(words)) {
+        return;
+      }
+      const auto value = static_cast<std::uint32_t>(row);
+      const bool in_range = lower ? value < victim_row : value > victim_row;
+      if (in_range &&
+          std::find(rows.begin(), rows.end(), value) == rows.end()) {
+        rows.push_back(value);
+      }
+    };
+    push(static_cast<std::int64_t>(victim_row) + (lower ? -1 : 1));
+    if (remainder != 0) {
+      push(static_cast<std::int64_t>(remainder) - 1);
+      push(remainder);
+    }
+    return rows;
+  };
+
+  struct PlacementRow {
+    AggressorPlacement placement;
+    std::uint32_t row;
+  };
+  std::vector<PlacementRow> placements;
+  placements.push_back({AggressorPlacement::same_word, victim_row});
+  for (const auto row : representatives(/*lower=*/true)) {
+    placements.push_back({AggressorPlacement::lower_address, row});
+  }
+  for (const auto row : representatives(/*lower=*/false)) {
+    placements.push_back({AggressorPlacement::higher_address, row});
+  }
+  for (const auto kind : kCouplingKinds) {
+    for (const auto& placement : placements) {
+      for (std::uint32_t a = 0; a < config_.bits; ++a) {
+        if (placement.placement == AggressorPlacement::same_word &&
+            a == cell.bit) {
+          continue;
+        }
+        add(faults::make_coupling_fault(kind, {placement.row, a}, victim),
+            placement.placement, a);
+      }
+    }
+  }
+
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cell_cache_.emplace(key, std::move(dictionary)).first->second;
+}
+
+const std::vector<FaultClassifier::RowSignature>&
+FaultClassifier::row_dictionary(std::uint32_t row) const {
+  const bool wrap = wrapped();
+  const std::uint32_t words =
+      wrap ? config_.words : std::min(options_.probe_words, config_.words);
+  const std::uint32_t sweep = wrap ? options_.global_words : words;
+  // Without wrap the build below probes every anchor/pair, so its content
+  // does not depend on the observed row (classify_row filters by position
+  // per entry) — one shared cache slot covers all rows.
+  const std::uint32_t key = wrap ? row : position_key(0);
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto cached = row_cache_.find(key);
+    if (cached != row_cache_.end()) {
+      return cached->second;
+    }
+  }
+
+  std::vector<RowSignature> dictionary;
+  const auto add = [&](const FaultInstance& fault) {
+    auto by_cell = probe_signature(fault, words, sweep);
+    // Every probe row that failed yields one signature: the observed site
+    // can be either involved row of a wrong-row / extra-row fault.
+    std::map<std::uint32_t, std::vector<std::pair<ReadKey, std::uint32_t>>>
+        by_row;
+    for (const auto& [cell, reads] : by_cell) {
+      for (const auto& read : reads) {
+        by_row[cell.row].push_back({read, cell.bit});
+      }
+    }
+    for (auto& [probe_row, reads] : by_row) {
+      std::sort(reads.begin(), reads.end());
+      dictionary.push_back({fault.kind, position_of(probe_row, words),
+                            std::move(reads)});
+    }
+  };
+
+  // The address pairs to probe.  Without wrap the probe spans few words, so
+  // every ordered (A, B) pair is cheap and covers each edge-role combination;
+  // under wrap the observed row R plays either role against representative
+  // partners on both sides of the partial-wrap boundary.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  std::vector<std::uint32_t> anchors;
+  if (!wrap) {
+    for (std::uint32_t a = 0; a < words; ++a) {
+      anchors.push_back(a);
+      add(faults::make_address_fault(FaultKind::af_no_access, a));
+    }
+    for (const auto a : anchors) {
+      for (std::uint32_t b = 0; b < words; ++b) {
+        if (a != b) {
+          pairs.push_back({a, b});
+        }
+      }
+    }
+  } else {
+    const std::uint32_t remainder = sweep % words;
+    add(faults::make_address_fault(FaultKind::af_no_access, row));
+    std::vector<std::uint32_t> partners;
+    const auto push = [&](std::int64_t partner) {
+      if (partner < 0 || partner >= static_cast<std::int64_t>(words) ||
+          partner == static_cast<std::int64_t>(row)) {
+        return;
+      }
+      const auto value = static_cast<std::uint32_t>(partner);
+      if (std::find(partners.begin(), partners.end(), value) ==
+          partners.end()) {
+        partners.push_back(value);
+      }
+    };
+    push(static_cast<std::int64_t>(row) - 1);
+    push(static_cast<std::int64_t>(row) + 1);
+    push(0);
+    push(static_cast<std::int64_t>(words) - 1);
+    if (remainder != 0) {
+      push(static_cast<std::int64_t>(remainder) - 1);
+      push(remainder);
+    }
+    for (const auto partner : partners) {
+      pairs.push_back({row, partner});
+      pairs.push_back({partner, row});
+    }
+  }
+  for (const auto& [a, b] : pairs) {
+    add(faults::make_address_fault(FaultKind::af_wrong_row, a, b));
+    add(faults::make_address_fault(FaultKind::af_extra_row, a, b));
+  }
+
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return row_cache_.emplace(key, std::move(dictionary)).first->second;
+}
+
+SiteClassification FaultClassifier::classify_cell(
+    const CellSyndrome& syndrome) const {
+  SiteClassification out;
+  out.site = SiteClassification::Site::cell;
+  out.cell = syndrome.cell;
+  out.failing_bits = 1;
+
+  const auto& dictionary = cell_dictionary(syndrome.cell);
+
+  // Exact matches first; coupling kinds aggregate their consistent
+  // aggressor bits into one hypothesis per (kind, placement).
+  for (const auto& signature : dictionary) {
+    if (signature.reads.empty() ||
+        signature.reads != syndrome.failed_reads) {
+      continue;
+    }
+    const bool coupling = faults::needs_aggressor(signature.kind);
+    auto existing = std::find_if(
+        out.hypotheses.begin(), out.hypotheses.end(),
+        [&](const Hypothesis& h) {
+          return h.kind == signature.kind &&
+                 h.aggressor.placement == signature.placement;
+        });
+    if (existing != out.hypotheses.end()) {
+      if (coupling) {
+        existing->aggressor.candidate_bits.push_back(
+            signature.aggressor_bit);
+      }
+      continue;
+    }
+    Hypothesis hypothesis;
+    hypothesis.kind = signature.kind;
+    hypothesis.confidence = 1.0;
+    if (coupling) {
+      hypothesis.aggressor.placement = signature.placement;
+      hypothesis.aggressor.candidate_bits = {signature.aggressor_bit};
+    }
+    out.hypotheses.push_back(std::move(hypothesis));
+  }
+
+  if (out.hypotheses.empty()) {
+    // No exact match (multi-fault overlap, or a kind outside the
+    // dictionary): fall back to the best partial overlaps.
+    std::map<std::pair<FaultKind, AggressorPlacement>,
+             std::pair<double, std::vector<std::uint32_t>>>
+        best;
+    for (const auto& signature : dictionary) {
+      if (signature.reads.empty()) {
+        continue;
+      }
+      const double score = jaccard(signature.reads, syndrome.failed_reads);
+      if (score < options_.min_confidence) {
+        continue;
+      }
+      auto& slot = best[{signature.kind, signature.placement}];
+      if (score > slot.first) {
+        slot = {score, {signature.aggressor_bit}};
+      } else if (score == slot.first &&
+                 faults::needs_aggressor(signature.kind) &&
+                 std::find(slot.second.begin(), slot.second.end(),
+                           signature.aggressor_bit) == slot.second.end()) {
+        // Several representative aggressor rows can probe the same bit.
+        slot.second.push_back(signature.aggressor_bit);
+      }
+    }
+    for (auto& [key, value] : best) {
+      Hypothesis hypothesis;
+      hypothesis.kind = key.first;
+      hypothesis.confidence = value.first;
+      if (faults::needs_aggressor(key.first)) {
+        hypothesis.aggressor.placement = key.second;
+        hypothesis.aggressor.candidate_bits = std::move(value.second);
+      }
+      out.hypotheses.push_back(std::move(hypothesis));
+    }
+  }
+
+  sort_hypotheses(out.hypotheses);
+  return out;
+}
+
+std::optional<SiteClassification> FaultClassifier::classify_row(
+    std::uint32_t row, const std::vector<const CellSyndrome*>& cells) const {
+  if (config_.bits < 2) {
+    return std::nullopt;
+  }
+  std::vector<std::pair<ReadKey, std::uint32_t>> observed;
+  for (const auto* syndrome : cells) {
+    for (const auto& read : syndrome->failed_reads) {
+      observed.push_back({read, syndrome->cell.bit});
+    }
+  }
+  std::sort(observed.begin(), observed.end());
+
+  SiteClassification out;
+  out.site = SiteClassification::Site::row;
+  out.row = row;
+  out.failing_bits = cells.size();
+  const auto position = position_of(row, config_.words);
+  for (const auto& signature : row_dictionary(row)) {
+    if (signature.position != position) {
+      continue;
+    }
+    const double score = signature.reads == observed
+                             ? 1.0
+                             : jaccard(signature.reads, observed);
+    if (score < options_.min_confidence) {
+      continue;
+    }
+    auto existing = std::find_if(
+        out.hypotheses.begin(), out.hypotheses.end(),
+        [&](const Hypothesis& h) { return h.kind == signature.kind; });
+    if (existing != out.hypotheses.end()) {
+      existing->confidence = std::max(existing->confidence, score);
+      continue;
+    }
+    Hypothesis hypothesis;
+    hypothesis.kind = signature.kind;
+    hypothesis.confidence = score;
+    out.hypotheses.push_back(hypothesis);
+  }
+  if (out.hypotheses.empty()) {
+    return std::nullopt;
+  }
+  sort_hypotheses(out.hypotheses);
+  return out;
+}
+
+MemoryClassification FaultClassifier::classify(
+    const MemorySyndrome& syndrome) const {
+  MemoryClassification out;
+  out.memory_index = syndrome.memory_index;
+
+  // Row-granular pass: rows where every IO bit failed carry the
+  // address-decoder signature and are classified as one site.
+  std::map<std::uint32_t, std::vector<const CellSyndrome*>> by_row;
+  for (const auto& cell : syndrome.cells) {
+    by_row[cell.cell.row].push_back(&cell);
+  }
+  std::vector<const CellSyndrome*> leftover;
+  for (const auto& [row, cells] : by_row) {
+    if (cells.size() == config_.bits) {
+      if (auto site = classify_row(row, cells)) {
+        out.sites.push_back(std::move(*site));
+        continue;
+      }
+    }
+    leftover.insert(leftover.end(), cells.begin(), cells.end());
+  }
+
+  for (const auto* cell : leftover) {
+    out.sites.push_back(classify_cell(*cell));
+  }
+
+  std::sort(out.sites.begin(), out.sites.end(),
+            [](const SiteClassification& a, const SiteClassification& b) {
+              const std::uint32_t row_a =
+                  a.site == SiteClassification::Site::row ? a.row
+                                                          : a.cell.row;
+              const std::uint32_t row_b =
+                  b.site == SiteClassification::Site::row ? b.row
+                                                          : b.cell.row;
+              if (row_a != row_b) {
+                return row_a < row_b;
+              }
+              if (a.site != b.site) {
+                return a.site == SiteClassification::Site::row;
+              }
+              return a.cell.bit < b.cell.bit;
+            });
+  return out;
+}
+
+const FaultClassifier& ClassifierCache::get(const sram::SramConfig& config,
+                                            const march::MarchTest& test,
+                                            const ClassifierOptions& options) {
+  Key key{test.to_string(),      config.words,
+          config.bits,           config.retention_ns,
+          options.clock.period_ns, options.global_words,
+          options.probe_words,   options.min_confidence};
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = cache_[std::move(key)];
+  if (!slot) {
+    slot = std::make_unique<FaultClassifier>(config, test, options);
+  }
+  return *slot;
+}
+
+SocClassification classify_soc(const bisd::SocUnderTest& soc,
+                               const std::vector<MemorySyndrome>& syndromes,
+                               const march::MarchTest& test,
+                               ClassifierOptions options,
+                               ClassifierCache* cache) {
+  ClassifierCache local;
+  if (cache == nullptr) {
+    cache = &local;
+  }
+  options.global_words = soc.max_words();
+
+  SocClassification out;
+  out.memories.reserve(soc.memory_count());
+  for (std::size_t i = 0; i < soc.memory_count(); ++i) {
+    const auto& config = soc.config(i);
+    const auto& classifier = cache->get(config, test, options);
+    out.memories.push_back(classifier.classify(syndromes[i]));
+    out.confusion.merge(
+        score_classification(soc.truth(i), out.memories.back(), config));
+  }
+  return out;
+}
+
+faults::ConfusionMatrix score_classification(
+    const std::vector<faults::FaultInstance>& truth,
+    const MemoryClassification& classification,
+    const sram::SramConfig& config) {
+  faults::ConfusionMatrix matrix;
+  std::vector<bool> used(classification.sites.size(), false);
+
+  const auto find_site = [&](const FaultInstance& fault) -> std::ptrdiff_t {
+    // Row sites covering an involved row take precedence; then the victim
+    // cell itself; then any cell of the fault's footprint.
+    const bool address = faults::is_address_fault(fault.kind);
+    for (std::size_t i = 0; i < classification.sites.size(); ++i) {
+      const auto& site = classification.sites[i];
+      if (site.site != SiteClassification::Site::row) {
+        continue;
+      }
+      const bool has_other = fault.kind == FaultKind::af_wrong_row ||
+                             fault.kind == FaultKind::af_extra_row;
+      if (address
+              ? (site.row == fault.addr ||
+                 (has_other && site.row == fault.other_row))
+              : site.row == fault.victim.row) {
+        return static_cast<std::ptrdiff_t>(i);
+      }
+    }
+    if (!address) {
+      for (std::size_t i = 0; i < classification.sites.size(); ++i) {
+        const auto& site = classification.sites[i];
+        if (site.site == SiteClassification::Site::cell &&
+            site.cell == fault.victim) {
+          return static_cast<std::ptrdiff_t>(i);
+        }
+      }
+    }
+    const auto footprint = fault.footprint(config);
+    for (std::size_t i = 0; i < classification.sites.size(); ++i) {
+      const auto& site = classification.sites[i];
+      if (site.site != SiteClassification::Site::cell) {
+        continue;
+      }
+      if (std::find(footprint.begin(), footprint.end(), site.cell) !=
+          footprint.end()) {
+        return static_cast<std::ptrdiff_t>(i);
+      }
+    }
+    return -1;
+  };
+
+  for (const auto& fault : truth) {
+    const auto index = find_site(fault);
+    if (index < 0) {
+      matrix.add(fault.kind, std::nullopt, false);
+      continue;
+    }
+    const auto& site = classification.sites[static_cast<std::size_t>(index)];
+    used[static_cast<std::size_t>(index)] = true;
+    if (!site.classified()) {
+      matrix.add(fault.kind, std::nullopt, false);
+      continue;
+    }
+    bool among_top = false;
+    for (const auto& hypothesis : site.hypotheses) {
+      if (hypothesis.confidence < site.top_confidence()) {
+        break;
+      }
+      if (hypothesis.kind != fault.kind) {
+        continue;
+      }
+      among_top = !faults::needs_aggressor(fault.kind) ||
+                  hypothesis.aggressor.admits(fault);
+      if (among_top) {
+        break;
+      }
+    }
+    // Hypotheses are confidence-sorted, so front() is the top prediction.
+    matrix.add(fault.kind, site.hypotheses.front().kind, among_top);
+  }
+
+  for (std::size_t i = 0; i < classification.sites.size(); ++i) {
+    const auto& site = classification.sites[i];
+    if (!used[i] && site.classified()) {
+      matrix.add_spurious(site.hypotheses.front().kind);
+    }
+  }
+  return matrix;
+}
+
+}  // namespace fastdiag::diagnosis

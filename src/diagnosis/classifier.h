@@ -1,0 +1,253 @@
+// Syndrome -> fault-model classification.
+//
+// The classifier decides *which kind* of fault a syndrome points at, not
+// just where — the step that turns the fast scheme's complete diagnosis
+// data (Sec. 3.1/4) into actionable fault-model inferences.
+//
+// It works dictionary-style, like RAMSES run in reverse: for a candidate
+// (kind, placement) it injects exactly that single fault into a small probe
+// memory of the same word width, replays the same March test with an
+// op-attributed MarchRunner, and records the signature — the set of
+// (phase, element, op) reads the victim fails.  A hypothesis is emitted
+// when the observed syndrome equals the signature (confidence 1.0), or,
+// failing any exact match, when it overlaps one (Jaccard confidence).
+// Signatures depend only on the victim's bit (through the data
+// backgrounds), its position category (sweep edge vs. middle) and — for
+// couplings — the aggressor's relative placement, so the probe needs only
+// a handful of words and the dictionary is cached per victim bit.
+//
+// Two classical ambiguities surface honestly as ties: a cell that never
+// leaves 0 (SA0 vs. TF-up under any march that initialises to 0) and
+// coupling aggressor bits whose background columns the test does not
+// separate.  Ties share top confidence; callers see them via top_kinds().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "diagnosis/syndrome.h"
+#include "faults/dictionary.h"
+#include "faults/fault.h"
+#include "march/test.h"
+#include "sram/config.h"
+#include "sram/timing.h"
+
+namespace fastdiag::bisd {
+class SocUnderTest;
+}
+
+namespace fastdiag::diagnosis {
+
+/// Where a hypothesised coupling aggressor sits relative to the victim.
+enum class AggressorPlacement { none, same_word, lower_address,
+                                higher_address };
+
+[[nodiscard]] std::string_view aggressor_placement_name(AggressorPlacement p);
+
+/// Aggressor candidates consistent with the syndrome: the placement plus
+/// the IO bits whose background columns reproduce the observed signature.
+struct AggressorHint {
+  AggressorPlacement placement = AggressorPlacement::none;
+  std::vector<std::uint32_t> candidate_bits;
+
+  /// True when @p fault (ground truth) satisfies this hint for @p victim.
+  [[nodiscard]] bool admits(const faults::FaultInstance& fault) const;
+};
+
+struct Hypothesis {
+  faults::FaultKind kind = faults::FaultKind::sa0;
+  double confidence = 0.0;  ///< 1.0 = exact signature match
+  AggressorHint aggressor;  ///< populated for coupling kinds
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Verdict for one fault site — a single cell, or a whole row when the
+/// syndrome is row-granular (the address-decoder signature).
+struct SiteClassification {
+  enum class Site { cell, row };
+  Site site = Site::cell;
+  sram::CellCoord cell{};     ///< valid for Site::cell
+  std::uint32_t row = 0;      ///< valid for Site::row
+  std::size_t failing_bits = 1;  ///< distinct failing bits at this site
+
+  /// Sorted by confidence descending, kind declaration order inside ties.
+  std::vector<Hypothesis> hypotheses;
+
+  [[nodiscard]] bool classified() const { return !hypotheses.empty(); }
+  [[nodiscard]] double top_confidence() const;
+
+  /// Every kind tied at the top confidence (the classifier's verdict set).
+  [[nodiscard]] std::vector<faults::FaultKind> top_kinds() const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct MemoryClassification {
+  std::size_t memory_index = 0;
+  std::vector<SiteClassification> sites;
+
+  [[nodiscard]] std::size_t classified_sites() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct ClassifierOptions {
+  /// Partial (non-exact) hypotheses below this Jaccard score are dropped.
+  double min_confidence = 0.5;
+
+  /// Clock the probe simulations run at — must match the clock of the run
+  /// that produced the syndromes, or retention-scale DRF signatures drift
+  /// off the observed timebase.
+  sram::ClockDomain clock{};
+
+  /// Address span of the probe memories (clamped to the real word count).
+  /// Only used when the memory is swept without wrap-around; wrapped
+  /// memories are probed at their exact geometry.  Note the shrunken probe
+  /// also shrinks sweep elapsed time: retention thresholds within the same
+  /// order of magnitude as one sweep (instead of the pause-dominated
+  /// regime the NWRC elements create) can decay in the real run but not in
+  /// the probe.
+  std::uint32_t probe_words = 4;
+
+  /// The shared controller's sweep span (the SoC's n_max, Sec. 3.1).
+  /// 0 means the memory's own word count (no wrap-around).
+  std::uint32_t global_words = 0;
+};
+
+/// Classifies the syndromes of memories built from one SramConfig against
+/// one March test (the test the diagnosis scheme actually ran, dimensioned
+/// by the SoC's widest memory).  Instances cache their signature dictionary
+/// lazily per victim bit, so keep one classifier per distinct config+test
+/// (or share one through ClassifierCache).  classify() may be called
+/// concurrently: the lazy dictionary fills are internally synchronised.
+class FaultClassifier {
+ public:
+  FaultClassifier(sram::SramConfig config, march::MarchTest test,
+                  ClassifierOptions options = {});
+
+  /// Classifies every site of @p syndrome (memory_index is carried over).
+  [[nodiscard]] MemoryClassification classify(
+      const MemorySyndrome& syndrome) const;
+
+  /// The signature a single @p fault would leave on a probe memory of
+  /// @p probe_words addresses swept over @p sweep controller steps: the
+  /// failed read set of each failing cell, keyed by cell.  Exposed for
+  /// tests and tooling; fault coordinates refer to the probe geometry.
+  [[nodiscard]] std::map<sram::CellCoord, std::vector<ReadKey>>
+  probe_signature(const faults::FaultInstance& fault,
+                  std::uint32_t probe_words, std::uint32_t sweep) const;
+
+  [[nodiscard]] const sram::SramConfig& config() const { return config_; }
+  [[nodiscard]] const march::MarchTest& test() const { return test_; }
+
+ private:
+  /// Victim position category: without wrap-around, march signatures only
+  /// depend on whether the victim sits at a sweep edge or in the middle of
+  /// the address space.  Wrapped memories are probed at their exact row
+  /// (visit counts differ per address), so the category is the row itself.
+  enum class Position : std::uint8_t { first, middle, last };
+
+  struct CellSignature {
+    faults::FaultKind kind;
+    AggressorPlacement placement = AggressorPlacement::none;
+    std::uint32_t aggressor_bit = 0;  ///< meaningful for couplings
+    std::vector<ReadKey> reads;       ///< sorted; empty = fault invisible
+  };
+
+  struct RowSignature {
+    faults::FaultKind kind;
+    Position position;  ///< position of the failing probe row
+    /// (read, bit) pairs of the failing row, sorted.
+    std::vector<std::pair<ReadKey, std::uint32_t>> reads;
+  };
+
+  [[nodiscard]] bool wrapped() const;
+  [[nodiscard]] Position position_of(std::uint32_t row,
+                                     std::uint32_t words) const;
+  [[nodiscard]] const std::vector<CellSignature>& cell_dictionary(
+      sram::CellCoord cell) const;
+  [[nodiscard]] const std::vector<RowSignature>& row_dictionary(
+      std::uint32_t row) const;
+
+  [[nodiscard]] SiteClassification classify_cell(
+      const CellSyndrome& syndrome) const;
+  [[nodiscard]] std::optional<SiteClassification> classify_row(
+      std::uint32_t row, const std::vector<const CellSyndrome*>& cells) const;
+
+  sram::SramConfig config_;
+  march::MarchTest test_;
+  ClassifierOptions options_;
+
+  /// Guards lookups/inserts on the caches below; dictionary builds run
+  /// outside the lock so distinct keys warm in parallel.  std::map node
+  /// stability keeps returned references valid across later insertions.
+  mutable std::mutex cache_mutex_;
+
+  /// Key: victim bit + row category (exact row when wrapped, else the
+  /// Position sentinel above 2^31).
+  mutable std::map<std::pair<std::uint32_t, std::uint32_t>,
+                   std::vector<CellSignature>>
+      cell_cache_;
+  mutable std::map<std::uint32_t, std::vector<RowSignature>> row_cache_;
+};
+
+/// Shares FaultClassifier instances — and thus their expensive signature
+/// dictionaries — across memories, runs, and worker threads.  Entries are
+/// keyed by every input a signature depends on: the March test plus the
+/// config's words, bits and retention_ns (same-geometry memories with
+/// different retention thresholds decay differently under NWRC, so they
+/// must not share a dictionary) and the sweep/probe options.  Thread-safe.
+class ClassifierCache {
+ public:
+  /// Returns the classifier for (@p config, @p test, @p options), building
+  /// it on first use.  The reference stays valid for the cache's lifetime.
+  [[nodiscard]] const FaultClassifier& get(const sram::SramConfig& config,
+                                           const march::MarchTest& test,
+                                           const ClassifierOptions& options);
+
+ private:
+  using Key = std::tuple<std::string, std::uint32_t, std::uint32_t,
+                         std::uint64_t, std::uint64_t, std::uint32_t,
+                         std::uint32_t, double>;
+
+  std::mutex mutex_;
+  std::map<Key, std::unique_ptr<FaultClassifier>> cache_;
+};
+
+/// One SoC's worth of classification: per-memory verdicts plus their score
+/// against the injected ground truth, merged over all memories.
+struct SocClassification {
+  std::vector<MemoryClassification> memories;
+  faults::ConfusionMatrix confusion;
+};
+
+/// Classifies @p syndromes (one entry per memory of @p soc) against
+/// @p test and scores every memory against the SoC's ground truth.
+/// options.global_words is overridden with the SoC's controller sweep span.
+/// Classifiers come from @p cache when given (reusing dictionaries across
+/// calls), else from a cache local to this call (shared across same-shape
+/// memories only).
+[[nodiscard]] SocClassification classify_soc(
+    const bisd::SocUnderTest& soc,
+    const std::vector<MemorySyndrome>& syndromes,
+    const march::MarchTest& test, ClassifierOptions options = {},
+    ClassifierCache* cache = nullptr);
+
+/// Scores @p classification against the injected ground @p truth of one
+/// memory: every truth is matched to the site that explains it (the victim
+/// cell, or a row site covering an involved row) and its top prediction is
+/// tallied.  A truth counts as among-top only when its kind ties for the
+/// top confidence *and*, for couplings, the aggressor hint admits the true
+/// aggressor.  Classified sites no truth explains count as spurious.
+[[nodiscard]] faults::ConfusionMatrix score_classification(
+    const std::vector<faults::FaultInstance>& truth,
+    const MemoryClassification& classification,
+    const sram::SramConfig& config);
+
+}  // namespace fastdiag::diagnosis

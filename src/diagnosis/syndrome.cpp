@@ -1,0 +1,75 @@
+#include "diagnosis/syndrome.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace fastdiag::diagnosis {
+
+std::string ReadKey::to_string() const {
+  return "p" + std::to_string(phase) + "e" + std::to_string(element) + "v" +
+         std::to_string(visit) + "o" + std::to_string(op);
+}
+
+std::string CellSyndrome::to_string() const {
+  std::string out = "(" + std::to_string(cell.row) + "," +
+                    std::to_string(cell.bit) + "):";
+  for (const auto& key : failed_reads) {
+    out += ' ';
+    out += key.to_string();
+  }
+  return out;
+}
+
+const CellSyndrome* MemorySyndrome::find(sram::CellCoord cell) const {
+  const auto it = std::lower_bound(
+      cells.begin(), cells.end(), cell,
+      [](const CellSyndrome& s, sram::CellCoord c) { return s.cell < c; });
+  return it != cells.end() && it->cell == cell ? &*it : nullptr;
+}
+
+std::map<std::uint32_t, std::size_t> MemorySyndrome::row_histogram() const {
+  std::map<std::uint32_t, std::size_t> rows;
+  for (const auto& syndrome : cells) {
+    ++rows[syndrome.cell.row];
+  }
+  return rows;
+}
+
+std::vector<MemorySyndrome> extract_syndromes(const bisd::DiagnosisLog& log,
+                                              std::size_t memory_count) {
+  // (memory, cell) -> ordered set of failed reads; a std::map keeps cells in
+  // ascending order so the flattening below needs no sort.
+  std::map<std::pair<std::size_t, sram::CellCoord>,
+           std::pair<std::set<ReadKey>, std::size_t>>
+      folded;
+  for (const auto& record : log.records()) {
+    auto& slot = folded[{record.memory_index, record.cell()}];
+    ++slot.second;
+    slot.first.insert(
+        ReadKey{record.phase, record.element, record.visit, record.op});
+  }
+
+  std::vector<MemorySyndrome> out(memory_count);
+  for (std::size_t i = 0; i < memory_count; ++i) {
+    out[i].memory_index = i;
+  }
+  for (auto& [key, value] : folded) {
+    const auto [memory_index, cell] = key;
+    if (memory_index >= out.size()) {
+      const std::size_t first_new = out.size();
+      out.resize(memory_index + 1);
+      for (std::size_t i = first_new; i <= memory_index; ++i) {
+        out[i].memory_index = i;
+      }
+    }
+    CellSyndrome syndrome;
+    syndrome.cell = cell;
+    syndrome.failed_reads.assign(value.first.begin(), value.first.end());
+    syndrome.record_count = value.second;
+    out[memory_index].cells.push_back(std::move(syndrome));
+  }
+  return out;
+}
+
+}  // namespace fastdiag::diagnosis

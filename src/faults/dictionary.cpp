@@ -35,4 +35,98 @@ MatchReport match_diagnosis(const std::vector<FaultInstance>& truth,
   return report;
 }
 
+void ConfusionMatrix::add(FaultKind truth, std::optional<FaultKind> predicted,
+                          bool truth_among_top) {
+  ++truths_;
+  ++truth_totals_[truth];
+  if (!predicted.has_value()) {
+    ++missed_;
+    return;
+  }
+  ++counts_[{truth, *predicted}];
+  if (*predicted == truth && truth_among_top) {
+    ++strict_correct_;
+  }
+  if (truth_among_top) {
+    ++lenient_total_;
+    ++lenient_correct_[truth];
+  }
+}
+
+void ConfusionMatrix::add_spurious(FaultKind predicted) {
+  ++spurious_by_kind_[predicted];
+  ++spurious_;
+}
+
+std::size_t ConfusionMatrix::spurious(FaultKind predicted) const {
+  const auto it = spurious_by_kind_.find(predicted);
+  return it == spurious_by_kind_.end() ? 0 : it->second;
+}
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other) {
+  for (const auto& [key, count] : other.counts_) {
+    counts_[key] += count;
+  }
+  for (const auto& [kind, count] : other.truth_totals_) {
+    truth_totals_[kind] += count;
+  }
+  for (const auto& [kind, count] : other.lenient_correct_) {
+    lenient_correct_[kind] += count;
+  }
+  for (const auto& [kind, count] : other.spurious_by_kind_) {
+    spurious_by_kind_[kind] += count;
+  }
+  truths_ += other.truths_;
+  strict_correct_ += other.strict_correct_;
+  lenient_total_ += other.lenient_total_;
+  missed_ += other.missed_;
+  spurious_ += other.spurious_;
+}
+
+std::size_t ConfusionMatrix::count(FaultKind truth,
+                                   FaultKind predicted) const {
+  const auto it = counts_.find({truth, predicted});
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double ConfusionMatrix::strict_accuracy() const {
+  return truths_ == 0 ? 1.0
+                      : static_cast<double>(strict_correct_) /
+                            static_cast<double>(truths_);
+}
+
+double ConfusionMatrix::lenient_accuracy() const {
+  return truths_ == 0 ? 1.0
+                      : static_cast<double>(lenient_total_) /
+                            static_cast<double>(truths_);
+}
+
+double ConfusionMatrix::class_accuracy(FaultKind kind) const {
+  const auto total = truth_totals_.find(kind);
+  if (total == truth_totals_.end() || total->second == 0) {
+    return 1.0;
+  }
+  const auto correct = lenient_correct_.find(kind);
+  return static_cast<double>(
+             correct == lenient_correct_.end() ? 0 : correct->second) /
+         static_cast<double>(total->second);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::string out = "confusion (truth -> predicted):\n";
+  for (const auto& [kind_pair, count] : counts_) {
+    out += "  ";
+    out += fault_kind_name(kind_pair.first);
+    out += " -> ";
+    out += fault_kind_name(kind_pair.second);
+    out += ": " + std::to_string(count) + '\n';
+  }
+  out += "  truths=" + std::to_string(truths_) +
+         " missed=" + std::to_string(missed_) +
+         " spurious=" + std::to_string(spurious_) + '\n';
+  out += "  strict=" + std::to_string(strict_accuracy()) +
+         " lenient=" + std::to_string(lenient_accuracy()) + '\n';
+  return out;
+}
+
 }  // namespace fastdiag::faults

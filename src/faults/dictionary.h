@@ -7,10 +7,14 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
+#include <optional>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "faults/fault.h"
+#include "faults/fault_kind.h"
 #include "sram/cell_array.h"
 #include "sram/config.h"
 
@@ -44,5 +48,63 @@ struct MatchReport {
     const std::vector<FaultInstance>& truth,
     const std::set<sram::CellCoord>& diagnosed,
     const sram::SramConfig& config);
+
+/// Confusion matrix of a fault *classification* run against the injected
+/// ground truth: counts of (true kind, predicted kind) pairs, plus the
+/// truths the scheme never surfaced and the predictions no truth explains.
+///
+/// Some kinds are genuinely indistinguishable under a given March test
+/// (classically SA0 vs. TF-up when every cell initialises to 0); the
+/// classifier reports those as confidence ties, so the matrix tracks both
+/// the strict verdict (the single top prediction) and whether the truth was
+/// anywhere among the tied top kinds.
+class ConfusionMatrix {
+ public:
+  /// Records one truth with its top prediction (std::nullopt = the fault
+  /// produced no classified site) and whether the truth tied for the top.
+  void add(FaultKind truth, std::optional<FaultKind> predicted,
+           bool truth_among_top);
+
+  /// Records a classified site that no injected fault explains.
+  void add_spurious(FaultKind predicted);
+
+  /// Merges @p other in (for aggregating across memories or runs).
+  void merge(const ConfusionMatrix& other);
+
+  [[nodiscard]] std::size_t count(FaultKind truth, FaultKind predicted) const;
+  [[nodiscard]] std::size_t truths() const { return truths_; }
+  [[nodiscard]] std::size_t missed() const { return missed_; }
+  [[nodiscard]] std::size_t spurious() const { return spurious_; }
+
+  /// Spurious sites whose top prediction was @p predicted.
+  [[nodiscard]] std::size_t spurious(FaultKind predicted) const;
+
+  /// Fraction of truths whose single top prediction was exactly right —
+  /// kind correct *and* among-top (so couplings also need an admitting
+  /// aggressor hint).  Never exceeds lenient_accuracy().
+  [[nodiscard]] double strict_accuracy() const;
+
+  /// Fraction of truths present among the tied top predictions — the
+  /// honest score when the test cannot separate two kinds.
+  [[nodiscard]] double lenient_accuracy() const;
+
+  /// Per-class recall: correct-top count / truths of @p kind.
+  [[nodiscard]] double class_accuracy(FaultKind kind) const;
+
+  /// Human-readable matrix (rows = truth, cols = predicted), non-zero
+  /// rows only.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::map<std::pair<FaultKind, FaultKind>, std::size_t> counts_;
+  std::map<FaultKind, std::size_t> truth_totals_;
+  std::map<FaultKind, std::size_t> lenient_correct_;
+  std::map<FaultKind, std::size_t> spurious_by_kind_;
+  std::size_t truths_ = 0;
+  std::size_t strict_correct_ = 0;
+  std::size_t lenient_total_ = 0;
+  std::size_t missed_ = 0;
+  std::size_t spurious_ = 0;
+};
 
 }  // namespace fastdiag::faults

@@ -123,6 +123,21 @@ std::vector<MarchElement> parse_elements(const std::string& text) {
       }
       scanner.expect(')');
       require(!element.ops.empty(), "march notation: element without ops");
+      // Pauses live only in `once` elements (and a `once` element carries
+      // nothing but pauses) — the same invariant the runners enforce.
+      for (const auto& op : element.ops) {
+        if (element.order == AddrOrder::once) {
+          require(op.kind == MarchOpKind::pause, [&] {
+            return "march notation: non-pause op '" + op.to_string() +
+                   "' in once element";
+          });
+        } else {
+          require(op.kind != MarchOpKind::pause, [&] {
+            return "march notation: pause outside a once element in '" +
+                   element.to_string() + "'";
+          });
+        }
+      }
       elements.push_back(std::move(element));
       if (!scanner.eat(';')) {
         break;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <memory>
 
 #include "util/require.h"
 
@@ -27,7 +28,8 @@ std::vector<sram::CellCoord> RunResult::suspect_cells() const {
   return cells;
 }
 
-RunResult MarchRunner::run(sram::Sram& memory, const MarchTest& test) const {
+RunResult MarchRunner::run(sram::Sram& memory, const MarchTest& test,
+                           std::uint32_t global_words) const {
   require(test.width() >= memory.bits(), [&] {
     return "MarchRunner: test narrower than memory '" + memory.config().name +
            "'";
@@ -35,7 +37,22 @@ RunResult MarchRunner::run(sram::Sram& memory, const MarchTest& test) const {
   RunResult result;
   const std::uint64_t start_ns = memory.now_ns();
   const std::uint32_t words = memory.words();
+  const std::uint32_t sweep = global_words == 0 ? words : global_words;
+  require(sweep >= words, "MarchRunner: global_words below the word count");
   BitVector actual;  // scratch reused by every read
+
+  // Wrap-around revisits read back what the previous visit wrote, not the
+  // nominal pattern, so the expectation needs a fault-free shadow tracking
+  // the exact op stream ("memory size information stored in the BISD
+  // controller", Sec. 3.1).  The classical no-wrap run keeps the cheap
+  // nominal expectation.
+  std::unique_ptr<sram::Sram> golden;
+  BitVector golden_scratch;
+  if (sweep > words) {
+    auto config = memory.config();
+    config.name += ".golden";
+    golden = std::make_unique<sram::Sram>(config);
+  }
 
   for (std::size_t p = 0; p < test.phases().size(); ++p) {
     const auto& phase = test.phases()[p];
@@ -55,26 +72,41 @@ RunResult MarchRunner::run(sram::Sram& memory, const MarchTest& test) const {
         continue;
       }
 
-      for (std::uint32_t i = 0; i < words; ++i) {
-        const std::uint32_t addr =
-            element.order == AddrOrder::down ? words - 1 - i : i;
-        for (const auto& op : element.ops) {
+      for (std::uint32_t step = 0; step < sweep; ++step) {
+        // The controller's global index; the local address wraps around the
+        // memory's own capacity (bisd::LocalAddressGenerator's mapping).
+        const std::uint32_t global =
+            element.order == AddrOrder::down ? sweep - 1 - step : step;
+        const std::uint32_t addr = global % words;
+        const std::uint32_t visit = step / words;
+        for (std::size_t o = 0; o < element.ops.size(); ++o) {
+          const auto& op = element.ops[o];
           memory.advance_time_ns(clock_.period_ns);
           ++result.ops;
           const BitVector& data =
               op.polarity == Polarity::background ? bg : bg_inv;
           switch (op.kind) {
             case MarchOpKind::write:
-              memory.write(addr, data);
-              break;
             case MarchOpKind::nwrc_write:
-              memory.nwrc_write(addr, data);
+              if (op.kind == MarchOpKind::write) {
+                memory.write(addr, data);
+              } else {
+                memory.nwrc_write(addr, data);
+              }
+              if (golden) {
+                golden->write(addr, data);
+              }
               break;
             case MarchOpKind::read: {
               memory.read_into(addr, actual);
-              if (actual != data) {
+              const BitVector* expected = &data;
+              if (golden) {
+                golden->read_into(addr, golden_scratch);
+                expected = &golden_scratch;
+              }
+              if (actual != *expected) {
                 result.mismatches.push_back(
-                    Mismatch{p, e, addr, data, actual});
+                    Mismatch{p, e, o, addr, visit, *expected, actual});
               }
               break;
             }

@@ -21,7 +21,10 @@ namespace fastdiag::march {
 struct Mismatch {
   std::size_t phase = 0;
   std::size_t element = 0;
+  std::size_t op = 0;      ///< op index within the element (counts writes
+                           ///< too, matching MarchElement::ops)
   std::uint32_t addr = 0;
+  std::uint32_t visit = 0; ///< wrap-around revisit count (0 = first visit)
   BitVector expected;
   BitVector actual;
 
@@ -48,7 +51,14 @@ class MarchRunner {
   /// Runs @p test on @p memory.  The test's background width must be >= the
   /// memory width; wider backgrounds are truncated to the low bits, exactly
   /// as the MSB-first SPC does for narrower memories (Sec. 3.2).
-  RunResult run(sram::Sram& memory, const MarchTest& test) const;
+  ///
+  /// @p global_words emulates the shared BISD controller's address trigger
+  /// (Sec. 3.1): each element sweeps global_words steps and the local
+  /// address wraps around the memory's own capacity, so smaller memories
+  /// see every pattern multiple times per element.  0 (the default) sweeps
+  /// exactly the memory's own words — the classical single-memory run.
+  RunResult run(sram::Sram& memory, const MarchTest& test,
+                std::uint32_t global_words = 0) const;
 
  private:
   sram::ClockDomain clock_;

@@ -204,7 +204,7 @@ TEST(Session, ShimMatchesEngineBitForBit) {
 }
 
 TEST(Version, Exposed) {
-  EXPECT_STREQ(version(), "2.0.0");
+  EXPECT_STREQ(version(), "2.1.0");
   EXPECT_EQ(kVersionMajor, 2);
 }
 

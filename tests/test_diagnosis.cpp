@@ -1,0 +1,478 @@
+// The diagnosis subsystem: syndrome extraction, fault classification and
+// the closed diagnose -> classify -> repair -> retest loop.
+//
+// The acceptance bar: for every supported FaultKind — stuck-at, transition,
+// CFin/CFid (with aggressor candidates), address-decoder and DRF-via-NWRC —
+// the classifier labels randomized single-fault scenarios correctly at
+// >= 95%, and the closed loop ends with zero residual records whenever the
+// spare budget covers the defect population.  "Correctly" is lenient in
+// exactly one way: kinds the March test provably cannot separate (SA0 vs.
+// TF-up when cells initialise to 0, SAF vs. the CFst that pins a cell the
+// same way) tie at top confidence, and the truth must be among the tie.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/fastdiag.h"
+
+namespace fastdiag {
+namespace {
+
+using diagnosis::FaultClassifier;
+using diagnosis::ReadKey;
+using faults::FaultInstance;
+using faults::FaultKind;
+using sram::CellCoord;
+using sram::SramConfig;
+
+SramConfig cfg(std::uint32_t words, std::uint32_t bits,
+               std::uint32_t spares = 8) {
+  SramConfig config;
+  config.name = "d" + std::to_string(words) + "x" + std::to_string(bits);
+  config.words = words;
+  config.bits = bits;
+  config.spare_rows = spares;
+  return config;
+}
+
+CellCoord random_cell(const SramConfig& config, Rng& rng) {
+  return {static_cast<std::uint32_t>(rng.uniform(config.words)),
+          static_cast<std::uint32_t>(rng.uniform(config.bits))};
+}
+
+// ---- syndrome extraction --------------------------------------------------
+
+TEST(Syndromes, FoldRecordsPerCellInMarchOrder) {
+  bisd::DiagnosisLog log;
+  const auto add = [&log](std::size_t mem, std::uint32_t addr,
+                          std::uint32_t bit, std::size_t phase,
+                          std::size_t element, std::size_t op,
+                          std::uint32_t visit) {
+    bisd::DiagnosisRecord record;
+    record.memory_index = mem;
+    record.addr = addr;
+    record.bit = bit;
+    record.phase = phase;
+    record.element = element;
+    record.op = op;
+    record.visit = visit;
+    log.add(record);
+  };
+  add(0, 3, 1, 1, 2, 0, 0);
+  add(0, 3, 1, 0, 1, 0, 0);  // earlier read, logged later
+  add(0, 3, 1, 0, 1, 0, 1);  // wrap revisit of the same read
+  add(0, 5, 0, 0, 4, 1, 0);
+  add(1, 0, 0, 0, 1, 0, 0);
+
+  const auto syndromes = diagnosis::extract_syndromes(log, 2);
+  ASSERT_EQ(syndromes.size(), 2u);
+  ASSERT_EQ(syndromes[0].cells.size(), 2u);
+
+  const auto* cell = syndromes[0].find({3, 1});
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->record_count, 3u);
+  ASSERT_EQ(cell->failed_reads.size(), 3u);
+  // March order: phase, element, visit, op.
+  EXPECT_EQ(cell->failed_reads[0], (ReadKey{0, 1, 0, 0}));
+  EXPECT_EQ(cell->failed_reads[1], (ReadKey{0, 1, 1, 0}));
+  EXPECT_EQ(cell->failed_reads[2], (ReadKey{1, 2, 0, 0}));
+
+  EXPECT_EQ(syndromes[0].row_histogram().at(3), 1u);
+  EXPECT_EQ(syndromes[0].find({9, 9}), nullptr);
+  EXPECT_EQ(syndromes[1].cells.size(), 1u);
+}
+
+TEST(Syndromes, GrowsPastDeclaredMemoryCountWithCorrectIndices) {
+  bisd::DiagnosisLog log;
+  bisd::DiagnosisRecord record;
+  record.memory_index = 3;  // beyond the declared count of 1
+  record.addr = 2;
+  record.bit = 0;
+  log.add(record);
+
+  const auto syndromes = diagnosis::extract_syndromes(log, 1);
+  ASSERT_EQ(syndromes.size(), 4u);
+  for (std::size_t i = 0; i < syndromes.size(); ++i) {
+    EXPECT_EQ(syndromes[i].memory_index, i);
+  }
+  EXPECT_EQ(syndromes[3].cells.size(), 1u);
+}
+
+// ---- classifier: randomized single-fault scenarios ------------------------
+
+/// Diagnoses a single-memory SoC carrying exactly @p fault and classifies
+/// the result with @p classifier (shared across scenarios so the signature
+/// dictionary warms once).
+bool scenario_correct(const SramConfig& config, const FaultInstance& fault,
+                      const FaultClassifier& classifier) {
+  bisd::SocUnderTest soc;
+  soc.add_memory(config, {fault});
+  bisd::FastScheme scheme;
+  const auto result = scheme.diagnose(soc);
+  const auto syndromes = diagnosis::extract_syndromes(result.log, 1);
+  const auto classification = classifier.classify(syndromes[0]);
+  const auto matrix =
+      diagnosis::score_classification({fault}, classification, config);
+  return matrix.lenient_accuracy() >= 1.0;
+}
+
+TEST(Classifier, LabelsEverySupportedSingleFaultKindAtLeast95Percent) {
+  const auto config = cfg(12, 6);
+  bisd::FastScheme scheme;
+  const FaultClassifier classifier(config,
+                                   scheme.test_for_width(config.bits));
+  Rng rng(424242);
+  constexpr int kTrials = 20;  // >= 19 correct == the 95% bar
+
+  const FaultKind cell_kinds[] = {FaultKind::sa0,  FaultKind::sa1,
+                                  FaultKind::tf_up, FaultKind::tf_down,
+                                  FaultKind::drf0, FaultKind::drf1};
+  for (const auto kind : cell_kinds) {
+    int correct = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      correct += scenario_correct(
+                     config, faults::make_cell_fault(kind, random_cell(config, rng)),
+                     classifier)
+                     ? 1
+                     : 0;
+    }
+    EXPECT_GE(correct, 19) << faults::fault_kind_name(kind);
+  }
+
+  const FaultKind coupling_kinds[] = {
+      FaultKind::cf_in_up,   FaultKind::cf_in_down,  FaultKind::cf_id_up0,
+      FaultKind::cf_id_up1,  FaultKind::cf_id_down0, FaultKind::cf_id_down1,
+      FaultKind::cf_st_00,   FaultKind::cf_st_01,    FaultKind::cf_st_10,
+      FaultKind::cf_st_11};
+  for (const auto kind : coupling_kinds) {
+    int correct = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const auto aggressor = random_cell(config, rng);
+      auto victim = random_cell(config, rng);
+      if (rng.bernoulli(0.5)) {
+        victim.row = aggressor.row;  // force the intra-word path
+      }
+      if (victim == aggressor) {
+        victim.bit = (victim.bit + 1) % config.bits;
+        if (victim == aggressor) {
+          victim.row = (victim.row + 1) % config.words;
+        }
+      }
+      correct += scenario_correct(
+                     config,
+                     faults::make_coupling_fault(kind, aggressor, victim),
+                     classifier)
+                     ? 1
+                     : 0;
+    }
+    EXPECT_GE(correct, 19) << faults::fault_kind_name(kind);
+  }
+
+  const FaultKind af_kinds[] = {FaultKind::af_no_access,
+                                FaultKind::af_wrong_row,
+                                FaultKind::af_extra_row};
+  for (const auto kind : af_kinds) {
+    int correct = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const auto addr =
+          static_cast<std::uint32_t>(rng.uniform(config.words));
+      FaultInstance fault;
+      if (kind == FaultKind::af_no_access) {
+        fault = faults::make_address_fault(kind, addr);
+      } else {
+        std::uint32_t other =
+            static_cast<std::uint32_t>(rng.uniform(config.words - 1));
+        if (other >= addr) {
+          ++other;
+        }
+        fault = faults::make_address_fault(kind, addr, other);
+      }
+      correct += scenario_correct(config, fault, classifier) ? 1 : 0;
+    }
+    EXPECT_GE(correct, 19) << faults::fault_kind_name(kind);
+  }
+}
+
+TEST(Classifier, StuckAtZeroAndTfUpTieHonestly) {
+  // A cell that never leaves 0 is SA0 or TF-up — no march that initialises
+  // to 0 can tell them apart; the verdict must carry both.
+  const auto config = cfg(12, 6);
+  bisd::FastScheme scheme;
+  const FaultClassifier classifier(config,
+                                   scheme.test_for_width(config.bits));
+  bisd::SocUnderTest soc;
+  soc.add_memory(config,
+                 {faults::make_cell_fault(FaultKind::sa0, {5, 2})});
+  const auto result = scheme.diagnose(soc);
+  const auto syndromes = diagnosis::extract_syndromes(result.log, 1);
+  const auto classification = classifier.classify(syndromes[0]);
+  ASSERT_EQ(classification.sites.size(), 1u);
+  const auto top = classification.sites[0].top_kinds();
+  EXPECT_NE(std::find(top.begin(), top.end(), FaultKind::sa0), top.end());
+  EXPECT_NE(std::find(top.begin(), top.end(), FaultKind::tf_up), top.end());
+  EXPECT_DOUBLE_EQ(classification.sites[0].top_confidence(), 1.0);
+}
+
+TEST(Classifier, AggressorHintsAdmitTheTrueAggressor) {
+  const auto config = cfg(12, 6);
+  bisd::FastScheme scheme;
+  const FaultClassifier classifier(config,
+                                   scheme.test_for_width(config.bits));
+  Rng rng(777);
+  int hinted = 0;
+  constexpr int kTrials = 24;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto aggressor = random_cell(config, rng);
+    auto victim = random_cell(config, rng);
+    if (victim == aggressor) {
+      victim.bit = (victim.bit + 1) % config.bits;
+    }
+    const auto fault =
+        faults::make_coupling_fault(FaultKind::cf_id_up1, aggressor, victim);
+    bisd::SocUnderTest soc;
+    soc.add_memory(config, {fault});
+    const auto result = bisd::FastScheme().diagnose(soc);
+    const auto syndromes = diagnosis::extract_syndromes(result.log, 1);
+    const auto classification = classifier.classify(syndromes[0]);
+    for (const auto& site : classification.sites) {
+      for (const auto& hypothesis : site.hypotheses) {
+        if (hypothesis.kind == fault.kind &&
+            hypothesis.confidence == site.top_confidence() &&
+            hypothesis.aggressor.admits(fault)) {
+          ++hinted;
+          goto next_trial;
+        }
+      }
+    }
+  next_trial:;
+  }
+  EXPECT_GE(hinted, 23) << "aggressor hints must admit the true aggressor";
+}
+
+// ---- confusion matrix -----------------------------------------------------
+
+TEST(ConfusionMatrix, CountsAndAccuracies) {
+  faults::ConfusionMatrix matrix;
+  matrix.add(FaultKind::sa0, FaultKind::sa0, true);
+  matrix.add(FaultKind::tf_up, FaultKind::sa0, true);   // tie, truth in top
+  matrix.add(FaultKind::drf0, FaultKind::cf_id_up1, false);
+  matrix.add(FaultKind::sa1, std::nullopt, false);      // never surfaced
+  matrix.add_spurious(FaultKind::sa0);
+
+  EXPECT_EQ(matrix.truths(), 4u);
+  EXPECT_EQ(matrix.missed(), 1u);
+  EXPECT_EQ(matrix.spurious(), 1u);
+  EXPECT_EQ(matrix.spurious(FaultKind::sa0), 1u);
+  EXPECT_EQ(matrix.spurious(FaultKind::sa1), 0u);
+  EXPECT_EQ(matrix.count(FaultKind::sa0, FaultKind::sa0), 1u);
+  EXPECT_EQ(matrix.count(FaultKind::tf_up, FaultKind::sa0), 1u);
+  EXPECT_DOUBLE_EQ(matrix.strict_accuracy(), 0.25);
+  EXPECT_DOUBLE_EQ(matrix.lenient_accuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(matrix.class_accuracy(FaultKind::tf_up), 1.0);
+  EXPECT_DOUBLE_EQ(matrix.class_accuracy(FaultKind::drf0), 0.0);
+
+  faults::ConfusionMatrix other;
+  other.add(FaultKind::sa0, FaultKind::sa0, true);
+  matrix.merge(other);
+  EXPECT_EQ(matrix.truths(), 5u);
+  EXPECT_EQ(matrix.count(FaultKind::sa0, FaultKind::sa0), 2u);
+  EXPECT_DOUBLE_EQ(matrix.lenient_accuracy(), 0.6);
+}
+
+TEST(ConfusionMatrix, StrictNeverExceedsLenient) {
+  // A coupling whose kind is the sole top prediction but whose aggressor
+  // hint does not admit the truth is not among-top — and must not count as
+  // strict-correct either, or "strict" would read above "lenient".
+  faults::ConfusionMatrix matrix;
+  matrix.add(FaultKind::cf_id_up1, FaultKind::cf_id_up1, false);
+  EXPECT_DOUBLE_EQ(matrix.strict_accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(matrix.lenient_accuracy(), 0.0);
+  matrix.add(FaultKind::cf_id_up1, FaultKind::cf_id_up1, true);
+  EXPECT_DOUBLE_EQ(matrix.strict_accuracy(), 0.5);
+  EXPECT_LE(matrix.strict_accuracy(), matrix.lenient_accuracy());
+}
+
+// ---- classifier cache -----------------------------------------------------
+
+TEST(ClassifierCache, KeysOnRetentionNotJustGeometry) {
+  const auto test = bisd::FastScheme().test_for_width(8);
+  diagnosis::ClassifierCache cache;
+  diagnosis::ClassifierOptions options;
+
+  auto fast_decay = cfg(16, 8);
+  fast_decay.retention_ns = 100;  // decays during the march pauses
+  const auto& a = cache.get(cfg(16, 8), test, options);
+  const auto& b = cache.get(fast_decay, test, options);
+  const auto& c = cache.get(cfg(16, 8), test, options);
+  EXPECT_NE(&a, &b) << "same geometry, different retention must not share "
+                       "a signature dictionary";
+  EXPECT_EQ(&a, &c) << "identical shape must hit the cached classifier";
+
+  auto slow_clock = options;
+  slow_clock.clock.period_ns = 100;  // probes elapse on a different timebase
+  const auto& d = cache.get(cfg(16, 8), test, slow_clock);
+  EXPECT_NE(&a, &d) << "probe clock is signature-relevant and must key the "
+                       "cache";
+}
+
+TEST(ClassifierCache, SharedCacheMatchesLocalClassification) {
+  std::vector<SramConfig> configs = {cfg(16, 8), cfg(16, 8), cfg(12, 6)};
+  faults::InjectionSpec spec;
+  spec.cell_defect_rate = 0.02;
+  auto soc = bisd::SocUnderTest::from_injection(configs, spec, 77);
+  bisd::FastScheme scheme;
+  const auto result = scheme.diagnose(soc);
+  const auto syndromes =
+      diagnosis::extract_syndromes(result.log, soc.memory_count());
+  const auto test = scheme.test_for_width(soc.max_bits());
+
+  const auto local = diagnosis::classify_soc(soc, syndromes, test);
+  diagnosis::ClassifierCache cache;
+  const auto warm_up = diagnosis::classify_soc(soc, syndromes, test, {}, &cache);
+  const auto cached = diagnosis::classify_soc(soc, syndromes, test, {}, &cache);
+
+  ASSERT_EQ(local.memories.size(), cached.memories.size());
+  for (std::size_t i = 0; i < local.memories.size(); ++i) {
+    EXPECT_EQ(local.memories[i].to_string(), cached.memories[i].to_string());
+  }
+  EXPECT_DOUBLE_EQ(local.confusion.lenient_accuracy(),
+                   cached.confusion.lenient_accuracy());
+  EXPECT_EQ(warm_up.memories.size(), cached.memories.size());
+}
+
+// ---- closed loop ----------------------------------------------------------
+
+TEST(ClosedLoop, EndsCleanWheneverSparesSuffice) {
+  // Heterogeneous SoC (the narrow memory wraps under the controller sweep),
+  // spare budget equal to the word count — every faulty row is repairable,
+  // so the retest must come back empty.
+  for (const std::uint64_t seed : {3ull, 17ull, 91ull, 2026ull}) {
+    std::vector<SramConfig> configs = {cfg(16, 10, 16), cfg(8, 6, 8),
+                                       cfg(12, 14, 12)};
+    faults::InjectionSpec spec;
+    spec.cell_defect_rate = 0.03;
+    spec.include_retention = true;
+    auto soc = bisd::SocUnderTest::from_injection(configs, spec, seed);
+
+    const diagnosis::ResolutionFlow flow;
+    const auto report = flow.run(soc);
+    EXPECT_TRUE(report.fully_repaired) << "seed " << seed;
+    EXPECT_TRUE(report.clean()) << "seed " << seed << ": "
+                                << report.residual_records
+                                << " residual records";
+    EXPECT_EQ(report.classifications.size(), soc.memory_count());
+    // Every observed site must receive at least a partial hypothesis.
+    for (const auto& memory : report.classifications) {
+      EXPECT_EQ(memory.classified_sites(), memory.sites.size());
+    }
+  }
+}
+
+TEST(ClosedLoop, ReportsResidualWhenSpareBudgetExhausted) {
+  auto config = cfg(16, 8, /*spares=*/1);
+  bisd::SocUnderTest soc;
+  soc.add_memory(config,
+                 {faults::make_cell_fault(FaultKind::sa0, {2, 1}),
+                  faults::make_cell_fault(FaultKind::sa1, {9, 5}),
+                  faults::make_cell_fault(FaultKind::tf_down, {13, 0})});
+  const diagnosis::ResolutionFlow flow;
+  const auto report = flow.run(soc);
+  EXPECT_FALSE(report.fully_repaired);
+  EXPECT_FALSE(report.clean());
+  ASSERT_TRUE(report.repair.has_value());
+  EXPECT_EQ(report.repair->unrepaired_row_count(), 2u);
+  EXPECT_GT(report.residual_records, 0u);
+}
+
+// ---- engine integration ---------------------------------------------------
+
+TEST(Engine, ClassifySpecPopulatesReports) {
+  const auto spec = core::SessionSpec::builder()
+                        .add_sram(cfg(16, 8))
+                        .add_sram(cfg(8, 12))
+                        .defect_rate(0.02)
+                        .seed(5)
+                        .classify(true)
+                        .build();
+  ASSERT_TRUE(spec.has_value());
+  const auto report = core::DiagnosisEngine::execute(spec.value());
+  ASSERT_TRUE(report.classification.has_value());
+  EXPECT_EQ(report.classification->memories.size(), 2u);
+  EXPECT_GT(report.classification->site_count(), 0u);
+  EXPECT_GE(report.classification->confusion.lenient_accuracy(), 0.5);
+  EXPECT_NE(report.summary().find("classify accuracy"), std::string::npos);
+
+  // Without the flag the outcome stays empty.
+  const auto plain = core::SessionSpec::builder()
+                         .add_sram(cfg(16, 8))
+                         .defect_rate(0.02)
+                         .seed(5)
+                         .build();
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_FALSE(core::DiagnosisEngine::execute(plain.value())
+                   .classification.has_value());
+
+  // The baseline's pass-attributed log cannot feed the classifier.
+  const auto baseline = core::SessionSpec::builder()
+                            .add_sram(cfg(16, 8))
+                            .defect_rate(0.02)
+                            .seed(5)
+                            .scheme("baseline")
+                            .classify(true)
+                            .build();
+  ASSERT_TRUE(baseline.has_value());
+  EXPECT_FALSE(core::DiagnosisEngine::execute(baseline.value())
+                   .classification.has_value());
+}
+
+TEST(Engine, AggregateReportCarriesClassificationStats) {
+  core::SweepSpec sweep;
+  sweep.base = core::SessionSpec::builder()
+                   .add_sram(cfg(12, 6))
+                   .defect_rate(0.03)
+                   .classify(true);
+  sweep.seeds = {1, 2, 3};
+  const core::DiagnosisEngine engine({.workers = 1});
+  const auto batch = engine.run_sweep(sweep);
+  ASSERT_TRUE(batch.has_value());
+  const auto stats = batch.value().classification_accuracy_stats();
+  EXPECT_GT(stats.mean, 0.0);
+  EXPECT_NE(batch.value().summary().find("classify accuracy"),
+            std::string::npos);
+}
+
+TEST(Engine, ClassificationIsDeterministicAcrossWorkerCounts) {
+  // Workers share one ClassifierCache per batch; the verdicts must not
+  // depend on which thread warmed which dictionary.
+  core::SweepSpec sweep;
+  sweep.base = core::SessionSpec::builder()
+                   .add_sram(cfg(16, 8))
+                   .add_sram(cfg(8, 12))
+                   .defect_rate(0.03)
+                   .classify(true);
+  sweep.seeds = {1, 2, 3, 4, 5, 6};
+  const auto serial = core::DiagnosisEngine({.workers = 1}).run_sweep(sweep);
+  const auto threaded = core::DiagnosisEngine({.workers = 4}).run_sweep(sweep);
+  ASSERT_TRUE(serial.has_value());
+  ASSERT_TRUE(threaded.has_value());
+  ASSERT_EQ(serial.value().runs.size(), threaded.value().runs.size());
+  for (std::size_t i = 0; i < serial.value().runs.size(); ++i) {
+    const auto& a = serial.value().runs[i];
+    const auto& b = threaded.value().runs[i];
+    ASSERT_EQ(a.classification.has_value(), b.classification.has_value());
+    EXPECT_EQ(a.summary(), b.summary());
+    ASSERT_TRUE(a.classification.has_value());
+    ASSERT_EQ(a.classification->memories.size(),
+              b.classification->memories.size());
+    for (std::size_t m = 0; m < a.classification->memories.size(); ++m) {
+      EXPECT_EQ(a.classification->memories[m].to_string(),
+                b.classification->memories[m].to_string());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fastdiag

@@ -1,0 +1,149 @@
+// Golden-trace regression tests: the diagnosis log of a fixed seed is part
+// of the observable contract.
+//
+// Each scenario runs a scheme over a deterministically injected SoC and
+// compares the serialized trace byte-exactly against tests/golden/*.log.
+// The traces are portable because every random draw goes through the
+// project's own xoshiro256** Rng (see util/rng.h) — no standard-library
+// distribution is involved anywhere in the pipeline.
+//
+// Regenerating after an *intentional* trace change:
+//
+//   $ ./test_golden --regen         # rewrites tests/golden/*.log in the
+//                                   # source tree, then re-checks
+//
+// (FASTDIAG_REGEN_GOLDEN=1 in the environment works too, e.g. through
+// ctest.)  Review the diff like any other contract change: record fields,
+// cycle accounting and injection draws all land in these files.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/fastdiag.h"
+
+namespace fastdiag {
+namespace {
+
+bool g_regen = false;
+
+std::string golden_dir() { return std::string(FASTDIAG_TESTS_DIR) + "/golden"; }
+
+/// The serialized trace: a stats preamble plus the full record CSV.
+std::string serialize(const bisd::DiagnosisResult& result) {
+  std::ostringstream out;
+  out << "cycles=" << result.time.cycles << " pauses_ns="
+      << result.time.pause_ns << " iterations=" << result.iterations
+      << " records=" << result.log.records().size() << "\n";
+  out << result.log.to_csv();
+  return out.str();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void check_golden(const std::string& name, const std::string& trace) {
+  const std::string path = golden_dir() + "/" + name;
+  if (g_regen) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << trace;
+  }
+  const std::string expected = read_file(path);
+  ASSERT_FALSE(expected.empty())
+      << path << " missing or empty — run `./test_golden --regen`";
+  EXPECT_EQ(trace, expected)
+      << name << " diverged from its golden trace; if the change is "
+      << "intentional, regenerate with `./test_golden --regen` and review "
+      << "the diff";
+}
+
+/// The fixed heterogeneous SoC every scenario injects into.
+std::vector<sram::SramConfig> golden_configs() {
+  std::vector<sram::SramConfig> configs;
+  const auto add = [&configs](const char* name, std::uint32_t words,
+                              std::uint32_t bits) {
+    sram::SramConfig config;
+    config.name = name;
+    config.words = words;
+    config.bits = bits;
+    config.spare_rows = 4;
+    configs.push_back(config);
+  };
+  add("fifo", 24, 18);
+  add("lut", 12, 9);
+  add("tag", 16, 12);
+  return configs;
+}
+
+bisd::SocUnderTest golden_soc(std::uint64_t seed, bool retention) {
+  faults::InjectionSpec spec;
+  spec.cell_defect_rate = 0.03;
+  spec.include_retention = retention;
+  return bisd::SocUnderTest::from_injection(golden_configs(), spec, seed);
+}
+
+TEST(GoldenTrace, FastSchemeSeed7) {
+  auto soc = golden_soc(7, /*retention=*/true);
+  bisd::FastScheme scheme;
+  check_golden("fast_seed7.log", serialize(scheme.diagnose(soc)));
+}
+
+TEST(GoldenTrace, FastSchemeWithoutDrfSeed3) {
+  auto soc = golden_soc(3, /*retention=*/false);
+  bisd::FastSchemeOptions options;
+  options.include_drf = false;
+  bisd::FastScheme scheme(options);
+  check_golden("fast_nodrf_seed3.log", serialize(scheme.diagnose(soc)));
+}
+
+TEST(GoldenTrace, BaselineSchemeSeed5) {
+  auto soc = golden_soc(5, /*retention=*/false);
+  bisd::BaselineScheme scheme;
+  check_golden("baseline_seed5.log", serialize(scheme.diagnose(soc)));
+}
+
+TEST(GoldenTrace, EngineReportSeed11) {
+  // One spec end-to-end through the engine, repair included: the record
+  // stream, the cycle count and the repair plan are all pinned.
+  const auto spec = core::SessionSpec::builder()
+                        .add_srams(golden_configs())
+                        .defect_rate(0.03)
+                        .seed(11)
+                        .with_repair(true)
+                        .build();
+  ASSERT_TRUE(spec.has_value());
+  const auto report = core::DiagnosisEngine::execute(spec.value());
+  std::ostringstream out;
+  out << serialize(report.result);
+  out << "repaired_rows=" << report.repair->repaired_row_count()
+      << " unrepaired_rows=" << report.repair->unrepaired_row_count()
+      << " verified_clean=" << (report.repair_verified_clean ? 1 : 0)
+      << "\n";
+  check_golden("engine_seed11.log", out.str());
+}
+
+}  // namespace
+}  // namespace fastdiag
+
+/// Custom main: gtest_main cannot learn flags, and the regen escape hatch
+/// must be a first-class, documented switch.
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--regen") {
+      fastdiag::g_regen = true;
+    }
+  }
+  if (std::getenv("FASTDIAG_REGEN_GOLDEN") != nullptr) {
+    fastdiag::g_regen = true;
+  }
+  return RUN_ALL_TESTS();
+}

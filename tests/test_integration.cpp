@@ -233,7 +233,7 @@ TEST(ScanOut, CsvExportRoundTripsTheRecords) {
   bisd::FastScheme scheme;
   const auto result = scheme.diagnose(soc);
   const auto csv = result.log.to_csv();
-  EXPECT_NE(csv.find("memory,addr,bit,background,phase,element,cycle"),
+  EXPECT_NE(csv.find("memory,addr,bit,background,phase,element,op,visit,cycle"),
             std::string::npos);
   EXPECT_NE(csv.find("0,3,2,"), std::string::npos);
   // One header line plus one line per record.

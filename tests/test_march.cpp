@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
 
 #include "faults/fault_set.h"
 #include "march/background.h"
@@ -12,6 +13,7 @@
 #include "march/runner.h"
 #include "march/test.h"
 #include "sram/sram.h"
+#include "util/rng.h"
 
 namespace fastdiag::march {
 namespace {
@@ -205,9 +207,82 @@ TEST(Notation, RejectsMalformedInput) {
   EXPECT_THROW((void)parse_elements("{up()}"), std::invalid_argument);
 }
 
+TEST(Notation, ErrorPathsCoverEveryGrammarRule) {
+  // Unknown address order (empty word and spelled-out variants).
+  EXPECT_THROW((void)parse_elements("{(w0)}"), std::invalid_argument);
+  EXPECT_THROW((void)parse_elements("{UP(w0)}"), std::invalid_argument);
+  // Unknown / truncated op tokens.
+  EXPECT_THROW((void)parse_elements("{up(r2)}"), std::invalid_argument);
+  EXPECT_THROW((void)parse_elements("{up(w)}"), std::invalid_argument);
+  EXPECT_THROW((void)parse_elements("{up(nw)}"), std::invalid_argument);
+  // Missing braces / parens / separators.
+  EXPECT_THROW((void)parse_elements(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_elements("{up(r0,w1)"), std::invalid_argument);
+  EXPECT_THROW((void)parse_elements("{up r0,w1}"), std::invalid_argument);
+  EXPECT_THROW((void)parse_elements("{up(r0,w1}"), std::invalid_argument);
+  EXPECT_THROW((void)parse_elements("{up(r0,)}"), std::invalid_argument);
+  EXPECT_THROW((void)parse_elements("{up(r0); }"), std::invalid_argument);
+  // Pause grammar: missing duration, junk duration.
+  EXPECT_THROW((void)parse_elements("{once(pause)}"), std::invalid_argument);
+  EXPECT_THROW((void)parse_elements("{once(pause12x)}"),
+               std::invalid_argument);
+  // Pause placement: only inside `once`, and `once` holds nothing else.
+  EXPECT_THROW((void)parse_elements("{up(r0,pause5ns)}"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_elements("{any(pause5ms)}"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_elements("{once(w0)}"), std::invalid_argument);
+  EXPECT_THROW((void)parse_elements("{once(pause5ns,r0)}"),
+               std::invalid_argument);
+  // The valid forms right next to the rejected ones still parse.
+  EXPECT_EQ(parse_elements("{once(pause5ns)}").size(), 1u);
+  EXPECT_EQ(parse_elements("{once(pause5ns, pause2ms)}")[0].ops.size(), 2u);
+}
+
 TEST(Notation, EmptyListRoundTrips) {
   EXPECT_TRUE(parse_elements("{}").empty());
   EXPECT_EQ(elements_to_string({}), "{}");
+}
+
+TEST(Notation, RoundTripsRandomElementLists) {
+  // Property: parse_elements(elements_to_string(x)) == x for any valid
+  // element list — addressed elements with read/write/NWRC ops in every
+  // order, and once-elements holding ns/ms pauses.
+  Rng rng(8128);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<MarchElement> elements;
+    const auto element_count = 1 + rng.uniform(5);
+    for (std::uint64_t e = 0; e < element_count; ++e) {
+      MarchElement element;
+      if (rng.bernoulli(0.2)) {
+        element.order = AddrOrder::once;
+        const auto pauses = 1 + rng.uniform(2);
+        for (std::uint64_t o = 0; o < pauses; ++o) {
+          // ns values below the ms scale, or exact ms multiples — both
+          // print back as what they parse from.
+          element.ops.push_back(
+              rng.bernoulli(0.5)
+                  ? MarchOp::pause(1 + rng.uniform(999'999))
+                  : MarchOp::pause((1 + rng.uniform(500)) * 1'000'000));
+        }
+      } else {
+        static const AddrOrder orders[] = {AddrOrder::up, AddrOrder::down,
+                                           AddrOrder::any};
+        element.order = orders[rng.uniform(3)];
+        const auto ops = 1 + rng.uniform(5);
+        for (std::uint64_t o = 0; o < ops; ++o) {
+          static const MarchOp choices[] = {MarchOp::r0(),  MarchOp::r1(),
+                                            MarchOp::w0(),  MarchOp::w1(),
+                                            MarchOp::nw0(), MarchOp::nw1()};
+          element.ops.push_back(choices[rng.uniform(std::size(choices))]);
+        }
+      }
+      elements.push_back(std::move(element));
+    }
+    const auto text = elements_to_string(elements);
+    EXPECT_EQ(parse_elements(text), elements) << "trial " << trial << ": "
+                                              << text;
+  }
 }
 
 // ------------------------------------------------------------------ runner
@@ -256,6 +331,42 @@ TEST(Runner, PauseAdvancesSimulatedTime) {
   const auto test = with_retention_pause(march_c_minus(4), 7'000'000);
   (void)MarchRunner().run(memory, test);
   EXPECT_GT(memory.now_ns(), 14'000'000u);
+}
+
+TEST(Runner, WrapEmulationStaysCleanAndCountsGlobalSteps) {
+  // global_words emulates the shared controller sweeping a larger SoC
+  // (Sec. 3.1): a good memory revisited by the wrap must still run clean —
+  // revisit reads expect the written-back value, not the nominal pattern.
+  Sram memory(geometry(6, 4));
+  const auto test = march_c_minus(4);
+  const auto result = MarchRunner().run(memory, test, /*global_words=*/16);
+  EXPECT_FALSE(result.detected());
+  EXPECT_EQ(result.ops, test.op_count(16));
+}
+
+TEST(Runner, WrapEmulationAttributesVisits) {
+  // An SA0 cell fails every expected-1 read on every wrap visit; the
+  // mismatch records must carry op and visit attribution.
+  auto memory = faulty({faults::make_cell_fault(FaultKind::sa0, {1, 2})});
+  const auto result = MarchRunner().run(memory, march_c_minus(4),
+                                        /*global_words=*/32);
+  ASSERT_TRUE(result.detected());
+  const auto suspects = result.suspect_cells();
+  ASSERT_EQ(suspects.size(), 1u);
+  EXPECT_EQ(suspects[0], (sram::CellCoord{1, 2}));
+  bool saw_revisit = false;
+  for (const auto& mismatch : result.mismatches) {
+    EXPECT_EQ(mismatch.addr, 1u);
+    EXPECT_LT(mismatch.visit, 2u);  // 32 steps over 16 words = 2 visits
+    saw_revisit = saw_revisit || mismatch.visit == 1;
+  }
+  EXPECT_TRUE(saw_revisit);
+}
+
+TEST(Runner, GlobalWordsBelowCapacityRejected) {
+  Sram memory(geometry(16, 4));
+  EXPECT_THROW((void)MarchRunner().run(memory, march_c_minus(4), 8),
+               std::invalid_argument);
 }
 
 // ----------------------------------------------- classical coverage claims
