@@ -2,14 +2,18 @@
 //
 // The classifier turns the fast scheme's diagnosis log into fault-kind
 // verdicts by matching per-cell syndromes against simulated single-fault
-// signatures.  The signature dictionary is built lazily per (victim bit,
-// position) and cached, so a production flow pays the probe simulations
-// once per memory shape and then classifies at dictionary-lookup speed.
-// This bench measures both phases — cold (dictionary warm-up included) and
-// warm (steady-state classification) — plus the end-to-end closed loop
-// (diagnose -> classify -> repair -> retest), and emits a `JSON:` line.
+// signatures.  The signature dictionary is built lazily and cached, so a
+// production flow pays the probe simulations once per memory shape and then
+// classifies at dictionary-lookup speed.  This bench measures both phases —
+// cold (dictionary warm-up included) and warm (steady-state classification)
+// — for BOTH dictionary build modes: the per_candidate reference (one probe
+// replay per candidate fault) and the bit_sliced packed builder (one replay
+// per packed candidate batch).  The cold-build speedup and the byte-identity
+// of the resulting verdicts are part of the emitted `JSON:` line, plus the
+// end-to-end closed loop (diagnose -> classify -> repair -> retest).
 #include <chrono>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -57,47 +61,59 @@ struct ClassifyRun {
   std::size_t sites = 0;
   std::size_t classified = 0;
   double lenient_accuracy = 0;
+  std::string verdicts;      ///< full per-site dump, for cross-mode identity
+  diagnosis::CacheStats stats;
 };
 
-ClassifyRun measure_classification() {
+ClassifyRun measure_classification(diagnosis::DictionaryBuildMode mode) {
   auto soc = build_soc(20260731);
   bisd::FastScheme scheme;
   const auto result = scheme.diagnose(soc);
   const auto syndromes =
       diagnosis::extract_syndromes(result.log, soc.memory_count());
   const auto test = scheme.test_for_width(soc.max_bits());
+  diagnosis::ClassifierOptions options;
+  options.build_mode = mode;
 
   // The cache persists across calls, so the first classify_all pays the
   // dictionary warm-up and the repetitions measure steady state.
   diagnosis::ClassifierCache cache;
-  const auto classify_all = [&](ClassifyRun& run) {
+  const auto classify_all = [&](ClassifyRun& run, bool keep_verdicts) {
     const auto classification =
-        diagnosis::classify_soc(soc, syndromes, test, {}, &cache);
+        diagnosis::classify_soc(soc, syndromes, test, options, &cache);
     run.sites = 0;
     run.classified = 0;
     for (const auto& memory : classification.memories) {
       run.sites += memory.sites.size();
       run.classified += memory.classified_sites();
+      if (keep_verdicts) {
+        run.verdicts += memory.to_string();
+      }
     }
     run.lenient_accuracy = classification.confusion.lenient_accuracy();
   };
 
   ClassifyRun run;
   const auto cold_start = std::chrono::steady_clock::now();
-  classify_all(run);
+  classify_all(run, /*keep_verdicts=*/false);
   run.cold_seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - cold_start)
                          .count();
 
+  // The identity dump rides an untimed warm pass (verdicts are
+  // deterministic), so string building never pollutes the cold numbers.
+  classify_all(run, /*keep_verdicts=*/true);
+
   constexpr int kWarmRepetitions = 5;
   const auto warm_start = std::chrono::steady_clock::now();
   for (int r = 0; r < kWarmRepetitions; ++r) {
-    classify_all(run);
+    classify_all(run, /*keep_verdicts=*/false);
   }
   run.warm_seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - warm_start)
                          .count() /
                      kWarmRepetitions;
+  run.stats = cache.stats();
   return run;
 }
 
@@ -114,26 +130,42 @@ double measure_closed_loop(std::size_t* residual) {
 }
 
 void classify_table() {
-  const ClassifyRun run = measure_classification();
+  const ClassifyRun sliced =
+      measure_classification(diagnosis::DictionaryBuildMode::bit_sliced);
+  const ClassifyRun reference =
+      measure_classification(diagnosis::DictionaryBuildMode::per_candidate);
+  const bool identical = sliced.verdicts == reference.verdicts;
+  const double speedup = sliced.cold_seconds > 0
+                             ? reference.cold_seconds / sliced.cold_seconds
+                             : 0.0;
   std::size_t residual = 0;
   const double loop_seconds = measure_closed_loop(&residual);
 
   TablePrinter table({"phase", "wall time", "sites/s"});
   table.set_title("64-memory SoC, 1% defects, syndrome classification");
   const auto rate = [&](double seconds) {
-    return seconds == 0.0 ? 0.0 : static_cast<double>(run.sites) / seconds;
+    return seconds == 0.0 ? 0.0
+                          : static_cast<double>(sliced.sites) / seconds;
   };
-  table.add_row({"classify (cold, builds dictionaries)",
-                 fmt_double(run.cold_seconds * 1e3, 1) + " ms",
-                 fmt_double(rate(run.cold_seconds), 1)});
+  table.add_row({"classify (cold, per_candidate dictionaries)",
+                 fmt_double(reference.cold_seconds * 1e3, 1) + " ms",
+                 fmt_double(rate(reference.cold_seconds), 1)});
+  table.add_row({"classify (cold, bit_sliced dictionaries)",
+                 fmt_double(sliced.cold_seconds * 1e3, 1) + " ms",
+                 fmt_double(rate(sliced.cold_seconds), 1)});
   table.add_row({"classify (warm)",
-                 fmt_double(run.warm_seconds * 1e3, 1) + " ms",
-                 fmt_double(rate(run.warm_seconds), 1)});
+                 fmt_double(sliced.warm_seconds * 1e3, 1) + " ms",
+                 fmt_double(rate(sliced.warm_seconds), 1)});
   table.add_row({"closed loop (diagnose..retest)",
                  fmt_double(loop_seconds * 1e3, 1) + " ms", "-"});
-  table.add_note("sites classified: " + std::to_string(run.classified) +
-                 "/" + std::to_string(run.sites) + ", lenient accuracy " +
-                 fmt_percent(run.lenient_accuracy));
+  table.add_note("cold dictionary build speedup: " + fmt_ratio(speedup) +
+                 std::string(identical ? " (verdicts byte-identical)"
+                                       : " (VERDICTS DIVERGE!)"));
+  table.add_note("bit_sliced " + sliced.stats.to_string());
+  table.add_note("per_candidate " + reference.stats.to_string());
+  table.add_note("sites classified: " + std::to_string(sliced.classified) +
+                 "/" + std::to_string(sliced.sites) + ", lenient accuracy " +
+                 fmt_percent(sliced.lenient_accuracy));
   table.add_note("closed-loop residual records: " +
                  std::to_string(residual));
   table.print(std::cout);
@@ -142,12 +174,19 @@ void classify_table() {
       JsonObject()
           .field("bench", "classify")
           .field("memories", 64)
-          .field("sites", static_cast<std::uint64_t>(run.sites))
-          .field("classified", static_cast<std::uint64_t>(run.classified))
-          .field("cold_seconds", run.cold_seconds)
-          .field("warm_seconds", run.warm_seconds)
-          .field("warm_sites_per_sec", rate(run.warm_seconds), 1)
-          .field("lenient_accuracy", run.lenient_accuracy)
+          .field("sites", static_cast<std::uint64_t>(sliced.sites))
+          .field("classified", static_cast<std::uint64_t>(sliced.classified))
+          .field("cold_seconds", sliced.cold_seconds)
+          .field("cold_seconds_per_candidate", reference.cold_seconds)
+          .field("cold_build_speedup", speedup, 2)
+          .field("build_identical", identical)
+          .field("build_probe_replays",
+                 static_cast<std::uint64_t>(sliced.stats.probe_replays))
+          .field("build_probe_replays_per_candidate",
+                 static_cast<std::uint64_t>(reference.stats.probe_replays))
+          .field("warm_seconds", sliced.warm_seconds)
+          .field("warm_sites_per_sec", rate(sliced.warm_seconds), 1)
+          .field("lenient_accuracy", sliced.lenient_accuracy)
           .field("closed_loop_seconds", loop_seconds)
           .field("closed_loop_residual",
                  static_cast<std::uint64_t>(residual)));
@@ -193,6 +232,36 @@ void BM_ClassifyWarm(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
 }
 BENCHMARK(BM_ClassifyWarm)->Unit(benchmark::kMicrosecond);
+
+/// Cold dictionary build of one 24-bit shape, per build mode.
+void BM_DictionaryBuild(benchmark::State& state) {
+  const auto mode =
+      static_cast<diagnosis::DictionaryBuildMode>(state.range(0));
+  sram::SramConfig config;
+  config.name = "bm";
+  config.words = 64;
+  config.bits = 24;
+  bisd::SocUnderTest soc;
+  soc.add_memory(config,
+                 {faults::make_cell_fault(faults::FaultKind::sa0, {11, 7})});
+  bisd::FastScheme scheme;
+  const auto result = scheme.diagnose(soc);
+  const auto syndromes = diagnosis::extract_syndromes(result.log, 1);
+  diagnosis::ClassifierOptions options;
+  options.build_mode = mode;
+  for (auto _ : state) {
+    // A fresh classifier per iteration: every classify() pays the build.
+    diagnosis::FaultClassifier classifier(
+        config, scheme.test_for_width(config.bits), options);
+    auto classification = classifier.classify(syndromes[0]);
+    benchmark::DoNotOptimize(classification);
+  }
+  state.SetLabel(std::string(diagnosis::dictionary_build_mode_name(mode)));
+}
+BENCHMARK(BM_DictionaryBuild)
+    ->Arg(static_cast<int>(diagnosis::DictionaryBuildMode::per_candidate))
+    ->Arg(static_cast<int>(diagnosis::DictionaryBuildMode::bit_sliced))
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -80,6 +80,7 @@ int main(int argc, char** argv) {
     table.print(std::cout);
 
     std::printf("\n%s\n", report.confusion.to_string().c_str());
+    std::printf("%s\n", flow.cache_stats().to_string().c_str());
     if (!report.fully_repaired) {
       std::printf("note: spare budget exhausted — raise --spares to see the "
                   "loop close\n");

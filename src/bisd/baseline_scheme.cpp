@@ -1,5 +1,6 @@
 #include "bisd/baseline_scheme.h"
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -140,6 +141,18 @@ DiagnosisResult BaselineScheme::diagnose(SocUnderTest& soc) {
 
   DiagnosisResult result;
   result.iterations = 0;
+  // Capacity hint: records are deduplicated per cell, so the SoC's total
+  // cell count is a hard ceiling on the log.  It caps the engine's
+  // high-water feedback — which may come from a bigger scheme or SoC
+  // sharing the worker slot — while a fresh engine seeds a couple of
+  // diagnostic iterations' worth (two registrations per memory each).
+  std::size_t cell_bound = 0;
+  for (std::size_t i = 0; i < memories; ++i) {
+    cell_bound += static_cast<std::size_t>(soc.config(i).words) *
+                  soc.config(i).bits;
+  }
+  result.log.reserve(std::min(
+      cell_bound, std::max<std::size_t>(log_capacity_hint_, memories * 4)));
   std::uint64_t cycles = 0;
 
   /// One candidate: the first faulty cell from the pass's exit end.

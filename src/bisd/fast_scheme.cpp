@@ -161,6 +161,31 @@ DiagnosisResult FastScheme::diagnose(SocUnderTest& soc) {
   }
 
   DiagnosisResult result;
+  // Log capacity: every failing bit of every read can register, so the
+  // structural ceiling is read ops across the whole sweep times the summed
+  // IO width.  It caps the engine's high-water feedback (which can carry
+  // over from a bigger SoC on the same worker slot); a fresh engine starts
+  // from a modest floor instead of pre-paying the worst case.
+  {
+    std::uint64_t read_ops = 0;
+    for (const auto& phase : test.phases()) {
+      for (const auto& element : phase.elements) {
+        if (element.order == AddrOrder::once) {
+          continue;
+        }
+        for (const auto& op : element.ops) {
+          read_ops += op.is_read() ? 1 : 0;
+        }
+      }
+    }
+    std::uint64_t total_bits = 0;
+    for (std::size_t i = 0; i < memories; ++i) {
+      total_bits += soc.config(i).bits;
+    }
+    const std::uint64_t bound = read_ops * n_max * total_bits;
+    result.log.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(
+        bound, std::max<std::uint64_t>(log_capacity_hint_, 256))));
+  }
   std::uint64_t cycles = 0;
   const auto tick = [&](std::uint64_t n) {
     cycles += n;

@@ -35,6 +35,11 @@ class DiagnosisLog {
  public:
   void add(DiagnosisRecord record) { records_.push_back(std::move(record)); }
 
+  /// Pre-sizes the record vector.  Schemes call this with their structural
+  /// upper bounds (memories x reads) or with high-water feedback from the
+  /// engine, so hot diagnosis loops stop reallocating mid-run.
+  void reserve(std::size_t records) { records_.reserve(records); }
+
   [[nodiscard]] const std::vector<DiagnosisRecord>& records() const {
     return records_;
   }

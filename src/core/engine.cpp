@@ -1,6 +1,8 @@
 #include "core/engine.h"
 
+#include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <exception>
 #include <map>
 #include <memory>
@@ -15,6 +17,183 @@
 #include "util/require.h"
 
 namespace fastdiag::core {
+
+namespace {
+
+/// std::thread::hardware_concurrency() is an OS query; resolve it once per
+/// process instead of per engine or — worse — per batch.
+std::size_t cached_hardware_concurrency() {
+  static const std::size_t value = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? std::size_t{1} : static_cast<std::size_t>(hw);
+  }();
+  return value;
+}
+
+/// Chain of engines currently dispatching into the running call stack.
+/// Lets run_batch tell a *re-entrant* call — an observer or scheme
+/// re-entering an engine already dispatching above it, which must fall
+/// back to the calling thread — from a *concurrent* call from another
+/// thread, which blocks until the engine frees and then runs parallel.
+///
+/// The chain is explicit (not just a thread-local slot) because dispatch
+/// hops threads: engine A's observer may call engine B, whose jobs run on
+/// B's pool threads — a re-entrant A call from there must still see A in
+/// its ancestry.  Jobs therefore splice their submitting thread's chain in
+/// (the parent guards live on the submitting stack, which blocks inside
+/// WorkerPool::run until every job retires, so cross-thread traversal is
+/// safe; the links are immutable and published through the pool's mutex).
+class TlsDispatchGuard {
+ public:
+  /// Marks @p engine as dispatching, linked to this thread's own chain.
+  explicit TlsDispatchGuard(const void* engine)
+      : TlsDispatchGuard(engine, head_) {}
+
+  /// Marks @p engine as dispatching, linked to @p parent — the submitting
+  /// thread's chain captured at batch dispatch.
+  TlsDispatchGuard(const void* engine, const TlsDispatchGuard* parent)
+      : engine_(engine), previous_(parent), saved_head_(head_) {
+    head_ = this;
+  }
+  ~TlsDispatchGuard() { head_ = saved_head_; }
+  TlsDispatchGuard(const TlsDispatchGuard&) = delete;
+  TlsDispatchGuard& operator=(const TlsDispatchGuard&) = delete;
+
+  /// The chain to hand to jobs dispatched from this thread.
+  [[nodiscard]] static const TlsDispatchGuard* current_chain() {
+    return head_;
+  }
+
+  /// True when @p engine is dispatching anywhere up this call chain.
+  [[nodiscard]] static bool dispatching(const void* engine) {
+    for (const TlsDispatchGuard* guard = head_; guard != nullptr;
+         guard = guard->previous_) {
+      if (guard->engine_ == engine) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  const void* engine_;
+  const TlsDispatchGuard* previous_;    ///< chain link (may cross threads)
+  const TlsDispatchGuard* saved_head_;  ///< this thread's head to restore
+  static thread_local const TlsDispatchGuard* head_;
+};
+
+thread_local const TlsDispatchGuard* TlsDispatchGuard::head_ = nullptr;
+
+}  // namespace
+
+/// The persistent pool: N threads created once, fed batches through a
+/// generation counter.  run() publishes a job function plus a shared atomic
+/// job index, wakes every thread, claims jobs on the calling thread too,
+/// and returns once every pool thread has checked the generation off —
+/// so the job function's lifetime safely ends with run().
+class DiagnosisEngine::WorkerPool {
+ public:
+  using Job = std::function<void(std::size_t slot, std::size_t index)>;
+
+  explicit WorkerPool(std::size_t threads) {
+    threads_.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      // Slot 0 is the calling thread's; pool threads take 1..threads.
+      threads_.emplace_back([this, slot = t + 1] { worker(slot); });
+    }
+  }
+
+  ~WorkerPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (auto& thread : threads_) {
+      thread.join();
+    }
+  }
+
+  [[nodiscard]] std::size_t thread_count() const { return threads_.size(); }
+
+  /// One batch dispatches at a time: a concurrent run_batch from another
+  /// thread blocks here until the pool frees, then runs parallel itself.
+  /// (Re-entrant calls never reach this — run_batch detects them through a
+  /// thread-local marker and falls back to the calling thread.)
+  void acquire() { dispatch_mutex_.lock(); }
+  void release() { dispatch_mutex_.unlock(); }
+
+  /// Runs @p job(slot, index) for every index in [0, count), the calling
+  /// thread participating as slot 0.  Blocks until all work is done and
+  /// every pool thread has retired the generation.  @p job must not throw.
+  void run(std::size_t count, const Job& job) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      job_ = &job;
+      count_ = count;
+      next_.store(0, std::memory_order_relaxed);
+      finished_ = 0;
+      ++generation_;
+    }
+    wake_cv_.notify_all();
+    for (;;) {
+      const std::size_t index = next_.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count) {
+        break;
+      }
+      job(0, index);
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return finished_ == threads_.size(); });
+    job_ = nullptr;
+  }
+
+ private:
+  void worker(std::size_t slot) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const Job* job = nullptr;
+      std::size_t count = 0;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_cv_.wait(lock,
+                      [&] { return stop_ || generation_ != seen; });
+        if (stop_) {
+          return;
+        }
+        seen = generation_;
+        job = job_;
+        count = count_;
+      }
+      for (;;) {
+        const std::size_t index =
+            next_.fetch_add(1, std::memory_order_relaxed);
+        if (index >= count) {
+          break;
+        }
+        (*job)(slot, index);
+      }
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (++finished_ == threads_.size()) {
+          done_cv_.notify_one();
+        }
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> threads_;
+  std::mutex dispatch_mutex_;
+  std::atomic<std::size_t> next_{0};
+  const Job* job_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t finished_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
 
 std::size_t SweepSpec::cardinality() const {
   const auto axis = [](std::size_t size) { return size == 0 ? 1 : size; };
@@ -71,20 +250,23 @@ Expected<std::vector<SessionSpec>, ConfigError> SweepSpec::expand(
 }
 
 DiagnosisEngine::DiagnosisEngine(EngineOptions options)
-    : options_(options) {}
+    : options_(options) {
+  resolved_workers_ = options_.workers != 0 ? options_.workers
+                                            : cached_hardware_concurrency();
+  if (resolved_workers_ > 1) {
+    pool_ = std::make_unique<WorkerPool>(resolved_workers_ - 1);
+  }
+  scratch_.resize(resolved_workers_);
+}
+
+DiagnosisEngine::~DiagnosisEngine() = default;
 
 std::size_t DiagnosisEngine::worker_count(std::size_t batch_size) const {
-  std::size_t workers = options_.workers;
-  if (workers == 0) {
-    workers = std::thread::hardware_concurrency();
-    if (workers == 0) {
-      workers = 1;
-    }
-  }
-  if (batch_size < workers) {
-    workers = batch_size;
-  }
-  return workers == 0 ? 1 : workers;
+  return std::max<std::size_t>(1, std::min(resolved_workers_, batch_size));
+}
+
+std::size_t DiagnosisEngine::pool_threads() const {
+  return pool_ ? pool_->thread_count() : 0;
 }
 
 const SchemeRegistry& DiagnosisEngine::registry() const {
@@ -94,11 +276,15 @@ const SchemeRegistry& DiagnosisEngine::registry() const {
 
 Report DiagnosisEngine::execute(const SessionSpec& spec,
                                 const SchemeRegistry& registry,
-                                diagnosis::ClassifierCache* classifier_cache) {
+                                diagnosis::ClassifierCache* classifier_cache,
+                                ExecutionScratch* scratch) {
   auto soc = bisd::SocUnderTest::from_injection(spec.configs(),
                                                 spec.injection(), spec.seed());
   soc.set_access_kernel(spec.access_kernel());
   auto scheme = registry.make(spec.scheme(), {.clock = spec.clock()});
+  if (scratch != nullptr) {
+    scheme->set_log_capacity_hint(scratch->log_records_high_water);
+  }
 
   Report report;
   report.scheme_name = spec.scheme();
@@ -108,6 +294,11 @@ Report DiagnosisEngine::execute(const SessionSpec& spec,
   report.injected_faults = soc.total_faults();
   report.result = scheme->diagnose(soc);
   report.total_ns = report.result.total_ns(spec.clock());
+  if (scratch != nullptr) {
+    scratch->log_records_high_water =
+        std::max(scratch->log_records_high_water,
+                 report.result.log.records().size());
+  }
 
   for (std::size_t i = 0; i < soc.memory_count(); ++i) {
     report.matches.push_back(faults::match_diagnosis(
@@ -146,6 +337,21 @@ Report DiagnosisEngine::execute(const SessionSpec& spec,
   return report;
 }
 
+void DiagnosisEngine::run_serial(const std::vector<SessionSpec>& specs,
+                                 const RunObserver& observer,
+                                 AggregateReport& aggregate,
+                                 ExecutionScratch& scratch) const {
+  const SchemeRegistry& schemes = registry();
+  diagnosis::ClassifierCache classifier_cache;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    aggregate.runs[i] = execute(specs[i], schemes, &classifier_cache,
+                                &scratch);
+    if (observer) {
+      observer(i, aggregate.runs[i]);
+    }
+  }
+}
+
 AggregateReport DiagnosisEngine::run_batch(
     const std::vector<SessionSpec>& specs,
     const RunObserver& observer) const {
@@ -155,56 +361,79 @@ AggregateReport DiagnosisEngine::run_batch(
     return aggregate;
   }
 
-  const SchemeRegistry& schemes = registry();
+  // One batch dispatches on this engine at a time.  A re-entrant call (an
+  // observer or scheme re-entering run_batch from inside a running batch,
+  // detected through the thread-local marker) skips acquisition and runs
+  // on the calling thread; a concurrent call from another thread blocks
+  // until the engine frees, then dispatches normally.  Releases happen by
+  // RAII even when a run throws — a leaked busy engine would silently
+  // demote every later batch to serial.
+  const bool reentrant = TlsDispatchGuard::dispatching(this);
+  struct DispatchLease {
+    WorkerPool* pool = nullptr;          ///< held pool, if any
+    std::atomic<bool>* flag = nullptr;   ///< held pool-less busy flag, if any
+    ~DispatchLease() {
+      if (pool != nullptr) {
+        pool->release();
+      }
+      if (flag != nullptr) {
+        flag->store(false);
+      }
+    }
+  } lease;
+  if (!reentrant) {
+    if (pool_ != nullptr) {
+      pool_->acquire();
+      lease.pool = pool_.get();
+    } else if (!serial_busy_.exchange(true)) {
+      lease.flag = &serial_busy_;
+    }
+  }
+
   const std::size_t workers = worker_count(specs.size());
+  if (workers <= 1 || lease.pool == nullptr) {
+    // Small batch, single-worker engine, or a re-entrant call: run on the
+    // calling thread.  The persistent slot-0 scratch is only safe while
+    // this call holds the engine exclusively.
+    ExecutionScratch local;
+    const bool slot0_safe = lease.pool != nullptr || lease.flag != nullptr;
+    const TlsDispatchGuard tls(this);
+    run_serial(specs, observer, aggregate,
+               slot0_safe ? scratch_[0] : local);
+    return aggregate;
+  }
+
+  const SchemeRegistry& schemes = registry();
   // Shared across the whole batch (and its workers): runs with identical
   // (test, geometry, retention) classify against one signature dictionary
   // instead of rebuilding it per run.
   diagnosis::ClassifierCache classifier_cache;
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-      aggregate.runs[i] = execute(specs[i], schemes, &classifier_cache);
-      if (observer) {
-        observer(i, aggregate.runs[i]);
-      }
-    }
-    return aggregate;
-  }
-
-  std::atomic<std::size_t> next{0};
   std::mutex observer_mutex;
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
-  const auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= specs.size()) {
-        return;
+  // Jobs inherit the submitting thread's dispatch chain, so a re-entrant
+  // run_batch from an observer or scheme — even one reached through
+  // another engine's pool thread — takes the serial fallback.
+  const TlsDispatchGuard* parent_chain = TlsDispatchGuard::current_chain();
+  const WorkerPool::Job job = [&, parent_chain](std::size_t slot,
+                                                std::size_t i) {
+    const TlsDispatchGuard tls(this, parent_chain);
+    try {
+      aggregate.runs[i] =
+          execute(specs[i], schemes, &classifier_cache, &scratch_[slot]);
+      if (observer) {
+        const std::lock_guard<std::mutex> lock(observer_mutex);
+        observer(i, aggregate.runs[i]);
       }
-      try {
-        aggregate.runs[i] = execute(specs[i], schemes, &classifier_cache);
-        if (observer) {
-          const std::lock_guard<std::mutex> lock(observer_mutex);
-          observer(i, aggregate.runs[i]);
-        }
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) {
-          first_error = std::current_exception();
-        }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) {
+        first_error = std::current_exception();
       }
     }
   };
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool.emplace_back(worker);
-  }
-  for (auto& thread : pool) {
-    thread.join();
-  }
+  pool_->run(specs.size(), job);
   if (first_error) {
     std::rethrow_exception(first_error);
   }

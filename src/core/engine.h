@@ -1,18 +1,27 @@
 // DiagnosisEngine: batched, parallel execution of validated SessionSpecs.
 //
 // Each run owns its RNG, its SoC and its scheme instance, so runs are
-// embarrassingly parallel: the engine fans a batch out across a worker
-// thread pool and still produces bit-identical per-run Reports to serial
+// embarrassingly parallel: the engine fans a batch out across a persistent
+// worker pool and still produces bit-identical per-run Reports to serial
 // execution — a Report depends only on its spec, never on scheduling.
+//
+// The pool is created once at engine construction and fed through a work
+// queue; run_batch()/run_sweep() never spawn or join threads, so
+// steady-state batch traffic does zero thread churn.  Each worker slot
+// keeps an ExecutionScratch persisted across batches (DiagnosisLog
+// capacity feedback), trimming per-run allocation without ever touching
+// results — scratch only pre-sizes buffers.
 //
 // SweepSpec builds such batches declaratively: the cartesian product of
 // SoC configurations x schemes x defect rates x seeds over a shared base
 // spec, validated axis by axis through the same Expected pipeline.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -47,8 +56,9 @@ struct SweepSpec {
 };
 
 struct EngineOptions {
-  /// Worker threads for run_batch(); 0 picks the hardware concurrency.
-  /// Batches of one spec and workers == 1 never spawn threads.
+  /// Worker threads for run_batch(); 0 picks the hardware concurrency
+  /// (queried once per process and cached).  An engine with workers == 1
+  /// owns no pool threads at all.
   std::size_t workers = 1;
 
   /// Registry schemes are resolved from; nullptr means the global one.
@@ -56,20 +66,34 @@ struct EngineOptions {
   const SchemeRegistry* registry = nullptr;
 };
 
+/// Per-worker scratch persisted across run_batch() calls.  Only capacity
+/// hints live here: scratch can never change a Report, just how often the
+/// hot paths reallocate.
+struct ExecutionScratch {
+  /// High-water DiagnosisLog record count this worker has observed; fed to
+  /// the scheme as a capacity hint before the next diagnose().
+  std::size_t log_records_high_water = 0;
+};
+
 class DiagnosisEngine {
  public:
   explicit DiagnosisEngine(EngineOptions options = {});
+  ~DiagnosisEngine();
+  DiagnosisEngine(const DiagnosisEngine&) = delete;
+  DiagnosisEngine& operator=(const DiagnosisEngine&) = delete;
 
   /// Executes one spec on the calling thread: injects defects, runs the
   /// scheme, scores against ground truth, optionally repairs + re-verifies.
   /// When the spec classifies, signature dictionaries come from
   /// @p classifier_cache if given (run_batch shares one per batch, so a
   /// sweep builds each distinct dictionary once); else they are rebuilt
-  /// for this call.
+  /// for this call.  @p scratch, when given, feeds capacity hints into the
+  /// scheme and records this run's high-water marks.
   [[nodiscard]] static Report execute(
       const SessionSpec& spec,
       const SchemeRegistry& registry = SchemeRegistry::global(),
-      diagnosis::ClassifierCache* classifier_cache = nullptr);
+      diagnosis::ClassifierCache* classifier_cache = nullptr,
+      ExecutionScratch* scratch = nullptr);
 
   /// Called once per finished run, possibly from a worker thread but never
   /// concurrently (the engine serializes observer calls).  @p index is the
@@ -77,8 +101,20 @@ class DiagnosisEngine {
   /// indices is unspecified under > 1 worker.
   using RunObserver = std::function<void(std::size_t index, const Report&)>;
 
-  /// Executes the batch across the worker pool and aggregates.  Per-run
-  /// Reports land in AggregateReport::runs at their submission index.
+  /// Executes the batch across the persistent worker pool and aggregates.
+  /// Per-run Reports land in AggregateReport::runs at their submission
+  /// index.  No threads are spawned here — the pool outlives the batch.
+  ///
+  /// Concurrency contract: one batch dispatches on an engine at a time.
+  /// A concurrent run_batch from another thread blocks until the engine
+  /// frees, then runs parallel itself (want overlap? use one engine per
+  /// submitting thread — engines are cheap).  A *re-entrant* call — an
+  /// observer or scheme re-entering the same engine mid-batch, even
+  /// through another engine's dispatch — runs serially on the calling
+  /// thread instead of deadlocking.  Like any blocking resource, engines
+  /// observe lock ordering: observers that dispatch *other* engines must
+  /// not form opposite-order chains across threads (thread 1: A's
+  /// observer -> B, thread 2: B's observer -> A is a classic lock cycle).
   [[nodiscard]] AggregateReport run_batch(
       const std::vector<SessionSpec>& specs,
       const RunObserver& observer = {}) const;
@@ -87,13 +123,36 @@ class DiagnosisEngine {
   [[nodiscard]] Expected<AggregateReport, ConfigError> run_sweep(
       const SweepSpec& sweep, const RunObserver& observer = {}) const;
 
-  /// Threads run_batch() would use for a batch of @p batch_size runs.
+  /// Threads run_batch() would use for a batch of @p batch_size runs
+  /// (including the calling thread, which always participates).
   [[nodiscard]] std::size_t worker_count(std::size_t batch_size) const;
 
+  /// Pool threads owned by this engine — created at construction, torn
+  /// down at destruction, never touched in between.  resolved workers - 1
+  /// (the calling thread is the remaining worker), so 0 for workers == 1.
+  [[nodiscard]] std::size_t pool_threads() const;
+
  private:
+  class WorkerPool;
+
   [[nodiscard]] const SchemeRegistry& registry() const;
+  void run_serial(const std::vector<SessionSpec>& specs,
+                  const RunObserver& observer, AggregateReport& aggregate,
+                  ExecutionScratch& scratch) const;
 
   EngineOptions options_;
+  std::size_t resolved_workers_ = 1;
+  std::unique_ptr<WorkerPool> pool_;  ///< nullptr when resolved_workers_ == 1
+
+  /// Slot w belongs to worker w (slot 0 = the calling thread); a slot is
+  /// only ever touched by its worker while a batch runs.
+  mutable std::vector<ExecutionScratch> scratch_;
+
+  /// Pool-less engines gate their slot-0 scratch here so concurrent
+  /// run_batch calls from different threads stay race-free (a loser just
+  /// runs with throwaway local scratch; pooled engines serialize on the
+  /// pool's dispatch mutex instead).
+  mutable std::atomic<bool> serial_busy_{false};
 };
 
 }  // namespace fastdiag::core

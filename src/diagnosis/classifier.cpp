@@ -1,15 +1,18 @@
 #include "diagnosis/classifier.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <utility>
 
 #include "bisd/soc.h"
+#include "faults/composite_probe.h"
 #include "faults/fault_kind.h"
 #include "faults/fault_set.h"
 #include "march/runner.h"
 #include "sram/sram.h"
 #include "util/require.h"
+#include "util/table.h"
 
 namespace fastdiag::diagnosis {
 namespace {
@@ -31,6 +34,17 @@ constexpr FaultKind kCouplingKinds[] = {
     FaultKind::cf_st_00,    FaultKind::cf_st_01,    FaultKind::cf_st_10,
     FaultKind::cf_st_11,
 };
+
+template <typename Kind, std::size_t N>
+std::uint32_t kind_index(const Kind (&kinds)[N], Kind kind) {
+  for (std::size_t i = 0; i < N; ++i) {
+    if (kinds[i] == kind) {
+      return static_cast<std::uint32_t>(i);
+    }
+  }
+  ensure(false, "FaultClassifier: kind outside its dictionary table");
+  return 0;
+}
 
 /// Jaccard similarity of two sorted sets (ReadKeys or (ReadKey, bit) pairs).
 template <typename T>
@@ -74,6 +88,53 @@ void sort_hypotheses(std::vector<Hypothesis>& hypotheses) {
                    });
 }
 
+/// Cache sentinel for position-category keys (cannot collide with rows).
+std::uint32_t position_key(std::uint32_t position) {
+  return 0x80000000u + position;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::vector<ReadKey> to_read_keys(const std::vector<march::ReadEvent>& events) {
+  std::vector<ReadKey> keys;
+  keys.reserve(events.size());
+  for (const auto& event : events) {
+    keys.push_back(ReadKey{event.phase, event.element, event.visit, event.op});
+  }
+  return keys;
+}
+
+/// Round-robin tournament schedule over @p c columns: assigns every ordered
+/// column pair (victim b, aggressor a), a != b, a replay round such that
+/// within one round each column plays at most one role.  Returned flat as
+/// sched[b * c + a]; rounds are 2 * R + direction with R the circle-method
+/// matching index, so even c needs 2 * (c - 1) rounds and odd c needs 2 * c.
+std::vector<std::uint32_t> same_word_schedule(std::uint32_t c) {
+  std::vector<std::uint32_t> sched(static_cast<std::size_t>(c) * c, 0);
+  if (c < 2) {
+    return sched;
+  }
+  const std::uint32_t n = (c % 2 == 0) ? c : c + 1;  // dummy column for byes
+  for (std::uint32_t r = 0; r + 1 < n; ++r) {
+    const auto emit = [&](std::uint32_t x, std::uint32_t y) {
+      if (x >= c || y >= c) {
+        return;  // pairing against the dummy: this column sits the round out
+      }
+      sched[static_cast<std::size_t>(x) * c + y] = 2 * r;
+      sched[static_cast<std::size_t>(y) * c + x] = 2 * r + 1;
+    };
+    emit(n - 1, r);
+    for (std::uint32_t i = 1; i < n / 2; ++i) {
+      emit((r + i) % (n - 1), (r + n - 1 - i) % (n - 1));
+    }
+  }
+  return sched;
+}
+
 }  // namespace
 
 std::string_view aggressor_placement_name(AggressorPlacement p) {
@@ -84,6 +145,31 @@ std::string_view aggressor_placement_name(AggressorPlacement p) {
     case AggressorPlacement::higher_address: return "higher-addr";
   }
   return "?";
+}
+
+std::string_view dictionary_build_mode_name(DictionaryBuildMode mode) {
+  switch (mode) {
+    case DictionaryBuildMode::per_candidate: return "per_candidate";
+    case DictionaryBuildMode::bit_sliced: return "bit_sliced";
+  }
+  return "?";
+}
+
+CacheStats& CacheStats::merge(const CacheStats& other) {
+  hits += other.hits;
+  misses += other.misses;
+  dictionary_keys += other.dictionary_keys;
+  probe_replays += other.probe_replays;
+  build_seconds += other.build_seconds;
+  return *this;
+}
+
+std::string CacheStats::to_string() const {
+  return "classifiers: " + std::to_string(hits) + " hits, " +
+         std::to_string(misses) + " misses; dictionaries: " +
+         std::to_string(dictionary_keys) + " keys, " +
+         std::to_string(probe_replays) + " probe replays, " +
+         fmt_double(build_seconds * 1e3, 1) + " ms build";
 }
 
 bool AggressorHint::admits(const faults::FaultInstance& fault) const {
@@ -194,27 +280,37 @@ std::map<CellCoord, std::vector<ReadKey>> FaultClassifier::probe_signature(
   sram::Sram memory(probe_config,
                     std::make_unique<faults::FaultSet>(
                         std::vector<FaultInstance>{fault}));
-  const auto result = march::MarchRunner(options_.clock).run(memory, test_, sweep);
+  const auto by_cell =
+      march::MarchRunner(options_.clock).run_per_cell(memory, test_, sweep);
 
-  std::map<CellCoord, std::vector<ReadKey>> by_cell;
-  for (const auto& mismatch : result.mismatches) {
-    const ReadKey key{mismatch.phase, mismatch.element, mismatch.visit,
-                      mismatch.op};
-    const std::size_t width = mismatch.expected.width();
-    for (std::uint32_t bit = 0; bit < width; ++bit) {
-      if (mismatch.expected.get(bit) != mismatch.actual.get(bit)) {
-        auto& reads = by_cell[{mismatch.addr, bit}];
-        if (reads.empty() || reads.back() != key) {
-          reads.push_back(key);
-        }
-      }
-    }
+  std::map<CellCoord, std::vector<ReadKey>> out;
+  for (const auto& [cell, events] : by_cell) {
+    out.emplace(cell, to_read_keys(events));
   }
-  return by_cell;
+  return out;
+}
+
+CacheStats FaultClassifier::dictionary_stats() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return stats_;
 }
 
 bool FaultClassifier::wrapped() const {
   return options_.global_words > config_.words;
+}
+
+FaultClassifier::ProbeGeometry FaultClassifier::probe_geometry() const {
+  // Without wrap, the probe shrinks to a few words and victims keep only
+  // their sweep-edge category; with wrap, visit counts differ per address,
+  // so the probe keeps the exact geometry and victim row.
+  ProbeGeometry geometry;
+  geometry.wrap = wrapped();
+  geometry.words = geometry.wrap
+                       ? config_.words
+                       : std::min(options_.probe_words, config_.words);
+  geometry.sweep = geometry.wrap ? options_.global_words : geometry.words;
+  geometry.remainder = geometry.wrap ? geometry.sweep % geometry.words : 0;
+  return geometry;
 }
 
 FaultClassifier::Position FaultClassifier::position_of(
@@ -228,66 +324,25 @@ FaultClassifier::Position FaultClassifier::position_of(
   return Position::middle;
 }
 
-namespace {
-
-/// Cache sentinel for position-category keys (cannot collide with rows).
-std::uint32_t position_key(std::uint32_t position) {
-  return 0x80000000u + position;
+std::uint32_t FaultClassifier::probe_victim_row(Position position,
+                                                std::uint32_t words) {
+  switch (position) {
+    case Position::first: return 0;
+    case Position::last: return words - 1;
+    case Position::middle: break;
+  }
+  return words / 2;
 }
 
-}  // namespace
-
-const std::vector<FaultClassifier::CellSignature>&
-FaultClassifier::cell_dictionary(CellCoord cell) const {
-  // Without wrap, the probe shrinks to a few words and the victim keeps
-  // only its sweep-edge category; with wrap, visit counts differ per
-  // address, so the probe keeps the exact geometry and victim row.
-  const bool wrap = wrapped();
-  const std::uint32_t words =
-      wrap ? config_.words : std::min(options_.probe_words, config_.words);
-  const std::uint32_t sweep = wrap ? options_.global_words : words;
-  const auto position = position_of(cell.row, config_.words);
-  std::uint32_t victim_row = cell.row;
-  if (!wrap) {
-    victim_row = words / 2;
-    if (position == Position::first) {
-      victim_row = 0;
-    } else if (position == Position::last) {
-      victim_row = words - 1;
-    }
-  }
-  const auto key = std::make_pair(
-      cell.bit,
-      wrap ? cell.row : position_key(static_cast<std::uint32_t>(position)));
-  {
-    const std::lock_guard<std::mutex> lock(cache_mutex_);
-    const auto cached = cell_cache_.find(key);
-    if (cached != cell_cache_.end()) {
-      return cached->second;
-    }
-  }
-
-  // Build outside the lock so concurrent classify() calls warm distinct
-  // keys in parallel; a racing duplicate build is discarded by emplace.
-  const CellCoord victim{victim_row, cell.bit};
-  std::vector<CellSignature> dictionary;
-  const auto add = [&](const FaultInstance& fault,
-                       AggressorPlacement placement,
-                       std::uint32_t aggressor_bit) {
-    auto by_cell = probe_signature(fault, words, sweep);
-    CellSignature signature;
-    signature.kind = fault.kind;
-    signature.placement = placement;
-    signature.aggressor_bit = aggressor_bit;
-    const auto it = by_cell.find(victim);
-    if (it != by_cell.end()) {
-      signature.reads = it->second;
-    }
-    dictionary.push_back(std::move(signature));
-  };
+std::vector<FaultClassifier::CandidateSpec> FaultClassifier::cell_candidates(
+    std::uint32_t victim_row, std::uint32_t bit,
+    const ProbeGeometry& geometry) const {
+  const CellCoord victim{victim_row, bit};
+  std::vector<CandidateSpec> specs;
 
   for (const auto kind : kCellKinds) {
-    add(faults::make_cell_fault(kind, victim), AggressorPlacement::none, 0);
+    specs.push_back(
+        {faults::make_cell_fault(kind, victim), AggressorPlacement::none, 0});
   }
 
   // Representative aggressor rows per placement.  Relative address order is
@@ -295,7 +350,8 @@ FaultClassifier::cell_dictionary(CellCoord cell) const {
   // below the partial-wrap remainder (and so gets one extra visit per
   // element) matters too, so both sides of that boundary get a
   // representative.
-  const std::uint32_t remainder = wrap ? sweep % words : 0;
+  const std::uint32_t words = geometry.words;
+  const std::uint32_t remainder = geometry.remainder;
   const auto representatives = [&](bool lower) {
     std::vector<std::uint32_t> rows;
     const auto push = [&](std::int64_t row) {
@@ -333,25 +389,265 @@ FaultClassifier::cell_dictionary(CellCoord cell) const {
     for (const auto& placement : placements) {
       for (std::uint32_t a = 0; a < config_.bits; ++a) {
         if (placement.placement == AggressorPlacement::same_word &&
-            a == cell.bit) {
+            a == bit) {
           continue;
         }
-        add(faults::make_coupling_fault(kind, {placement.row, a}, victim),
-            placement.placement, a);
+        specs.push_back({faults::make_coupling_fault(
+                             kind, {placement.row, a}, victim),
+                         placement.placement, a});
       }
     }
   }
+  return specs;
+}
+
+const std::vector<FaultClassifier::CellSignature>&
+FaultClassifier::cell_dictionary(CellCoord cell) const {
+  const auto geometry = probe_geometry();
+  const auto position = position_of(cell.row, config_.words);
+  const std::uint32_t victim_row =
+      geometry.wrap ? cell.row : probe_victim_row(position, geometry.words);
+  const auto key = std::make_pair(
+      cell.bit,
+      geometry.wrap ? cell.row
+                    : position_key(static_cast<std::uint32_t>(position)));
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto cached = cell_cache_.find(key);
+    if (cached != cell_cache_.end()) {
+      return cached->second;
+    }
+  }
+  if (options_.build_mode == DictionaryBuildMode::bit_sliced) {
+    return build_cell_bit_sliced(key, cell.row, geometry);
+  }
+  return build_cell_per_candidate(key, victim_row, geometry);
+}
+
+const std::vector<FaultClassifier::CellSignature>&
+FaultClassifier::build_cell_per_candidate(const CellKey& key,
+                                          std::uint32_t victim_row,
+                                          const ProbeGeometry& geometry) const {
+  // Build outside the lock so concurrent classify() calls warm distinct
+  // keys in parallel; a racing duplicate build is discarded by emplace.
+  const auto start = std::chrono::steady_clock::now();
+  const auto specs = cell_candidates(victim_row, key.first, geometry);
+  std::vector<CellSignature> dictionary;
+  dictionary.reserve(specs.size());
+  for (const auto& spec : specs) {
+    auto by_cell =
+        probe_signature(spec.fault, geometry.words, geometry.sweep);
+    CellSignature signature;
+    signature.kind = spec.fault.kind;
+    signature.placement = spec.placement;
+    signature.aggressor_bit = spec.aggressor_bit;
+    const auto it = by_cell.find(spec.fault.victim);
+    if (it != by_cell.end()) {
+      signature.reads = std::move(it->second);
+    }
+    dictionary.push_back(std::move(signature));
+  }
+  const double elapsed = seconds_since(start);
 
   const std::lock_guard<std::mutex> lock(cache_mutex_);
+  stats_.dictionary_keys += 1;
+  stats_.probe_replays += specs.size();
+  stats_.build_seconds += elapsed;
   return cell_cache_.emplace(key, std::move(dictionary)).first->second;
+}
+
+const std::vector<FaultClassifier::CellSignature>&
+FaultClassifier::build_cell_bit_sliced(const CellKey& key,
+                                       std::uint32_t observed_row,
+                                       const ProbeGeometry& geometry) const {
+  // One batch fills every key of this probe geometry, so serialize batch
+  // builds instead of letting racing threads duplicate the whole pack.
+  const std::lock_guard<std::mutex> build_lock(build_mutex_);
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto cached = cell_cache_.find(key);
+    if (cached != cell_cache_.end()) {
+      return cached->second;
+    }
+  }
+  const auto start = std::chrono::steady_clock::now();
+
+  // ---- batch domain: every key sharing this key's probe geometry ---------
+  // Without wrap a key is (bit, sweep-edge category); all of them share one
+  // probe shape, so the batch covers bits x positions.  With wrap the key
+  // is (bit, exact row) — a victim cannot move off its row — so the batch
+  // covers all bits of the observed row.
+  struct Target {
+    CellKey key;
+    std::uint32_t bit = 0;
+    std::uint32_t victim_row = 0;
+  };
+  std::vector<Target> targets;
+  if (!geometry.wrap) {
+    std::vector<Position> positions{Position::first};
+    if (config_.words >= 3) {
+      positions.push_back(Position::middle);
+    }
+    if (config_.words >= 2) {
+      positions.push_back(Position::last);
+    }
+    for (const auto position : positions) {
+      for (std::uint32_t bit = 0; bit < config_.bits; ++bit) {
+        targets.push_back(
+            {{bit, position_key(static_cast<std::uint32_t>(position))},
+             bit,
+             probe_victim_row(position, geometry.words)});
+      }
+    }
+  } else {
+    for (std::uint32_t bit = 0; bit < config_.bits; ++bit) {
+      targets.push_back({{bit, observed_row}, bit, observed_row});
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    std::erase_if(targets, [&](const Target& target) {
+      return cell_cache_.find(target.key) != cell_cache_.end();
+    });
+  }
+
+  // Canonical candidate lists (shared with per_candidate, so slot order and
+  // fault coordinates are identical by construction) + dictionary
+  // skeletons the packed replays fill in.
+  std::vector<std::vector<CandidateSpec>> specs(targets.size());
+  std::vector<std::vector<CellSignature>> dictionaries(targets.size());
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    specs[t] =
+        cell_candidates(targets[t].victim_row, targets[t].bit, geometry);
+    dictionaries[t].resize(specs[t].size());
+    for (std::size_t s = 0; s < specs[t].size(); ++s) {
+      dictionaries[t][s].kind = specs[t][s].fault.kind;
+      dictionaries[t][s].placement = specs[t][s].placement;
+      dictionaries[t][s].aggressor_bit = specs[t][s].aggressor_bit;
+    }
+  }
+
+  // ---- packing plan -------------------------------------------------------
+  // Candidates at disjoint cells cannot interact (CompositeProbeBehavior
+  // gives each candidate a private fault engine), so a round — one packed
+  // probe replay — may hold any candidate set with mutually disjoint
+  // victim/aggressor cells, plus one extra rule: a stuck-open victim reads
+  // through the per-column sense latch, whose history is the previous read
+  // of its column, so an SOF candidate must be the only victim in its
+  // column.  The plan below is deterministic and near-optimal:
+  //   (0, kind)              one round per non-SOF cell kind: that kind at
+  //                          every victim row x every column.
+  //   (1, victim_row)        one round per victim row for SOF: one SOF per
+  //                          column, nothing else (sense-latch rule).
+  //   (2, kind, pair_round)  same-word couplings: a round-robin tournament
+  //                          over columns pairs victim and aggressor bits
+  //                          so each column plays one role per round; every
+  //                          victim row rides the same round (rows differ).
+  //   (3, kind, layer, s)    distinct-row couplings: victims span a full
+  //                          row, aggressors the partner row shifted by s
+  //                          (a Latin-square walk covers all bit pairs in
+  //                          `bits` rounds); (victim row, aggressor row)
+  //                          groups with disjoint rows merge into layers.
+  using RoundId = std::tuple<int, std::uint32_t, std::uint32_t, std::uint32_t>;
+  struct PackedRef {
+    std::uint32_t target = 0;
+    std::uint32_t slot = 0;
+  };
+
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> layer_of;
+  std::vector<std::vector<std::uint32_t>> layer_rows;
+  const auto layer_for = [&](std::uint32_t victim_row,
+                             std::uint32_t aggressor_row) {
+    const auto group = std::make_pair(victim_row, aggressor_row);
+    const auto known = layer_of.find(group);
+    if (known != layer_of.end()) {
+      return known->second;
+    }
+    for (std::uint32_t layer = 0; layer < layer_rows.size(); ++layer) {
+      auto& rows = layer_rows[layer];
+      if (std::find(rows.begin(), rows.end(), victim_row) == rows.end() &&
+          std::find(rows.begin(), rows.end(), aggressor_row) == rows.end()) {
+        rows.push_back(victim_row);
+        rows.push_back(aggressor_row);
+        layer_of.emplace(group, layer);
+        return layer;
+      }
+    }
+    layer_rows.push_back({victim_row, aggressor_row});
+    const auto layer = static_cast<std::uint32_t>(layer_rows.size() - 1);
+    layer_of.emplace(group, layer);
+    return layer;
+  };
+
+  const std::uint32_t bits = config_.bits;
+  const auto pair_schedule = same_word_schedule(bits);
+  std::map<RoundId, std::vector<PackedRef>> rounds;
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    for (std::size_t s = 0; s < specs[t].size(); ++s) {
+      const auto& fault = specs[t][s].fault;
+      RoundId id;
+      if (!faults::needs_aggressor(fault.kind)) {
+        id = fault.kind == FaultKind::sof
+                 ? RoundId{1, fault.victim.row, 0, 0}
+                 : RoundId{0, kind_index(kCellKinds, fault.kind), 0, 0};
+      } else if (fault.aggressor.row == fault.victim.row) {
+        id = RoundId{2, kind_index(kCouplingKinds, fault.kind),
+                     pair_schedule[static_cast<std::size_t>(fault.victim.bit) *
+                                       bits +
+                                   fault.aggressor.bit],
+                     0};
+      } else {
+        id = RoundId{3, kind_index(kCouplingKinds, fault.kind),
+                     layer_for(fault.victim.row, fault.aggressor.row),
+                     (fault.aggressor.bit + bits - fault.victim.bit) % bits};
+      }
+      rounds[id].push_back({static_cast<std::uint32_t>(t),
+                            static_cast<std::uint32_t>(s)});
+    }
+  }
+
+  // ---- one March replay per round ----------------------------------------
+  auto probe_config = config_;
+  probe_config.name = "probe";
+  probe_config.words = geometry.words;
+  probe_config.spare_rows = 0;
+  probe_config.spare_cols = 0;
+  const march::MarchRunner runner(options_.clock);
+  for (const auto& [id, packed] : rounds) {
+    auto behavior = std::make_unique<faults::CompositeProbeBehavior>();
+    for (const auto& ref : packed) {
+      behavior->add_candidate(specs[ref.target][ref.slot].fault);
+    }
+    sram::Sram memory(probe_config, std::move(behavior));
+    const auto by_cell = runner.run_per_cell(memory, test_, geometry.sweep);
+    for (const auto& ref : packed) {
+      const auto it = by_cell.find(specs[ref.target][ref.slot].fault.victim);
+      if (it != by_cell.end()) {
+        dictionaries[ref.target][ref.slot].reads = to_read_keys(it->second);
+      }
+    }
+  }
+  const double elapsed = seconds_since(start);
+
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    cell_cache_.emplace(targets[t].key, std::move(dictionaries[t]));
+  }
+  stats_.dictionary_keys += targets.size();
+  stats_.probe_replays += rounds.size();
+  stats_.build_seconds += elapsed;
+  const auto built = cell_cache_.find(key);
+  ensure(built != cell_cache_.end(),
+         "FaultClassifier: bit-sliced batch missed the requested key");
+  return built->second;
 }
 
 const std::vector<FaultClassifier::RowSignature>&
 FaultClassifier::row_dictionary(std::uint32_t row) const {
-  const bool wrap = wrapped();
-  const std::uint32_t words =
-      wrap ? config_.words : std::min(options_.probe_words, config_.words);
-  const std::uint32_t sweep = wrap ? options_.global_words : words;
+  const auto geometry = probe_geometry();
+  const bool wrap = geometry.wrap;
+  const std::uint32_t words = geometry.words;
+  const std::uint32_t sweep = geometry.sweep;
   // Without wrap the build below probes every anchor/pair, so its content
   // does not depend on the observed row (classify_row filters by position
   // per entry) — one shared cache slot covers all rows.
@@ -364,8 +660,11 @@ FaultClassifier::row_dictionary(std::uint32_t row) const {
     }
   }
 
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t probes = 0;
   std::vector<RowSignature> dictionary;
   const auto add = [&](const FaultInstance& fault) {
+    ++probes;
     auto by_cell = probe_signature(fault, words, sweep);
     // Every probe row that failed yields one signature: the observed site
     // can be either involved row of a wrong-row / extra-row fault.
@@ -402,7 +701,7 @@ FaultClassifier::row_dictionary(std::uint32_t row) const {
       }
     }
   } else {
-    const std::uint32_t remainder = sweep % words;
+    const std::uint32_t remainder = geometry.remainder;
     add(faults::make_address_fault(FaultKind::af_no_access, row));
     std::vector<std::uint32_t> partners;
     const auto push = [&](std::int64_t partner) {
@@ -433,8 +732,12 @@ FaultClassifier::row_dictionary(std::uint32_t row) const {
     add(faults::make_address_fault(FaultKind::af_wrong_row, a, b));
     add(faults::make_address_fault(FaultKind::af_extra_row, a, b));
   }
+  const double elapsed = seconds_since(start);
 
   const std::lock_guard<std::mutex> lock(cache_mutex_);
+  stats_.dictionary_keys += 1;
+  stats_.probe_replays += probes;
+  stats_.build_seconds += elapsed;
   return row_cache_.emplace(key, std::move(dictionary)).first->second;
 }
 
@@ -617,13 +920,28 @@ const FaultClassifier& ClassifierCache::get(const sram::SramConfig& config,
   Key key{test.to_string(),      config.words,
           config.bits,           config.retention_ns,
           options.clock.period_ns, options.global_words,
-          options.probe_words,   options.min_confidence};
+          options.probe_words,   options.min_confidence,
+          static_cast<int>(options.build_mode)};
   const std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = cache_[std::move(key)];
   if (!slot) {
+    ++misses_;
     slot = std::make_unique<FaultClassifier>(config, test, options);
+  } else {
+    ++hits_;
   }
   return *slot;
+}
+
+CacheStats ClassifierCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats out;
+  out.hits = hits_;
+  out.misses = misses_;
+  for (const auto& [key, classifier] : cache_) {
+    out.merge(classifier->dictionary_stats());
+  }
+  return out;
 }
 
 SocClassification classify_soc(const bisd::SocUnderTest& soc,

@@ -97,6 +97,40 @@ struct MemoryClassification {
   [[nodiscard]] std::string to_string() const;
 };
 
+/// How FaultClassifier constructs its signature dictionaries.
+enum class DictionaryBuildMode {
+  /// One probe replay per candidate fault — the straightforward reference
+  /// path (and the differential baseline for bit_sliced).
+  per_candidate,
+
+  /// Packs independent candidates into shared probe memories — one
+  /// candidate per victim cell, couplings co-located with their aggressor,
+  /// stuck-open candidates alone in their column (the sense-latch rule) —
+  /// and replays the March test once per packed batch, demultiplexing every
+  /// candidate's signature from the single mismatch stream.  Collapses the
+  /// O(kinds x rows x bits) replays of per_candidate into
+  /// O(kinds + placements) and produces byte-identical dictionaries.
+  bit_sliced,
+};
+
+[[nodiscard]] std::string_view dictionary_build_mode_name(
+    DictionaryBuildMode mode);
+
+/// Observability counters for dictionary construction and classifier
+/// sharing; see FaultClassifier::dictionary_stats() / ClassifierCache::
+/// stats().  Wall time is real time (std::chrono::steady_clock), so these
+/// are for reporting, not for deterministic results.
+struct CacheStats {
+  std::size_t hits = 0;    ///< ClassifierCache::get() served an existing entry
+  std::size_t misses = 0;  ///< ClassifierCache::get() built a new classifier
+  std::size_t dictionary_keys = 0;  ///< signature-dictionary slots built
+  std::size_t probe_replays = 0;    ///< March replays spent building them
+  double build_seconds = 0.0;       ///< wall time inside dictionary builds
+
+  CacheStats& merge(const CacheStats& other);
+  [[nodiscard]] std::string to_string() const;
+};
+
 struct ClassifierOptions {
   /// Partial (non-exact) hypotheses below this Jaccard score are dropped.
   double min_confidence = 0.5;
@@ -112,12 +146,19 @@ struct ClassifierOptions {
   /// also shrinks sweep elapsed time: retention thresholds within the same
   /// order of magnitude as one sweep (instead of the pause-dominated
   /// regime the NWRC elements create) can decay in the real run but not in
-  /// the probe.
+  /// the probe.  Also bounds the bit_sliced packing plan: packed candidates
+  /// live inside the same probe_words x bits geometry, so dictionaries are
+  /// identical across build modes by construction.
   std::uint32_t probe_words = 4;
 
   /// The shared controller's sweep span (the SoC's n_max, Sec. 3.1).
   /// 0 means the memory's own word count (no wrap-around).
   std::uint32_t global_words = 0;
+
+  /// Dictionary construction strategy; both modes yield byte-identical
+  /// dictionaries (a differential test pins that down), bit_sliced is just
+  /// much faster to warm.
+  DictionaryBuildMode build_mode = DictionaryBuildMode::bit_sliced;
 };
 
 /// Classifies the syndromes of memories built from one SramConfig against
@@ -146,6 +187,10 @@ class FaultClassifier {
   [[nodiscard]] const sram::SramConfig& config() const { return config_; }
   [[nodiscard]] const march::MarchTest& test() const { return test_; }
 
+  /// Dictionary-build counters of this classifier (hits/misses stay 0 —
+  /// those belong to ClassifierCache).  Thread-safe.
+  [[nodiscard]] CacheStats dictionary_stats() const;
+
  private:
   /// Victim position category: without wrap-around, march signatures only
   /// depend on whether the victim sits at a sweep edge or in the middle of
@@ -167,11 +212,54 @@ class FaultClassifier {
     std::vector<std::pair<ReadKey, std::uint32_t>> reads;
   };
 
+  /// One candidate of a cell dictionary: the fault to probe plus the
+  /// placement metadata its CellSignature carries.
+  struct CandidateSpec {
+    faults::FaultInstance fault;
+    AggressorPlacement placement = AggressorPlacement::none;
+    std::uint32_t aggressor_bit = 0;
+  };
+
+  /// Probe geometry shared by every dictionary build of this classifier.
+  struct ProbeGeometry {
+    std::uint32_t words = 0;      ///< probe word count
+    std::uint32_t sweep = 0;      ///< controller sweep steps per element
+    bool wrap = false;            ///< sweep > words (visit counts differ)
+    std::uint32_t remainder = 0;  ///< wrap ? sweep % words : 0
+  };
+
+  /// Cache key of one cell dictionary: victim bit + row category (exact
+  /// row when wrapped, else the Position sentinel above 2^31).
+  using CellKey = std::pair<std::uint32_t, std::uint32_t>;
+
   [[nodiscard]] bool wrapped() const;
+  [[nodiscard]] ProbeGeometry probe_geometry() const;
   [[nodiscard]] Position position_of(std::uint32_t row,
                                      std::uint32_t words) const;
+  /// The probe row a victim of @p position is placed at (no-wrap builds).
+  [[nodiscard]] static std::uint32_t probe_victim_row(Position position,
+                                                      std::uint32_t words);
+  /// The canonical candidate list of one cell-dictionary key, in the exact
+  /// per_candidate order (kCellKinds, then kCouplingKinds x placements x
+  /// aggressor bits) — both build modes enumerate through here, so
+  /// dictionary slot order is identical by construction.
+  [[nodiscard]] std::vector<CandidateSpec> cell_candidates(
+      std::uint32_t victim_row, std::uint32_t bit,
+      const ProbeGeometry& geometry) const;
+
   [[nodiscard]] const std::vector<CellSignature>& cell_dictionary(
       sram::CellCoord cell) const;
+  /// per_candidate build of @p key: one probe replay per candidate.
+  [[nodiscard]] const std::vector<CellSignature>& build_cell_per_candidate(
+      const CellKey& key, std::uint32_t victim_row,
+      const ProbeGeometry& geometry) const;
+  /// bit_sliced build: packs the candidates of every key sharing @p key's
+  /// probe geometry (all bits x positions without wrap; all bits of the
+  /// requested row under wrap) into composite probes and replays each
+  /// packed batch once.  Fills every missing key, returns @p key's slot.
+  [[nodiscard]] const std::vector<CellSignature>& build_cell_bit_sliced(
+      const CellKey& key, std::uint32_t observed_row,
+      const ProbeGeometry& geometry) const;
   [[nodiscard]] const std::vector<RowSignature>& row_dictionary(
       std::uint32_t row) const;
 
@@ -189,12 +277,17 @@ class FaultClassifier {
   /// stability keeps returned references valid across later insertions.
   mutable std::mutex cache_mutex_;
 
-  /// Key: victim bit + row category (exact row when wrapped, else the
-  /// Position sentinel above 2^31).
-  mutable std::map<std::pair<std::uint32_t, std::uint32_t>,
-                   std::vector<CellSignature>>
-      cell_cache_;
+  /// Serializes bit_sliced batch builds: one batch fills many keys at once,
+  /// so letting two threads race the same batch would duplicate the whole
+  /// packed build instead of one key's worth of probes.
+  mutable std::mutex build_mutex_;
+
+  mutable std::map<CellKey, std::vector<CellSignature>> cell_cache_;
   mutable std::map<std::uint32_t, std::vector<RowSignature>> row_cache_;
+
+  /// Build counters (dictionary_keys/probe_replays/build_seconds), guarded
+  /// by cache_mutex_.
+  mutable CacheStats stats_;
 };
 
 /// Shares FaultClassifier instances — and thus their expensive signature
@@ -211,13 +304,19 @@ class ClassifierCache {
                                            const march::MarchTest& test,
                                            const ClassifierOptions& options);
 
+  /// Aggregate counters: this cache's hit/miss tallies plus the dictionary
+  /// build counters of every classifier it holds.  Thread-safe.
+  [[nodiscard]] CacheStats stats() const;
+
  private:
   using Key = std::tuple<std::string, std::uint32_t, std::uint32_t,
                          std::uint64_t, std::uint64_t, std::uint32_t,
-                         std::uint32_t, double>;
+                         std::uint32_t, double, int>;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::map<Key, std::unique_ptr<FaultClassifier>> cache_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
 };
 
 /// One SoC's worth of classification: per-memory verdicts plus their score

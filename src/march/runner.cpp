@@ -28,14 +28,19 @@ std::vector<sram::CellCoord> RunResult::suspect_cells() const {
   return cells;
 }
 
-RunResult MarchRunner::run(sram::Sram& memory, const MarchTest& test,
-                           std::uint32_t global_words) const {
+namespace {
+
+/// The shared run loop.  @p on_mismatch(phase, element, op, addr, visit,
+/// expected, actual) fires for every mismatching read; the BitVector
+/// references are scratch storage valid only for the duration of the call.
+template <typename OnMismatch>
+void run_loop(const sram::ClockDomain& clock, sram::Sram& memory,
+              const MarchTest& test, std::uint32_t global_words,
+              std::uint64_t& ops, OnMismatch&& on_mismatch) {
   require(test.width() >= memory.bits(), [&] {
     return "MarchRunner: test narrower than memory '" + memory.config().name +
            "'";
   });
-  RunResult result;
-  const std::uint64_t start_ns = memory.now_ns();
   const std::uint32_t words = memory.words();
   const std::uint32_t sweep = global_words == 0 ? words : global_words;
   require(sweep >= words, "MarchRunner: global_words below the word count");
@@ -67,7 +72,7 @@ RunResult MarchRunner::run(sram::Sram& memory, const MarchTest& test,
           ensure(op.kind == MarchOpKind::pause,
                  "MarchRunner: non-pause op in once element");
           memory.advance_time_ns(op.pause_ns);
-          ++result.ops;
+          ++ops;
         }
         continue;
       }
@@ -81,8 +86,8 @@ RunResult MarchRunner::run(sram::Sram& memory, const MarchTest& test,
         const std::uint32_t visit = step / words;
         for (std::size_t o = 0; o < element.ops.size(); ++o) {
           const auto& op = element.ops[o];
-          memory.advance_time_ns(clock_.period_ns);
-          ++result.ops;
+          memory.advance_time_ns(clock.period_ns);
+          ++ops;
           const BitVector& data =
               op.polarity == Polarity::background ? bg : bg_inv;
           switch (op.kind) {
@@ -105,8 +110,7 @@ RunResult MarchRunner::run(sram::Sram& memory, const MarchTest& test,
                 expected = &golden_scratch;
               }
               if (actual != *expected) {
-                result.mismatches.push_back(
-                    Mismatch{p, e, o, addr, visit, *expected, actual});
+                on_mismatch(p, e, o, addr, visit, *expected, actual);
               }
               break;
             }
@@ -117,8 +121,52 @@ RunResult MarchRunner::run(sram::Sram& memory, const MarchTest& test,
       }
     }
   }
+}
+
+}  // namespace
+
+RunResult MarchRunner::run(sram::Sram& memory, const MarchTest& test,
+                           std::uint32_t global_words) const {
+  RunResult result;
+  const std::uint64_t start_ns = memory.now_ns();
+  run_loop(clock_, memory, test, global_words, result.ops,
+           [&result](std::size_t p, std::size_t e, std::size_t o,
+                     std::uint32_t addr, std::uint32_t visit,
+                     const BitVector& expected, const BitVector& actual) {
+             result.mismatches.push_back(
+                 Mismatch{p, e, o, addr, visit, expected, actual});
+           });
   result.elapsed_ns = memory.now_ns() - start_ns;
   return result;
+}
+
+std::map<sram::CellCoord, std::vector<ReadEvent>> MarchRunner::run_per_cell(
+    sram::Sram& memory, const MarchTest& test,
+    std::uint32_t global_words) const {
+  std::map<sram::CellCoord, std::vector<ReadEvent>> by_cell;
+  std::uint64_t ops = 0;
+  run_loop(clock_, memory, test, global_words, ops,
+           [&by_cell](std::size_t p, std::size_t e, std::size_t o,
+                      std::uint32_t addr, std::uint32_t visit,
+                      const BitVector& expected, const BitVector& actual) {
+             const ReadEvent event{p, e, visit, o};
+             const std::size_t width = expected.width();
+             for (std::size_t base = 0; base < width; base += 64) {
+               std::uint64_t diff = expected.word_at(base, 64) ^
+                                    actual.word_at(base, 64);
+               while (diff != 0) {
+                 const auto bit =
+                     base + static_cast<std::size_t>(std::countr_zero(diff));
+                 diff &= diff - 1;
+                 auto& reads =
+                     by_cell[{addr, static_cast<std::uint32_t>(bit)}];
+                 if (reads.empty() || reads.back() != event) {
+                   reads.push_back(event);
+                 }
+               }
+             }
+           });
+  return by_cell;
 }
 
 }  // namespace fastdiag::march

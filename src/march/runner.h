@@ -7,9 +7,16 @@
 // The run loop is allocation-free: one scratch word is reused across every
 // read (Sram::read_into), and the heap is touched only when a mismatch is
 // recorded.
+//
+// Two entry points share one loop: run() materializes the full Mismatch
+// stream (expected/actual word copies included), run_per_cell() folds the
+// stream straight into per-cell failed-read sets — the multi-victim replay
+// the bit-sliced dictionary builder demultiplexes packed candidate faults
+// from, one signature per victim cell of a single replay.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "march/test.h"
@@ -29,6 +36,18 @@ struct Mismatch {
   BitVector actual;
 
   friend bool operator==(const Mismatch&, const Mismatch&) = default;
+};
+
+/// Identity of one read op in the march stream, in chronological member
+/// order (the default ordering sorts events in execution order).
+struct ReadEvent {
+  std::size_t phase = 0;
+  std::size_t element = 0;
+  std::uint32_t visit = 0; ///< wrap-around revisit count (0 = first visit)
+  std::size_t op = 0;      ///< op index within the element (counts writes)
+
+  friend bool operator==(const ReadEvent&, const ReadEvent&) = default;
+  friend auto operator<=>(const ReadEvent&, const ReadEvent&) = default;
 };
 
 struct RunResult {
@@ -59,6 +78,17 @@ class MarchRunner {
   /// exactly the memory's own words — the classical single-memory run.
   RunResult run(sram::Sram& memory, const MarchTest& test,
                 std::uint32_t global_words = 0) const;
+
+  /// Multi-victim replay: runs @p test once and demultiplexes the mismatch
+  /// stream per failing cell — every cell with at least one mismatching
+  /// read bit maps to its distinct ReadEvents in March order.  Equivalent
+  /// to folding run().mismatches per differing bit, but without copying an
+  /// expected/actual word pair per record, so a packed probe carrying many
+  /// candidate faults (faults::CompositeProbeBehavior) pays one replay for
+  /// every candidate's signature.
+  [[nodiscard]] std::map<sram::CellCoord, std::vector<ReadEvent>>
+  run_per_cell(sram::Sram& memory, const MarchTest& test,
+               std::uint32_t global_words = 0) const;
 
  private:
   sram::ClockDomain clock_;

@@ -474,5 +474,172 @@ TEST(Engine, ClassificationIsDeterministicAcrossWorkerCounts) {
   }
 }
 
+// ---- bit-sliced dictionary builds -----------------------------------------
+//
+// The packed builder must be a pure performance transformation: for every
+// syndrome, classification through a bit_sliced dictionary must equal the
+// per_candidate reference byte for byte (the per-site to_string dump covers
+// kinds, confidences, placements and aggressor candidate bits).
+
+diagnosis::MemoryClassification classify_single_fault(
+    const FaultClassifier& classifier, const SramConfig& config,
+    const FaultInstance& fault) {
+  bisd::SocUnderTest soc;
+  soc.add_memory(config, {fault});
+  bisd::FastScheme scheme;
+  const auto result = scheme.diagnose(soc);
+  const auto syndromes = diagnosis::extract_syndromes(result.log, 1);
+  return classifier.classify(syndromes[0]);
+}
+
+std::vector<FaultInstance> build_kind_corpus(const SramConfig& config,
+                                             Rng& rng, int per_kind) {
+  std::vector<FaultInstance> corpus;
+  const FaultKind cell_kinds[] = {FaultKind::sa0,   FaultKind::sa1,
+                                  FaultKind::tf_up, FaultKind::tf_down,
+                                  FaultKind::sof,   FaultKind::drf0,
+                                  FaultKind::drf1};
+  for (const auto kind : cell_kinds) {
+    for (int t = 0; t < per_kind; ++t) {
+      corpus.push_back(
+          faults::make_cell_fault(kind, random_cell(config, rng)));
+    }
+  }
+  const FaultKind coupling_kinds[] = {
+      FaultKind::cf_in_up,   FaultKind::cf_in_down,  FaultKind::cf_id_up0,
+      FaultKind::cf_id_up1,  FaultKind::cf_id_down0, FaultKind::cf_id_down1,
+      FaultKind::cf_st_00,   FaultKind::cf_st_01,    FaultKind::cf_st_10,
+      FaultKind::cf_st_11};
+  for (const auto kind : coupling_kinds) {
+    for (int t = 0; t < per_kind; ++t) {
+      const auto aggressor = random_cell(config, rng);
+      auto victim = random_cell(config, rng);
+      if (rng.bernoulli(0.5)) {
+        victim.row = aggressor.row;  // force the intra-word path
+      }
+      if (victim == aggressor) {
+        victim.bit = (victim.bit + 1) % config.bits;
+        if (victim == aggressor) {
+          victim.row = (victim.row + 1) % config.words;
+        }
+      }
+      corpus.push_back(faults::make_coupling_fault(kind, aggressor, victim));
+    }
+  }
+  const FaultKind af_kinds[] = {FaultKind::af_no_access,
+                                FaultKind::af_wrong_row,
+                                FaultKind::af_extra_row};
+  for (const auto kind : af_kinds) {
+    for (int t = 0; t < per_kind; ++t) {
+      const auto addr =
+          static_cast<std::uint32_t>(rng.uniform(config.words));
+      if (kind == FaultKind::af_no_access) {
+        corpus.push_back(faults::make_address_fault(kind, addr));
+        continue;
+      }
+      std::uint32_t other =
+          static_cast<std::uint32_t>(rng.uniform(config.words - 1));
+      if (other >= addr) {
+        ++other;
+      }
+      corpus.push_back(faults::make_address_fault(kind, addr, other));
+    }
+  }
+  return corpus;
+}
+
+TEST(BitSliced, VerdictsIdenticalToPerCandidateAcrossKindCorpus) {
+  // Even and odd IO widths: the odd width exercises the packing plan's
+  // round-robin bye column.
+  for (const auto& config : {cfg(12, 6), cfg(9, 5)}) {
+    bisd::FastScheme scheme;
+    const auto test = scheme.test_for_width(config.bits);
+    diagnosis::ClassifierOptions reference_options;
+    reference_options.build_mode =
+        diagnosis::DictionaryBuildMode::per_candidate;
+    diagnosis::ClassifierOptions sliced_options;
+    sliced_options.build_mode = diagnosis::DictionaryBuildMode::bit_sliced;
+    const FaultClassifier reference(config, test, reference_options);
+    const FaultClassifier sliced(config, test, sliced_options);
+
+    Rng rng(20260730);
+    const int per_kind = config.bits % 2 == 0 ? 6 : 3;
+    for (const auto& fault : build_kind_corpus(config, rng, per_kind)) {
+      const auto expected =
+          classify_single_fault(reference, config, fault).to_string();
+      const auto actual =
+          classify_single_fault(sliced, config, fault).to_string();
+      EXPECT_EQ(expected, actual)
+          << config.name << " fault: " << fault.to_string();
+    }
+  }
+}
+
+TEST(BitSliced, VerdictsIdenticalUnderWrapAround) {
+  // A 6-word memory swept by a 16-step controller wraps with remainder 4,
+  // so dictionaries key on exact rows and the partial-wrap boundary gets
+  // its own aggressor representatives — the wrap-side packing plan.
+  const auto wide = cfg(16, 8);
+  const auto narrow = cfg(6, 4);
+  bisd::FastScheme scheme;
+  const auto test = scheme.test_for_width(wide.bits);
+  diagnosis::ClassifierOptions reference_options;
+  reference_options.build_mode =
+      diagnosis::DictionaryBuildMode::per_candidate;
+  reference_options.global_words = wide.words;
+  diagnosis::ClassifierOptions sliced_options;
+  sliced_options.build_mode = diagnosis::DictionaryBuildMode::bit_sliced;
+  sliced_options.global_words = wide.words;
+  const FaultClassifier reference(narrow, test, reference_options);
+  const FaultClassifier sliced(narrow, test, sliced_options);
+
+  Rng rng(20260731);
+  for (const auto& fault : build_kind_corpus(narrow, rng, 3)) {
+    bisd::SocUnderTest soc;
+    soc.add_memory(wide);
+    soc.add_memory(narrow, {fault});
+    const auto result = bisd::FastScheme().diagnose(soc);
+    const auto syndromes = diagnosis::extract_syndromes(result.log, 2);
+    EXPECT_EQ(reference.classify(syndromes[1]).to_string(),
+              sliced.classify(syndromes[1]).to_string())
+        << "fault: " << fault.to_string();
+  }
+}
+
+TEST(BitSliced, CacheStatsCountBuildsAndSharing) {
+  const auto config = cfg(12, 6);
+  bisd::FastScheme scheme;
+  const auto test = scheme.test_for_width(config.bits);
+  diagnosis::ClassifierCache cache;
+  diagnosis::ClassifierOptions options;  // bit_sliced default
+
+  const auto& first = cache.get(config, test, options);
+  const auto& again = cache.get(config, test, options);
+  EXPECT_EQ(&first, &again);
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.probe_replays, 0u);  // dictionaries build lazily
+
+  const auto fault = faults::make_cell_fault(FaultKind::sa1, {5, 2});
+  (void)classify_single_fault(first, config, fault);
+  stats = cache.stats();
+  EXPECT_GT(stats.dictionary_keys, 0u);
+  EXPECT_GT(stats.probe_replays, 0u);
+  EXPECT_GE(stats.build_seconds, 0.0);
+
+  // A second classification of the same shape hits the dictionary cache.
+  const auto replays = stats.probe_replays;
+  (void)classify_single_fault(first, config, fault);
+  EXPECT_EQ(cache.stats().probe_replays, replays);
+
+  // Build modes must not share classifiers (different dictionaries paths).
+  diagnosis::ClassifierOptions reference_options = options;
+  reference_options.build_mode =
+      diagnosis::DictionaryBuildMode::per_candidate;
+  const auto& reference = cache.get(config, test, reference_options);
+  EXPECT_NE(&first, &reference);
+}
+
 }  // namespace
 }  // namespace fastdiag

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <set>
+#include <thread>
 
 #include "core/fastdiag.h"
 
@@ -263,6 +264,135 @@ TEST(Engine, ObserverSeesEveryRunExactlyOnce) {
 TEST(Engine, EmptyBatchIsFine) {
   const auto report = DiagnosisEngine({.workers = 8}).run_batch({});
   EXPECT_EQ(report.run_count(), 0u);
+}
+
+TEST(Engine, PersistentPoolIsReusedAcrossBatchesBitIdentically) {
+  // The pool is created at construction and fed through a work queue;
+  // consecutive batches must not spawn threads, and per-worker scratch
+  // (capacity feedback) must never leak into results — any worker count,
+  // any batch sequence, bit-identical reports.
+  const auto specs = spec_batch();
+  DiagnosisEngine engine({.workers = 4});
+  ASSERT_EQ(engine.pool_threads(), 3u);
+
+  const auto first = engine.run_batch(specs);
+  const auto second = engine.run_batch(specs);
+  EXPECT_EQ(engine.pool_threads(), 3u);
+  const auto serial = DiagnosisEngine({.workers = 1}).run_batch(specs);
+
+  ASSERT_EQ(first.run_count(), specs.size());
+  ASSERT_EQ(second.run_count(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(first.runs[i].result.log.to_csv(),
+              second.runs[i].result.log.to_csv())
+        << "run " << i;
+    EXPECT_EQ(first.runs[i].total_ns, second.runs[i].total_ns) << "run " << i;
+    EXPECT_EQ(first.runs[i].repair_verified_clean,
+              second.runs[i].repair_verified_clean)
+        << "run " << i;
+    EXPECT_EQ(first.runs[i].result.log.to_csv(),
+              serial.runs[i].result.log.to_csv())
+        << "run " << i;
+    EXPECT_EQ(first.runs[i].total_ns, serial.runs[i].total_ns)
+        << "run " << i;
+  }
+}
+
+TEST(Engine, PoolThreadsMatchResolvedWorkers) {
+  // The calling thread is always a worker, so the pool owns workers - 1
+  // threads; a single-worker engine owns none at all.
+  EXPECT_EQ(DiagnosisEngine({.workers = 1}).pool_threads(), 0u);
+  EXPECT_EQ(DiagnosisEngine({.workers = 6}).pool_threads(), 5u);
+  DiagnosisEngine automatic({.workers = 0});
+  EXPECT_EQ(automatic.pool_threads(),
+            automatic.worker_count(1000000) - 1);
+}
+
+TEST(Engine, ConcurrentCallersShareOneEngineSafely) {
+  // One batch dispatches per engine at a time: a concurrent caller blocks
+  // until the pool frees (pooled engine) or runs with throwaway scratch
+  // (pool-less engine).  Either way both callers get bit-identical
+  // reports and no data races.
+  const auto specs = spec_batch();
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{3}}) {
+    DiagnosisEngine engine({.workers = workers});
+    const auto expected = engine.run_batch(specs);
+    AggregateReport from_thread;
+    std::thread competitor(
+        [&] { from_thread = engine.run_batch(specs); });
+    const auto from_caller = engine.run_batch(specs);
+    competitor.join();
+    ASSERT_EQ(from_thread.run_count(), specs.size());
+    ASSERT_EQ(from_caller.run_count(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      EXPECT_EQ(from_thread.runs[i].result.log.to_csv(),
+                expected.runs[i].result.log.to_csv())
+          << "workers " << workers << " run " << i;
+      EXPECT_EQ(from_caller.runs[i].result.log.to_csv(),
+                expected.runs[i].result.log.to_csv())
+          << "workers " << workers << " run " << i;
+    }
+  }
+}
+
+TEST(Engine, ChainedReentrancyAcrossEnginesDoesNotDeadlock) {
+  // A -> B -> A: engine A's observer dispatches engine B, whose observer
+  // re-enters A.  The inner A call may land on one of B's pool threads,
+  // so re-entrancy detection must follow the dispatch chain across
+  // threads — a plain thread-local marker would block on A's own
+  // dispatch mutex forever.
+  const auto specs = spec_batch();
+  const std::vector<SessionSpec> small(specs.begin(), specs.begin() + 2);
+  DiagnosisEngine a({.workers = 2});
+  DiagnosisEngine b({.workers = 2});
+  const auto plain = DiagnosisEngine({.workers = 1}).run_batch(small);
+
+  std::atomic<bool> entered{false};
+  const auto outer =
+      a.run_batch(small, [&](std::size_t i, const Report&) {
+        if (i != 0) {
+          return;
+        }
+        (void)b.run_batch(small, [&](std::size_t j, const Report&) {
+          if (j != 0 || entered.exchange(true)) {
+            return;
+          }
+          const auto nested = a.run_batch(small);
+          ASSERT_EQ(nested.run_count(), small.size());
+          for (std::size_t k = 0; k < small.size(); ++k) {
+            EXPECT_EQ(nested.runs[k].result.log.to_csv(),
+                      plain.runs[k].result.log.to_csv());
+          }
+        });
+      });
+  EXPECT_TRUE(entered.load());
+  EXPECT_EQ(outer.run_count(), small.size());
+}
+
+TEST(Engine, ReentrantRunBatchFallsBackToTheCallingThread) {
+  // An observer (running on some pool worker) that re-enters run_batch on
+  // the same engine must not deadlock on the busy pool: the nested batch
+  // runs serially on the calling thread and still yields correct reports.
+  const auto specs = spec_batch();
+  const std::vector<SessionSpec> nested_specs(specs.begin(),
+                                              specs.begin() + 2);
+  DiagnosisEngine engine({.workers = 3});
+  const auto plain = engine.run_batch(nested_specs);
+
+  std::atomic<std::size_t> nested_runs{0};
+  const auto outer =
+      engine.run_batch(specs, [&](std::size_t index, const Report&) {
+        if (index == 0) {
+          const auto nested = engine.run_batch(nested_specs);
+          nested_runs = nested.run_count();
+          for (std::size_t i = 0; i < nested.run_count(); ++i) {
+            EXPECT_EQ(nested.runs[i].result.log.to_csv(),
+                      plain.runs[i].result.log.to_csv());
+          }
+        }
+      });
+  EXPECT_EQ(outer.run_count(), specs.size());
+  EXPECT_EQ(nested_runs.load(), nested_specs.size());
 }
 
 TEST(Engine, WorkerCountClampsToBatchAndResolvesAuto) {
