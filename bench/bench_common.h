@@ -1,15 +1,15 @@
 // Shared plumbing of the bench binaries: every binary first regenerates its
 // paper table(s) on stdout, then runs its google-benchmark microbenchmarks.
 // Binaries that export machine-readable results print one `JSON: {...}`
-// line built with JsonObject (CI greps the prefix and uploads the object).
+// line built with util::json's JsonObject (CI greps the prefix and uploads
+// the object).
 #pragma once
 
 #include <benchmark/benchmark.h>
 
-#include <cstdint>
 #include <cstdio>
-#include <string>
-#include <vector>
+
+#include "util/json.h"
 
 /// Call at the end of main(): runs the registered microbenchmarks.
 inline int run_microbenchmarks(int argc, char** argv) {
@@ -30,53 +30,10 @@ inline void print_banner(const char* experiment, const char* claim) {
   std::printf("================================================================\n\n");
 }
 
-/// Minimal JSON object builder for the `JSON:` result lines.  Values are
-/// the types benches actually emit; doubles use a fixed precision so output
-/// stays diff-stable.  No escaping — bench keys/strings are plain idents.
-class JsonObject {
- public:
-  JsonObject& field(const std::string& key, const std::string& value) {
-    return raw(key, "\"" + value + "\"");
-  }
-  JsonObject& field(const std::string& key, const char* value) {
-    return field(key, std::string(value));
-  }
-  JsonObject& field(const std::string& key, double value,
-                    int precision = 4) {
-    char buffer[64];
-    std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
-    return raw(key, buffer);
-  }
-  JsonObject& field(const std::string& key, std::uint64_t value) {
-    return raw(key, std::to_string(value));
-  }
-  JsonObject& field(const std::string& key, int value) {
-    return raw(key, std::to_string(value));
-  }
-  JsonObject& field(const std::string& key, bool value) {
-    return raw(key, value ? "true" : "false");
-  }
-  /// Nested object / array: @p value is already-rendered JSON.
-  JsonObject& raw(const std::string& key, const std::string& value) {
-    body_ += (body_.empty() ? "" : ",");
-    body_ += "\"" + key + "\":" + value;
-    return *this;
-  }
-
-  [[nodiscard]] std::string str() const { return "{" + body_ + "}"; }
-
- private:
-  std::string body_;
-};
-
-/// Renders a JSON array from already-rendered element strings.
-inline std::string json_array(const std::vector<std::string>& elements) {
-  std::string out = "[";
-  for (std::size_t i = 0; i < elements.size(); ++i) {
-    out += (i != 0 ? "," : "") + elements[i];
-  }
-  return out + "]";
-}
+/// The JSON writer lives in util/json.h so the diagd stats endpoint shares
+/// it; benches keep their historical unqualified names.
+using fastdiag::util::JsonObject;
+using fastdiag::util::json_array;
 
 /// The one line CI greps for: `JSON: {...}`.
 inline void print_json_line(const JsonObject& object) {

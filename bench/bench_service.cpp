@@ -1,0 +1,293 @@
+// S1 (fleet service) — streaming sweeps stay bounded, warm servers stay fast.
+//
+// Two comparisons, both run unconditionally:
+//
+//   1. Memory: a 100k-spec seed sweep executed twice, once through
+//      run_batch (which materializes every spec and retains every Report)
+//      and once through SweepCursor + run_stream (O(workers) in-flight).
+//      Each leg runs in a forked child so getrusage(RUSAGE_SELF).ru_maxrss
+//      is that leg's own high-water mark, reported back through a pipe.
+//
+//   2. Throughput: classification jobs served by an in-process JobServer
+//      over a pipe pair — the exact diagd frame path.  The first job pays
+//      the dictionary build (cold), later jobs reuse the shared warm
+//      cache; jobs/s of both legs lands in the JSON.
+//
+// Emits `JSON: {...}` for CI (BENCH_service.json): streaming vs batch peak
+// RSS, the bounded-memory ratio, and warm vs cold jobs/s.
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "bench_common.h"
+#include "core/fastdiag.h"
+#include "service/protocol.h"
+#include "service/server.h"
+
+namespace {
+
+using namespace fastdiag;
+
+constexpr std::size_t kStreamRuns = 100000;
+
+core::SweepSpec service_sweep(std::size_t runs) {
+  sram::SramConfig config;
+  config.name = "cell";
+  config.words = 8;
+  config.bits = 4;
+  config.spare_rows = 2;
+  core::SweepSpec sweep;
+  sweep.base =
+      core::SessionSpec::builder().add_sram(config).defect_rate(0.02);
+  sweep.seeds.resize(runs);
+  for (std::size_t i = 0; i < runs; ++i) {
+    sweep.seeds[i] = i + 1;
+  }
+  return sweep;
+}
+
+long self_max_rss_kb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // KiB on Linux
+}
+
+struct SweepLeg {
+  long max_rss_kb = 0;
+  std::uint64_t folded_count = 0;
+  double seconds = 0.0;
+};
+
+/// Runs @p leg in a forked child and reports its own peak RSS — the parent
+/// process's high-water mark (inflated by whichever leg ran first) never
+/// contaminates the comparison.
+template <typename Fn>
+SweepLeg run_forked(Fn&& leg) {
+  int fds[2];
+  if (pipe(fds) != 0) {
+    std::perror("pipe");
+    std::exit(1);
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    std::exit(1);
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    SweepLeg result;
+    const auto start = std::chrono::steady_clock::now();
+    result.folded_count = leg();
+    result.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    result.max_rss_kb = self_max_rss_kb();
+    const ssize_t wrote = write(fds[1], &result, sizeof result);
+    _exit(wrote == sizeof result ? 0 : 1);
+  }
+  close(fds[1]);
+  SweepLeg result;
+  const bool got = read(fds[0], &result, sizeof result) == sizeof result;
+  close(fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (!got || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    std::fprintf(stderr, "forked sweep leg failed\n");
+    std::exit(1);
+  }
+  return result;
+}
+
+JsonObject memory_comparison() {
+  const auto sweep = service_sweep(kStreamRuns);
+
+  const SweepLeg streamed = run_forked([&sweep]() -> std::uint64_t {
+    const core::DiagnosisEngine engine({.workers = 4});
+    auto cursor = core::SweepCursor::create(sweep);
+    if (!cursor) {
+      std::exit(1);
+    }
+    const auto result = engine.run_stream(
+        [&cursor]() { return cursor.value().next(); });
+    return result.aggregate.folded.count;
+  });
+
+  const SweepLeg batched = run_forked([&sweep]() -> std::uint64_t {
+    const core::DiagnosisEngine engine({.workers = 4});
+    auto specs = sweep.expand();  // materializes all 100k specs...
+    if (!specs) {
+      std::exit(1);
+    }
+    // ...and run_batch retains all 100k Reports.
+    const auto aggregate = engine.run_batch(specs.value());
+    return aggregate.folded.count;
+  });
+
+  std::printf("sweep of %zu runs, peak RSS:\n", kStreamRuns);
+  std::printf("  batch      %8ld KiB   (%.2fs, %llu folded)\n",
+              batched.max_rss_kb, batched.seconds,
+              static_cast<unsigned long long>(batched.folded_count));
+  std::printf("  streaming  %8ld KiB   (%.2fs, %llu folded)\n",
+              streamed.max_rss_kb, streamed.seconds,
+              static_cast<unsigned long long>(streamed.folded_count));
+  const double ratio = streamed.max_rss_kb > 0
+                           ? static_cast<double>(batched.max_rss_kb) /
+                                 static_cast<double>(streamed.max_rss_kb)
+                           : 0.0;
+  std::printf("  batch/streaming ratio %.2fx\n\n", ratio);
+
+  JsonObject json;
+  json.field("stream_runs", static_cast<std::uint64_t>(kStreamRuns))
+      .field("stream_folded", streamed.folded_count)
+      .field("batch_folded", batched.folded_count)
+      .field("streaming_peak_rss_kb",
+             static_cast<std::uint64_t>(streamed.max_rss_kb))
+      .field("batch_peak_rss_kb",
+             static_cast<std::uint64_t>(batched.max_rss_kb))
+      .field("batch_over_streaming_rss", ratio, 2)
+      .field("streaming_seconds", streamed.seconds, 2)
+      .field("batch_seconds", batched.seconds, 2);
+  return json;
+}
+
+struct ServedJobs {
+  double cold_seconds = 0.0;
+  double warm_seconds = 0.0;
+  std::size_t warm_jobs = 0;
+};
+
+ServedJobs serve_jobs(std::size_t jobs) {
+  int to_server[2];
+  int from_server[2];
+  if (pipe(to_server) != 0 || pipe(from_server) != 0) {
+    std::perror("pipe");
+    std::exit(1);
+  }
+  service::JobServer server;
+  std::thread worker([&server, &to_server, &from_server] {
+    (void)server.serve_connection(to_server[0], from_server[1]);
+  });
+
+  service::JobRequest request;
+  for (int m = 0; m < 4; ++m) {
+    sram::SramConfig config;
+    config.name = "svc" + std::to_string(m);
+    config.words = 64;
+    config.bits = 16;
+    request.configs.push_back(config);
+  }
+  request.classify = true;
+
+  ServedJobs result;
+  service::Frame response;
+  for (std::size_t job = 0; job < jobs; ++job) {
+    request.seed = job + 1;
+    const auto start = std::chrono::steady_clock::now();
+    if (!service::write_frame(to_server[1], service::MessageType::submit_job,
+                              service::encode_job_request(request)) ||
+        !service::read_frame(from_server[0], response) ||
+        response.type != service::MessageType::job_report) {
+      std::fprintf(stderr, "job %zu failed\n", job);
+      std::exit(1);
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (job == 0) {
+      result.cold_seconds = seconds;  // pays the dictionary build
+    } else {
+      result.warm_seconds += seconds;
+      ++result.warm_jobs;
+    }
+  }
+  (void)service::write_frame(to_server[1], service::MessageType::shutdown,
+                             std::string());
+  (void)service::read_frame(from_server[0], response);
+  worker.join();
+  for (int fd : {to_server[0], to_server[1], from_server[0], from_server[1]}) {
+    close(fd);
+  }
+  return result;
+}
+
+JsonObject throughput_comparison() {
+  const auto served = serve_jobs(9);
+  const double cold_jobs_per_sec =
+      served.cold_seconds > 0 ? 1.0 / served.cold_seconds : 0.0;
+  const double warm_jobs_per_sec =
+      served.warm_seconds > 0
+          ? static_cast<double>(served.warm_jobs) / served.warm_seconds
+          : 0.0;
+  std::printf("diagd pipe path, classification jobs:\n");
+  std::printf("  cold (first job, builds dictionaries)  %7.1f jobs/s\n",
+              cold_jobs_per_sec);
+  std::printf("  warm (%zu jobs, shared cache)           %7.1f jobs/s\n",
+              served.warm_jobs, warm_jobs_per_sec);
+  std::printf("  warm/cold %.1fx\n",
+              cold_jobs_per_sec > 0 ? warm_jobs_per_sec / cold_jobs_per_sec
+                                    : 0.0);
+
+  JsonObject json;
+  json.field("cold_jobs_per_sec", cold_jobs_per_sec, 2)
+      .field("warm_jobs_per_sec", warm_jobs_per_sec, 2)
+      .field("warm_over_cold",
+             cold_jobs_per_sec > 0
+                 ? warm_jobs_per_sec / cold_jobs_per_sec
+                 : 0.0,
+             2);
+  return json;
+}
+
+// ---- microbenchmarks -------------------------------------------------------
+
+core::Report sample_report() {
+  auto spec = core::SessionSpec::builder()
+                  .add_sram({.name = "m", .words = 64, .bits = 16})
+                  .defect_rate(0.02)
+                  .classify(true)
+                  .build();
+  return core::DiagnosisEngine::execute(spec.value());
+}
+
+void BM_EncodeReport(benchmark::State& state) {
+  const auto report = sample_report();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto blob = service::encode_report(report);
+    bytes = blob.size();
+    benchmark::DoNotOptimize(blob);
+  }
+  state.counters["blob_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_EncodeReport);
+
+void BM_DecodeReport(benchmark::State& state) {
+  const auto blob = service::encode_report(sample_report());
+  for (auto _ : state) {
+    auto report = service::decode_report(blob.data(), blob.size());
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_DecodeReport);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_banner("S1 — fleet service: bounded streaming, warm job serving",
+               "distributed diagnosis scales to fleet sweeps when memory "
+               "stays flat and dictionaries are built once");
+
+  JsonObject json = memory_comparison();
+  const JsonObject throughput = throughput_comparison();
+  json.raw("throughput", throughput.str());
+  print_json_line(json);
+
+  return run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,287 @@
+// diagd_client — drives a diagd job server over either transport.
+//
+//   $ diagd_client --spawn build/diagd --jobs 3 --classify --stats
+//   $ diagd_client --socket /tmp/diagd.sock --jobs 2
+//
+// --spawn forks diagd itself and speaks pipe-mode frames over its
+// stdin/stdout; --socket connects to a running server.  Each job submits
+// the same SoC shape (so the second and later jobs exercise the server's
+// warm classifier cache), prints the decoded Report summary, and the final
+// --stats line is machine-readable JSON.  --require-hits N makes the exit
+// status assert the warm-cache behaviour, which is what the CI smoke job
+// checks.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "service/protocol.h"
+#include "util/cli.h"
+
+namespace {
+
+using namespace fastdiag;
+
+struct Connection {
+  int in_fd = -1;   // server -> client
+  int out_fd = -1;  // client -> server
+  pid_t child = -1;
+};
+
+bool spawn_server(const std::string& binary, Connection& conn) {
+  int to_server[2];
+  int from_server[2];
+  if (pipe(to_server) != 0 || pipe(from_server) != 0) {
+    return false;
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    return false;
+  }
+  if (pid == 0) {
+    dup2(to_server[0], STDIN_FILENO);
+    dup2(from_server[1], STDOUT_FILENO);
+    close(to_server[0]);
+    close(to_server[1]);
+    close(from_server[0]);
+    close(from_server[1]);
+    execl(binary.c_str(), binary.c_str(), static_cast<char*>(nullptr));
+    std::fprintf(stderr, "diagd_client: cannot exec %s\n", binary.c_str());
+    _exit(127);
+  }
+  close(to_server[0]);
+  close(from_server[1]);
+  conn.in_fd = from_server[0];
+  conn.out_fd = to_server[1];
+  conn.child = pid;
+  return true;
+}
+
+bool connect_socket(const std::string& path, Connection& conn) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    return false;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return false;
+  }
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    close(fd);
+    return false;
+  }
+  conn.in_fd = fd;
+  conn.out_fd = fd;
+  return true;
+}
+
+/// Sends one request and reads one response; false on transport failure.
+bool round_trip(const Connection& conn, service::MessageType type,
+                const std::vector<std::uint8_t>& payload,
+                service::Frame& response) {
+  if (!service::write_frame(conn.out_fd, type, payload)) {
+    return false;
+  }
+  return service::read_frame(conn.in_fd, response);
+}
+
+std::string payload_text(const service::Frame& frame) {
+  return std::string(frame.payload.begin(), frame.payload.end());
+}
+
+/// Pulls one unsigned JSON field out of a flat stats object.
+long json_u64_field(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) {
+    return -1;
+  }
+  return std::strtol(json.c_str() + at + needle.size(), nullptr, 10);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const std::string spawn =
+      args.get_string("spawn", "", "fork this diagd binary in pipe mode");
+  const std::string socket_path =
+      args.get_string("socket", "", "connect to this AF_UNIX socket");
+  const auto jobs = args.get_u64("jobs", 1, "diagnosis jobs to submit");
+  const auto memories = args.get_u64("memories", 4, "e-SRAMs per job");
+  const auto words = args.get_u64("words", 64, "words per memory");
+  const auto bits = args.get_u64("bits", 16, "bits per word");
+  const std::string scheme =
+      args.get_string("scheme", "fast", "diagnosis scheme name");
+  const auto rate = args.get_double("rate", 0.01, "cell defect rate");
+  const auto seed = args.get_u64("seed", 1, "base injection seed");
+  const bool classify =
+      args.get_flag("classify", "classify fault sites (warms the cache)");
+  const bool repair = args.get_flag("repair", "allocate spare rows");
+  const bool stats = args.get_flag("stats", "print server stats JSON");
+  const std::string save_cache = args.get_string(
+      "save-cache", "", "ask the server to persist its cache here");
+  const std::string load_cache = args.get_string(
+      "load-cache", "", "ask the server to import this cache file");
+  const bool shutdown =
+      args.get_flag("shutdown", "request a graceful drain at the end");
+  const auto require_hits = args.get_u64(
+      "require-hits", 0, "exit 1 unless cache_hits >= this (CI assertion)");
+  if (args.help_requested()) {
+    args.print_help("client for the diagd fleet job server");
+    return 0;
+  }
+  try {
+    args.finish();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "diagd_client: %s\n", error.what());
+    return 2;
+  }
+
+  Connection conn;
+  if (!spawn.empty()) {
+    if (!spawn_server(spawn, conn)) {
+      std::fprintf(stderr, "diagd_client: cannot spawn %s\n", spawn.c_str());
+      return 1;
+    }
+  } else if (!socket_path.empty()) {
+    if (!connect_socket(socket_path, conn)) {
+      std::fprintf(stderr, "diagd_client: cannot connect %s\n",
+                   socket_path.c_str());
+      return 1;
+    }
+  } else {
+    std::fprintf(stderr, "diagd_client: need --spawn BIN or --socket PATH\n");
+    return 2;
+  }
+
+  int exit_code = 0;
+  service::Frame response;
+
+  if (!load_cache.empty()) {
+    service::ByteWriter writer;
+    writer.str(load_cache);
+    if (!round_trip(conn, service::MessageType::load_cache, writer.data(),
+                    response) ||
+        response.type == service::MessageType::error) {
+      std::fprintf(stderr, "diagd_client: load_cache failed: %s\n",
+                   payload_text(response).c_str());
+      exit_code = 1;
+    } else {
+      std::printf("load_cache: %s\n", payload_text(response).c_str());
+    }
+  }
+
+  // Every job shares one shape: job 2..N replays the same dictionaries,
+  // which is exactly the warm-cache path --require-hits asserts on.
+  service::JobRequest request;
+  for (std::uint64_t m = 0; m < memories; ++m) {
+    sram::SramConfig config;
+    config.name = "fleet" + std::to_string(m);
+    config.words = static_cast<std::uint32_t>(words);
+    config.bits = static_cast<std::uint32_t>(bits);
+    config.spare_rows = repair ? 8 : 0;
+    request.configs.push_back(config);
+  }
+  request.scheme = scheme;
+  request.defect_rate = rate;
+  request.classify = classify;
+  request.repair = repair;
+
+  for (std::uint64_t job = 0; job < jobs && exit_code == 0; ++job) {
+    request.seed = seed + job;
+    if (!round_trip(conn, service::MessageType::submit_job,
+                    service::encode_job_request(request), response)) {
+      std::fprintf(stderr, "diagd_client: transport failed on job %llu\n",
+                   static_cast<unsigned long long>(job));
+      exit_code = 1;
+      break;
+    }
+    if (response.type != service::MessageType::job_report) {
+      std::fprintf(stderr, "diagd_client: job %llu rejected: %s\n",
+                   static_cast<unsigned long long>(job),
+                   payload_text(response).c_str());
+      exit_code = 1;
+      break;
+    }
+    auto report = service::decode_report(response.payload.data(),
+                                         response.payload.size());
+    if (!report) {
+      std::fprintf(stderr, "diagd_client: job %llu: bad report: %s\n",
+                   static_cast<unsigned long long>(job),
+                   report.error().message.c_str());
+      exit_code = 1;
+      break;
+    }
+    std::printf("--- job %llu (seed %llu) ---\n%s\n",
+                static_cast<unsigned long long>(job),
+                static_cast<unsigned long long>(request.seed),
+                report.value().summary().c_str());
+  }
+
+  if (!save_cache.empty() && exit_code == 0) {
+    service::ByteWriter writer;
+    writer.str(save_cache);
+    if (!round_trip(conn, service::MessageType::save_cache, writer.data(),
+                    response) ||
+        response.type != service::MessageType::ok) {
+      std::fprintf(stderr, "diagd_client: save_cache failed: %s\n",
+                   payload_text(response).c_str());
+      exit_code = 1;
+    } else {
+      std::printf("save_cache: wrote %s\n", save_cache.c_str());
+    }
+  }
+
+  if ((stats || require_hits > 0) && exit_code == 0) {
+    if (!round_trip(conn, service::MessageType::get_stats, {}, response) ||
+        response.type != service::MessageType::stats_json) {
+      std::fprintf(stderr, "diagd_client: get_stats failed\n");
+      exit_code = 1;
+    } else {
+      const std::string json = payload_text(response);
+      std::printf("STATS: %s\n", json.c_str());
+      if (require_hits > 0) {
+        const long hits = json_u64_field(json, "cache_hits");
+        if (hits < static_cast<long>(require_hits)) {
+          std::fprintf(stderr,
+                       "diagd_client: expected >= %llu cache hits, got %ld\n",
+                       static_cast<unsigned long long>(require_hits), hits);
+          exit_code = 1;
+        }
+      }
+    }
+  }
+
+  if (shutdown) {
+    if (!round_trip(conn, service::MessageType::shutdown, {}, response) ||
+        response.type != service::MessageType::ok) {
+      std::fprintf(stderr, "diagd_client: shutdown not acknowledged\n");
+      exit_code = 1;
+    }
+  }
+
+  close(conn.out_fd);
+  if (conn.in_fd != conn.out_fd) {
+    close(conn.in_fd);
+  }
+  if (conn.child > 0) {
+    int status = 0;
+    waitpid(conn.child, &status, 0);
+    if (exit_code == 0 &&
+        !(WIFEXITED(status) && WEXITSTATUS(status) == 0)) {
+      std::fprintf(stderr, "diagd_client: diagd exited abnormally\n");
+      exit_code = 1;
+    }
+  }
+  return exit_code;
+}

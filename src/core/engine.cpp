@@ -201,8 +201,8 @@ std::size_t SweepSpec::cardinality() const {
          axis(defect_rates.size()) * axis(seeds.size());
 }
 
-Expected<std::vector<SessionSpec>, ConfigError> SweepSpec::expand(
-    const SchemeRegistry& registry) const {
+Expected<SessionSpec, ConfigError> SweepSpec::spec_at(
+    std::size_t index, const SchemeRegistry& registry) const {
   for (const auto& soc : socs) {
     if (soc.empty()) {
       return make_unexpected(ConfigError{
@@ -210,43 +210,124 @@ Expected<std::vector<SessionSpec>, ConfigError> SweepSpec::expand(
           "sweep axis 'socs' contains an empty configuration list"});
     }
   }
-  std::vector<SessionSpec> specs;
-  specs.reserve(cardinality());
-
-  // Single-iteration stand-ins keep the nested loops uniform when an axis
-  // is empty (base value applies).
+  // Single-value stand-ins keep the index decode uniform when an axis is
+  // empty (base value applies).  Decode matches expand() order: socs
+  // outermost, seeds innermost.
   const std::size_t soc_n = socs.empty() ? 1 : socs.size();
   const std::size_t scheme_n = schemes.empty() ? 1 : schemes.size();
   const std::size_t rate_n = defect_rates.empty() ? 1 : defect_rates.size();
   const std::size_t seed_n = seeds.empty() ? 1 : seeds.size();
+  require(index < soc_n * scheme_n * rate_n * seed_n,
+          "SweepSpec::spec_at: index outside the sweep's cardinality");
 
-  for (std::size_t si = 0; si < soc_n; ++si) {
-    for (std::size_t ci = 0; ci < scheme_n; ++ci) {
-      for (std::size_t ri = 0; ri < rate_n; ++ri) {
-        for (std::size_t di = 0; di < seed_n; ++di) {
-          auto builder = base;
-          if (!socs.empty()) {
-            builder.clear_srams().add_srams(socs[si]);
-          }
-          if (!schemes.empty()) {
-            builder.scheme(schemes[ci]);
-          }
-          if (!defect_rates.empty()) {
-            builder.defect_rate(defect_rates[ri]);
-          }
-          if (!seeds.empty()) {
-            builder.seed(seeds[di]);
-          }
-          auto spec = builder.build(registry);
-          if (!spec) {
-            return make_unexpected(spec.error());
-          }
-          specs.push_back(std::move(spec).value());
-        }
-      }
+  const std::size_t di = index % seed_n;
+  const std::size_t ri = (index / seed_n) % rate_n;
+  const std::size_t ci = (index / (seed_n * rate_n)) % scheme_n;
+  const std::size_t si = index / (seed_n * rate_n * scheme_n);
+
+  auto builder = base;
+  if (!socs.empty()) {
+    builder.clear_srams().add_srams(socs[si]);
+  }
+  if (!schemes.empty()) {
+    builder.scheme(schemes[ci]);
+  }
+  if (!defect_rates.empty()) {
+    builder.defect_rate(defect_rates[ri]);
+  }
+  if (!seeds.empty()) {
+    builder.seed(seeds[di]);
+  }
+  return builder.build(registry);
+}
+
+Expected<std::vector<SessionSpec>, ConfigError> SweepSpec::expand(
+    const SchemeRegistry& registry) const {
+  std::vector<SessionSpec> specs;
+  const std::size_t count = cardinality();
+  specs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto spec = spec_at(i, registry);
+    if (!spec) {
+      return make_unexpected(spec.error());
     }
+    specs.push_back(std::move(spec).value());
   }
   return specs;
+}
+
+// ---- SweepCursor -----------------------------------------------------------
+
+SweepCursor::SweepCursor(SweepSpec sweep, const SchemeRegistry* registry,
+                         std::size_t cardinality)
+    : sweep_(std::move(sweep)),
+      registry_(registry),
+      cardinality_(cardinality) {}
+
+Expected<SweepCursor, ConfigError> SweepCursor::create(
+    SweepSpec sweep, const SchemeRegistry& registry) {
+  const std::size_t count = sweep.cardinality();
+  // Validate each axis value once, combined with the first value of every
+  // other axis.  Spec validation is per-field (configs, rate, scheme,
+  // seed), so a product spec is valid iff each of its axis values passes
+  // here — next()/spec_at() can then hand out specs unconditionally.
+  const std::size_t soc_n = sweep.socs.empty() ? 1 : sweep.socs.size();
+  const std::size_t scheme_n = sweep.schemes.empty() ? 1 : sweep.schemes.size();
+  const std::size_t rate_n =
+      sweep.defect_rates.empty() ? 1 : sweep.defect_rates.size();
+  const std::size_t seed_n = sweep.seeds.empty() ? 1 : sweep.seeds.size();
+  const auto check = [&](std::size_t index) -> std::optional<ConfigError> {
+    auto spec = sweep.spec_at(index, registry);
+    if (!spec) {
+      return spec.error();
+    }
+    return std::nullopt;
+  };
+  for (std::size_t si = 0; si < soc_n; ++si) {
+    if (auto error = check(si * scheme_n * rate_n * seed_n)) {
+      return make_unexpected(*error);
+    }
+  }
+  for (std::size_t ci = 1; ci < scheme_n; ++ci) {
+    if (auto error = check(ci * rate_n * seed_n)) {
+      return make_unexpected(*error);
+    }
+  }
+  for (std::size_t ri = 1; ri < rate_n; ++ri) {
+    if (auto error = check(ri * seed_n)) {
+      return make_unexpected(*error);
+    }
+  }
+  for (std::size_t di = 1; di < seed_n; ++di) {
+    if (auto error = check(di)) {
+      return make_unexpected(*error);
+    }
+  }
+  return SweepCursor(std::move(sweep), &registry, count);
+}
+
+void SweepCursor::seek(std::size_t position) {
+  require(position <= cardinality_,
+          "SweepCursor::seek: position beyond the sweep's cardinality");
+  position_ = position;
+}
+
+std::optional<SessionSpec> SweepCursor::next() {
+  if (position_ >= cardinality_) {
+    return std::nullopt;
+  }
+  return spec_at(position_++);
+}
+
+SessionSpec SweepCursor::spec_at(std::size_t index) const {
+  auto spec = sweep_.spec_at(index, *registry_);
+  // create() validated every axis value; a failure here means the sweep or
+  // registry was mutated behind the cursor's back.
+  ensure(spec.has_value(), [&] {
+    return "SweepCursor: spec " + std::to_string(index) +
+           " failed validation after create(): " + spec.error().message;
+  });
+  return std::move(spec).value();
 }
 
 DiagnosisEngine::DiagnosisEngine(EngineOptions options)
@@ -340,9 +421,9 @@ Report DiagnosisEngine::execute(const SessionSpec& spec,
 void DiagnosisEngine::run_serial(const std::vector<SessionSpec>& specs,
                                  const RunObserver& observer,
                                  AggregateReport& aggregate,
+                                 diagnosis::ClassifierCache& classifier_cache,
                                  ExecutionScratch& scratch) const {
   const SchemeRegistry& schemes = registry();
-  diagnosis::ClassifierCache classifier_cache;
   for (std::size_t i = 0; i < specs.size(); ++i) {
     aggregate.runs[i] = execute(specs[i], schemes, &classifier_cache,
                                 &scratch);
@@ -352,9 +433,9 @@ void DiagnosisEngine::run_serial(const std::vector<SessionSpec>& specs,
   }
 }
 
-AggregateReport DiagnosisEngine::run_batch(
-    const std::vector<SessionSpec>& specs,
-    const RunObserver& observer) const {
+AggregateReport DiagnosisEngine::run_batch_impl(
+    const std::vector<SessionSpec>& specs, const RunObserver& observer,
+    diagnosis::ClassifierCache& classifier_cache) const {
   AggregateReport aggregate;
   aggregate.runs.resize(specs.size());
   if (specs.empty()) {
@@ -398,16 +479,12 @@ AggregateReport DiagnosisEngine::run_batch(
     ExecutionScratch local;
     const bool slot0_safe = lease.pool != nullptr || lease.flag != nullptr;
     const TlsDispatchGuard tls(this);
-    run_serial(specs, observer, aggregate,
+    run_serial(specs, observer, aggregate, classifier_cache,
                slot0_safe ? scratch_[0] : local);
     return aggregate;
   }
 
   const SchemeRegistry& schemes = registry();
-  // Shared across the whole batch (and its workers): runs with identical
-  // (test, geometry, retention) classify against one signature dictionary
-  // instead of rebuilding it per run.
-  diagnosis::ClassifierCache classifier_cache;
   std::mutex observer_mutex;
   std::exception_ptr first_error;
   std::mutex error_mutex;
@@ -440,6 +517,23 @@ AggregateReport DiagnosisEngine::run_batch(
   return aggregate;
 }
 
+AggregateReport DiagnosisEngine::run_batch(
+    const std::vector<SessionSpec>& specs,
+    const RunObserver& observer) const {
+  // Shared across the whole batch (and its workers): runs with identical
+  // (test, geometry, retention) classify against one signature dictionary
+  // instead of rebuilding it per run.
+  diagnosis::ClassifierCache classifier_cache;
+  AggregateReport aggregate = run_batch_impl(specs, observer,
+                                             classifier_cache);
+  // Fold in submission order so a batch aggregate's folded state is
+  // bit-identical to a streaming sweep's over the same specs.
+  for (const Report& report : aggregate.runs) {
+    aggregate.folded.fold(report);
+  }
+  return aggregate;
+}
+
 Expected<AggregateReport, ConfigError> DiagnosisEngine::run_sweep(
     const SweepSpec& sweep, const RunObserver& observer) const {
   auto specs = sweep.expand(registry());
@@ -447,6 +541,73 @@ Expected<AggregateReport, ConfigError> DiagnosisEngine::run_sweep(
     return make_unexpected(specs.error());
   }
   return run_batch(specs.value(), observer);
+}
+
+DiagnosisEngine::StreamResult DiagnosisEngine::run_stream(
+    const SpecSource& source, const StreamOptions& options,
+    AggregateReport resume) const {
+  require(static_cast<bool>(source),
+          "run_stream: source must be a callable spec generator");
+  StreamResult result;
+  result.aggregate = std::move(resume);
+  // Streaming aggregates are folded-only: retained runs from a resume seed
+  // would desynchronize run_count() from folded.count.
+  result.aggregate.runs.clear();
+
+  const std::size_t window =
+      options.window != 0 ? options.window
+                          : std::max<std::size_t>(resolved_workers_ * 4, 16);
+
+  // One cache for the whole stream: a resident sweep keeps every signature
+  // dictionary it has ever built warm across chunks.
+  diagnosis::ClassifierCache classifier_cache;
+
+  const auto fire_progress = [&](std::uint64_t completed) {
+    if (options.progress && options.progress_interval != 0 &&
+        completed % options.progress_interval == 0 && completed != 0) {
+      options.progress(completed, result.aggregate);
+    }
+  };
+
+  // Absolute stream index the sink sees: resumes continue numbering after
+  // the checkpointed prefix.
+  std::uint64_t stream_index = result.aggregate.folded.count;
+  std::vector<SessionSpec> chunk;
+  chunk.reserve(window);
+  bool exhausted = false;
+  while (!exhausted) {
+    chunk.clear();
+    while (chunk.size() < window) {
+      auto spec = source();
+      if (!spec) {
+        exhausted = true;
+        break;
+      }
+      chunk.push_back(std::move(*spec));
+    }
+    if (chunk.empty()) {
+      break;
+    }
+    AggregateReport batch = run_batch_impl(chunk, {}, classifier_cache);
+    // Fold strictly in submission order — the window reorders execution,
+    // never results — so every prefix aggregate (and thus every
+    // checkpoint) depends only on the stream prefix it covers.
+    for (const Report& report : batch.runs) {
+      result.aggregate.folded.fold(report);
+      if (options.sink) {
+        options.sink(static_cast<std::size_t>(stream_index), report);
+      }
+      ++stream_index;
+      fire_progress(result.aggregate.folded.count);
+    }
+  }
+  // Final progress call at stream end, unless the count already fired it.
+  if (options.progress && options.progress_interval != 0 &&
+      result.aggregate.folded.count % options.progress_interval != 0) {
+    options.progress(result.aggregate.folded.count, result.aggregate);
+  }
+  result.completed = result.aggregate.folded.count;
+  return result;
 }
 
 }  // namespace fastdiag::core

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,54 @@ struct SweepSpec {
   /// empty of usable values (e.g. socs contains an empty config list).
   [[nodiscard]] Expected<std::vector<SessionSpec>, ConfigError> expand(
       const SchemeRegistry& registry = SchemeRegistry::global()) const;
+
+  /// The spec at @p index of the expansion order, built without
+  /// materializing the rest of the product — the random access streaming
+  /// sweeps and checkpoint/resume are built on.  expand()[i] and
+  /// spec_at(i) are identical by construction (expand is implemented on
+  /// top of this).
+  [[nodiscard]] Expected<SessionSpec, ConfigError> spec_at(
+      std::size_t index,
+      const SchemeRegistry& registry = SchemeRegistry::global()) const;
+};
+
+/// A generator over a SweepSpec's expansion: yields spec i, i+1, ... without
+/// ever materializing the product, so a 100k-run sweep costs O(1) memory on
+/// the spec side.  seek() gives checkpoint/resume its spec-cursor — the
+/// completion prefix of a streaming sweep maps 1:1 onto a cursor position.
+///
+/// create() validates every axis value once (each combined with the first
+/// value of the other axes; spec validation is per-field, so that covers
+/// the whole product), which is what lets next() hand out specs without a
+/// per-call error channel.
+class SweepCursor {
+ public:
+  [[nodiscard]] static Expected<SweepCursor, ConfigError> create(
+      SweepSpec sweep,
+      const SchemeRegistry& registry = SchemeRegistry::global());
+
+  [[nodiscard]] std::size_t cardinality() const { return cardinality_; }
+
+  /// Index of the spec the next next() call yields.
+  [[nodiscard]] std::size_t position() const { return position_; }
+
+  /// Moves the cursor; @p position may equal cardinality() (exhausted).
+  void seek(std::size_t position);
+
+  /// The spec at position(), advancing past it; nullopt when exhausted.
+  [[nodiscard]] std::optional<SessionSpec> next();
+
+  /// Random access without moving the cursor.
+  [[nodiscard]] SessionSpec spec_at(std::size_t index) const;
+
+ private:
+  SweepCursor(SweepSpec sweep, const SchemeRegistry* registry,
+              std::size_t cardinality);
+
+  SweepSpec sweep_;
+  const SchemeRegistry* registry_;
+  std::size_t cardinality_ = 0;
+  std::size_t position_ = 0;
 };
 
 struct EngineOptions {
@@ -123,6 +172,57 @@ class DiagnosisEngine {
   [[nodiscard]] Expected<AggregateReport, ConfigError> run_sweep(
       const SweepSpec& sweep, const RunObserver& observer = {}) const;
 
+  /// Pull-source of specs for run_stream(); nullopt ends the stream.
+  /// Called only on the submitting thread, in submission order.
+  using SpecSource = std::function<std::optional<SessionSpec>()>;
+
+  struct StreamOptions {
+    /// Specs in flight at once (the reorder window): bounds the streaming
+    /// sweep's memory at O(window) Reports regardless of stream length.
+    /// 0 picks 4x the engine's workers (at least 16).
+    std::size_t window = 0;
+
+    /// Per-run result sink, called in submission-index order (unlike the
+    /// batch observer, which fires in completion order) with the absolute
+    /// stream index; the Report is dropped right after, never retained.
+    RunObserver sink;
+
+    /// When non-zero, progress() fires exactly at every multiple of this
+    /// many completed runs (and once more at stream end) with the folded
+    /// prefix aggregate — the checkpointing hook.  The partial aggregate a
+    /// given completed count sees depends only on that prefix, never on
+    /// window size or scheduling.
+    std::size_t progress_interval = 0;
+    std::function<void(std::uint64_t completed, const AggregateReport&)>
+        progress;
+  };
+
+  struct StreamResult {
+    /// Folded-only aggregate (runs stays empty): fixed-size statistics
+    /// over every streamed run, including any resumed-from prefix.
+    AggregateReport aggregate;
+
+    /// Runs folded in total (== aggregate.folded.count).
+    std::uint64_t completed = 0;
+  };
+
+  /// Streams specs from @p source through the worker pool with a bounded
+  /// in-flight window, folding each Report into the aggregate in
+  /// submission order and then dropping it — memory stays O(workers +
+  /// window), independent of stream length.  One ClassifierCache spans the
+  /// whole stream, so a resident sweep keeps its dictionaries warm.
+  ///
+  /// @p resume seeds the fold: pass a checkpointed folded aggregate (and a
+  /// source seeked past its completed prefix) and the final aggregate is
+  /// bit-identical to an uninterrupted run — folding is sequential in
+  /// stream order on both paths.
+  [[nodiscard]] StreamResult run_stream(const SpecSource& source,
+                                        const StreamOptions& options,
+                                        AggregateReport resume = {}) const;
+  [[nodiscard]] StreamResult run_stream(const SpecSource& source) const {
+    return run_stream(source, StreamOptions{});
+  }
+
   /// Threads run_batch() would use for a batch of @p batch_size runs
   /// (including the calling thread, which always participates).
   [[nodiscard]] std::size_t worker_count(std::size_t batch_size) const;
@@ -138,7 +238,15 @@ class DiagnosisEngine {
   [[nodiscard]] const SchemeRegistry& registry() const;
   void run_serial(const std::vector<SessionSpec>& specs,
                   const RunObserver& observer, AggregateReport& aggregate,
+                  diagnosis::ClassifierCache& classifier_cache,
                   ExecutionScratch& scratch) const;
+
+  /// The dispatch core of run_batch()/run_stream(): fills the aggregate's
+  /// runs (at submission indices) without folding, sharing
+  /// @p classifier_cache across the batch's workers.
+  [[nodiscard]] AggregateReport run_batch_impl(
+      const std::vector<SessionSpec>& specs, const RunObserver& observer,
+      diagnosis::ClassifierCache& classifier_cache) const;
 
   EngineOptions options_;
   std::size_t resolved_workers_ = 1;

@@ -1,6 +1,7 @@
 #include "core/report.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <map>
 #include <sstream>
@@ -113,7 +114,201 @@ RunStats stats_of(const Values& values) {
 
 }  // namespace
 
+// ---- MetricFold ------------------------------------------------------------
+
+std::uint64_t MetricFold::quantize(double unit_value) {
+  // Q32.32; values are ratios in [0, 1], so the product fits u64 exactly.
+  return static_cast<std::uint64_t>(
+      std::llround(unit_value * 4294967296.0));
+}
+
+namespace {
+
+void fold_min_max(MetricFold& fold, double value) {
+  if (fold.count == 0) {
+    fold.min = fold.max = value;
+  } else {
+    fold.min = std::min(fold.min, value);
+    fold.max = std::max(fold.max, value);
+  }
+}
+
+}  // namespace
+
+void MetricFold::fold_unit(double unit_value) {
+  fold_min_max(*this, unit_value);
+  sum += quantize(unit_value);
+  ++count;
+}
+
+void MetricFold::fold_ns(std::uint64_t ns) {
+  fold_min_max(*this, static_cast<double>(ns));
+  sum += ns;
+  ++count;
+}
+
+void MetricFold::merge(const MetricFold& other) {
+  if (other.count == 0) {
+    return;
+  }
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  sum += other.sum;
+  count += other.count;
+}
+
+RunStats MetricFold::stats_unit() const {
+  RunStats stats;
+  if (count == 0) {
+    return stats;
+  }
+  stats.min = min;
+  stats.max = max;
+  stats.mean = static_cast<double>(sum) / 4294967296.0 /
+               static_cast<double>(count);
+  return stats;
+}
+
+RunStats MetricFold::stats_ns() const {
+  RunStats stats;
+  if (count == 0) {
+    return stats;
+  }
+  stats.min = min;
+  stats.max = max;
+  stats.mean = static_cast<double>(sum) / static_cast<double>(count);
+  return stats;
+}
+
+// ---- TimeHistogram ---------------------------------------------------------
+
+std::size_t TimeHistogram::bucket_of(std::uint64_t ns) {
+  if (ns < 16) {
+    return static_cast<std::size_t>(ns);
+  }
+  const int hi = 63 - std::countl_zero(ns);  // >= 4
+  const std::size_t sub =
+      static_cast<std::size_t>((ns >> (hi - 3)) & 7);  // top 3 bits below MSB
+  return 16 + static_cast<std::size_t>(hi - 4) * 8 + sub;
+}
+
+std::uint64_t TimeHistogram::bucket_floor(std::size_t index) {
+  if (index < 16) {
+    return index;
+  }
+  const std::size_t exponent = (index - 16) / 8 + 4;
+  const std::uint64_t sub = (index - 16) % 8;
+  return (std::uint64_t{1} << exponent) + (sub << (exponent - 3));
+}
+
+void TimeHistogram::fold(std::uint64_t ns) { ++counts[bucket_of(ns)]; }
+
+void TimeHistogram::merge(const TimeHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts[i] += other.counts[i];
+  }
+}
+
+std::uint64_t TimeHistogram::percentile_ns(double percentile) const {
+  std::uint64_t total = 0;
+  for (const auto count : counts) {
+    total += count;
+  }
+  if (total == 0) {
+    return 0;
+  }
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(percentile / 100.0 * static_cast<double>(total)));
+  rank = rank == 0 ? 1 : rank;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      return bucket_floor(i);
+    }
+  }
+  return bucket_floor(kBuckets - 1);
+}
+
+// ---- AggregateReport::Folded -----------------------------------------------
+
+void AggregateReport::Folded::fold(const Report& report) {
+  ++count;
+  const double run_recall = report.overall_recall();
+  recall.fold_unit(run_recall);
+  time_ns.fold_ns(report.total_ns);
+  times.fold(report.total_ns);
+  if (report.classification) {
+    accuracy.fold_unit(report.classification->confusion.lenient_accuracy());
+  }
+
+  const auto slot = std::lower_bound(
+      schemes.begin(), schemes.end(), report.scheme_name,
+      [](const SchemeFold& fold, const std::string& name) {
+        return fold.scheme_name < name;
+      });
+  if (slot == schemes.end() || slot->scheme_name != report.scheme_name) {
+    SchemeFold fresh;
+    fresh.scheme_name = report.scheme_name;
+    fresh.recall.fold_unit(run_recall);
+    fresh.time_ns.fold_ns(report.total_ns);
+    schemes.insert(slot, std::move(fresh));
+  } else {
+    slot->recall.fold_unit(run_recall);
+    slot->time_ns.fold_ns(report.total_ns);
+  }
+}
+
+void AggregateReport::Folded::merge(const Folded& other) {
+  count += other.count;
+  recall.merge(other.recall);
+  time_ns.merge(other.time_ns);
+  accuracy.merge(other.accuracy);
+  times.merge(other.times);
+  for (const auto& theirs : other.schemes) {
+    const auto slot = std::lower_bound(
+        schemes.begin(), schemes.end(), theirs.scheme_name,
+        [](const SchemeFold& fold, const std::string& name) {
+          return fold.scheme_name < name;
+        });
+    if (slot == schemes.end() || slot->scheme_name != theirs.scheme_name) {
+      schemes.insert(slot, theirs);
+    } else {
+      slot->recall.merge(theirs.recall);
+      slot->time_ns.merge(theirs.time_ns);
+    }
+  }
+}
+
+// ---- AggregateReport -------------------------------------------------------
+
+void AggregateReport::add(const Report& report) {
+  runs.push_back(report);
+  folded.fold(report);
+}
+
+void AggregateReport::merge(const AggregateReport& other) {
+  // Runs stay meaningful only when both sides retained everything they
+  // folded; a folded-only side forces the merged aggregate folded-only.
+  const bool retain = runs.size() == folded.count &&
+                      other.runs.size() == other.folded.count;
+  if (retain) {
+    runs.insert(runs.end(), other.runs.begin(), other.runs.end());
+  } else {
+    runs.clear();
+  }
+  folded.merge(other.folded);
+}
+
 RunStats AggregateReport::recall_stats() const {
+  if (!stats_from_runs()) {
+    return folded.recall.stats_unit();
+  }
   std::vector<double> recalls;
   recalls.reserve(runs.size());
   for (const auto& run : runs) {
@@ -123,6 +318,9 @@ RunStats AggregateReport::recall_stats() const {
 }
 
 RunStats AggregateReport::diagnosis_time_stats_ns() const {
+  if (!stats_from_runs()) {
+    return folded.time_ns.stats_ns();
+  }
   std::vector<std::uint64_t> times;
   times.reserve(runs.size());
   for (const auto& run : runs) {
@@ -133,6 +331,14 @@ RunStats AggregateReport::diagnosis_time_stats_ns() const {
 
 std::vector<std::uint64_t> AggregateReport::diagnosis_times_ns() const {
   std::vector<std::uint64_t> times;
+  if (!stats_from_runs()) {
+    times.reserve(folded.count);
+    for (std::size_t i = 0; i < TimeHistogram::kBuckets; ++i) {
+      times.insert(times.end(), folded.times.counts[i],
+                   TimeHistogram::bucket_floor(i));
+    }
+    return times;  // bucket floors ascend, so already sorted
+  }
   times.reserve(runs.size());
   for (const auto& run : runs) {
     times.push_back(run.total_ns);
@@ -145,6 +351,9 @@ std::uint64_t AggregateReport::diagnosis_time_percentile_ns(
     double percentile) const {
   require(percentile >= 0.0 && percentile <= 100.0,
           "AggregateReport: percentile outside [0, 100]");
+  if (!stats_from_runs()) {
+    return folded.times.percentile_ns(percentile);
+  }
   const auto times = diagnosis_times_ns();
   require(!times.empty(), "AggregateReport: no runs to take percentiles of");
   return percentile_of(times, percentile);
@@ -152,6 +361,19 @@ std::uint64_t AggregateReport::diagnosis_time_percentile_ns(
 
 std::vector<AggregateReport::SchemeSummary> AggregateReport::per_scheme()
     const {
+  if (!stats_from_runs()) {
+    std::vector<SchemeSummary> out;
+    out.reserve(folded.schemes.size());
+    for (const auto& fold : folded.schemes) {
+      SchemeSummary summary;
+      summary.scheme_name = fold.scheme_name;
+      summary.runs = fold.recall.count;
+      summary.recall = fold.recall.stats_unit();
+      summary.total_ns = fold.time_ns.stats_ns();
+      out.push_back(std::move(summary));
+    }
+    return out;
+  }
   std::map<std::string, std::vector<const Report*>> by_scheme;
   for (const auto& run : runs) {
     by_scheme[run.scheme_name].push_back(&run);
@@ -178,6 +400,9 @@ std::vector<AggregateReport::SchemeSummary> AggregateReport::per_scheme()
 }
 
 RunStats AggregateReport::classification_accuracy_stats() const {
+  if (!stats_from_runs()) {
+    return folded.accuracy.stats_unit();
+  }
   std::vector<double> accuracies;
   for (const auto& run : runs) {
     if (run.classification) {
@@ -189,8 +414,8 @@ RunStats AggregateReport::classification_accuracy_stats() const {
 
 std::string AggregateReport::summary() const {
   std::ostringstream out;
-  out << "runs:              " << runs.size() << '\n';
-  if (runs.empty()) {
+  out << "runs:              " << run_count() << '\n';
+  if (run_count() == 0) {
     return out.str();
   }
   const auto recall = recall_stats();
@@ -200,14 +425,16 @@ std::string AggregateReport::summary() const {
       << '\n';
   out << "diagnosis time:    mean " << fmt_ns(time.mean) << "  min "
       << fmt_ns(time.min) << "  max " << fmt_ns(time.max) << '\n';
-  const auto times = diagnosis_times_ns();
-  const auto percentile = [&times](double p) {
-    return static_cast<double>(percentile_of(times, p));
+  const auto percentile = [this](double p) {
+    return static_cast<double>(diagnosis_time_percentile_ns(p));
   };
   out << "time p50/p90/p99:  " << fmt_ns(percentile(50.0)) << " / "
       << fmt_ns(percentile(90.0)) << " / " << fmt_ns(percentile(99.0))
       << '\n';
-  std::size_t classified_runs = 0;
+  std::size_t classified_runs = stats_from_runs()
+                                    ? 0
+                                    : static_cast<std::size_t>(
+                                          folded.accuracy.count);
   for (const auto& run : runs) {
     classified_runs += run.classification.has_value() ? 1 : 0;
   }

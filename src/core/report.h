@@ -5,8 +5,19 @@
 // optional repair outcome.  AggregateReport is what a batch produces:
 // every per-run Report (in spec order, independent of execution order)
 // plus recall/time distributions and per-scheme comparisons.
+//
+// Streaming sweeps cannot afford to retain every Report, so the aggregate
+// also carries a fixed-size *folded* state: fold(report) accumulates every
+// statistic the aggregate exposes into order-insensitive, exactly mergeable
+// accumulators (integer fixed-point sums, min/max, a log-bucket time
+// histogram, per-scheme tallies), and merge() combines two partial folds
+// bit-identically to one sequential fold over the concatenation.  That is
+// what checkpoint/resume persists: a resumed sweep keeps folding into the
+// checkpointed state and lands on the exact same bytes as an uninterrupted
+// run.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -70,21 +81,115 @@ struct RunStats {
   double max = 0.0;
 };
 
+/// Order-insensitive accumulator of one per-run metric.  The sum is kept as
+/// an integer (Q32.32 fixed point for unit-interval metrics, plain
+/// nanoseconds for times), so folding is exactly associative and
+/// commutative — the "ordering-sensitive mean" a naive double sum would
+/// expose cannot happen.  Capacity: 2^31 runs of a unit-interval metric
+/// before the u64 sum can wrap.
+struct MetricFold {
+  double min = 0.0;      ///< meaningful only when count > 0
+  double max = 0.0;
+  std::uint64_t sum = 0; ///< integer units (Q32.32 or ns)
+  std::uint64_t count = 0;
+
+  /// Q32.32 quantization of a unit-interval value.
+  [[nodiscard]] static std::uint64_t quantize(double unit_value);
+
+  void fold_unit(double unit_value);     ///< quantizes to Q32.32
+  void fold_ns(std::uint64_t ns);        ///< exact integer nanoseconds
+  void merge(const MetricFold& other);
+
+  [[nodiscard]] RunStats stats_unit() const;  ///< mean from Q32.32 sum
+  [[nodiscard]] RunStats stats_ns() const;    ///< mean from ns sum
+
+  friend bool operator==(const MetricFold&, const MetricFold&) = default;
+};
+
+/// Fixed-size log-bucket histogram of diagnosis times: exact buckets below
+/// 16 ns, then 8 sub-buckets per power of two.  Integer counts make it
+/// exactly mergeable; percentile reads resolve to the bucket's lower bound
+/// (within 12.5 % of the true value).
+struct TimeHistogram {
+  static constexpr std::size_t kBuckets = 16 + 60 * 8;
+
+  std::array<std::uint64_t, kBuckets> counts{};
+
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t ns);
+  /// Lower bound of bucket @p index, the value percentile reads report.
+  [[nodiscard]] static std::uint64_t bucket_floor(std::size_t index);
+
+  void fold(std::uint64_t ns);
+  void merge(const TimeHistogram& other);
+
+  /// Nearest-rank percentile (@p percentile in [0, 100]) over the folded
+  /// distribution; 0 when the histogram is empty.
+  [[nodiscard]] std::uint64_t percentile_ns(double percentile) const;
+
+  friend bool operator==(const TimeHistogram&, const TimeHistogram&) = default;
+};
+
 struct AggregateReport {
   /// One entry per input spec, in the order the specs were submitted
-  /// (worker scheduling never reorders results).
+  /// (worker scheduling never reorders results).  Streaming sweeps leave
+  /// this empty and carry only the folded state below.
   std::vector<Report> runs;
 
-  [[nodiscard]] std::size_t run_count() const { return runs.size(); }
+  /// Fixed-size accumulated statistics (see fold()).  Exactly mergeable:
+  /// merge of two partial folds equals one sequential fold, bit for bit.
+  struct Folded {
+    std::uint64_t count = 0;
+
+    MetricFold recall;       ///< Q32.32 per-run overall recall
+    MetricFold time_ns;      ///< per-run total_ns
+    MetricFold accuracy;     ///< Q32.32 lenient accuracy, classified runs only
+    TimeHistogram times;
+
+    struct SchemeFold {
+      std::string scheme_name;
+      MetricFold recall;
+      MetricFold time_ns;
+
+      friend bool operator==(const SchemeFold&, const SchemeFold&) = default;
+    };
+    /// Sorted by scheme_name; merge unions by name.
+    std::vector<SchemeFold> schemes;
+
+    void fold(const Report& report);
+    void merge(const Folded& other);
+
+    friend bool operator==(const Folded&, const Folded&) = default;
+  };
+  Folded folded;
+
+  /// Folds @p report into the fixed-size accumulators WITHOUT retaining it.
+  /// The streaming path: memory stays O(1) per aggregate.
+  void fold(const Report& report) { folded.fold(report); }
+
+  /// Retains @p report in runs and folds it — the batch path.
+  void add(const Report& report);
+
+  /// Merges @p other in: folded states combine exactly (associative, order
+  /// insensitive); retained runs concatenate only when both sides retained
+  /// every folded run, otherwise the merged aggregate drops to folded-only.
+  void merge(const AggregateReport& other);
+
+  [[nodiscard]] std::size_t run_count() const {
+    return runs.empty() ? static_cast<std::size_t>(folded.count)
+                        : runs.size();
+  }
 
   [[nodiscard]] RunStats recall_stats() const;
   [[nodiscard]] RunStats diagnosis_time_stats_ns() const;
 
   /// Sorted diagnosis times, for percentile reads of the distribution.
+  /// Exact only when runs are retained; folded-only aggregates synthesize
+  /// the distribution from the histogram (bucket lower bounds).
   [[nodiscard]] std::vector<std::uint64_t> diagnosis_times_ns() const;
 
   /// Nearest-rank percentile of the diagnosis-time distribution;
-  /// @p percentile in [0, 100].
+  /// @p percentile in [0, 100].  Exact from retained runs, histogram
+  /// resolution otherwise.
   [[nodiscard]] std::uint64_t diagnosis_time_percentile_ns(
       double percentile) const;
 
@@ -104,6 +209,14 @@ struct AggregateReport {
 
   /// Human-readable multi-line summary including the per-scheme table.
   [[nodiscard]] std::string summary() const;
+
+ private:
+  /// True when statistics should read the retained runs (exact legacy
+  /// path): runs are present, or nothing was ever folded (aggregates built
+  /// by filling runs directly).
+  [[nodiscard]] bool stats_from_runs() const {
+    return !runs.empty() || folded.count == 0;
+  }
 };
 
 }  // namespace fastdiag::core

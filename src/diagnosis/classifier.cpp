@@ -158,6 +158,7 @@ std::string_view dictionary_build_mode_name(DictionaryBuildMode mode) {
 CacheStats& CacheStats::merge(const CacheStats& other) {
   hits += other.hits;
   misses += other.misses;
+  evictions += other.evictions;
   dictionary_keys += other.dictionary_keys;
   probe_replays += other.probe_replays;
   build_seconds += other.build_seconds;
@@ -166,9 +167,9 @@ CacheStats& CacheStats::merge(const CacheStats& other) {
 
 std::string CacheStats::to_string() const {
   return "classifiers: " + std::to_string(hits) + " hits, " +
-         std::to_string(misses) + " misses; dictionaries: " +
-         std::to_string(dictionary_keys) + " keys, " +
-         std::to_string(probe_replays) + " probe replays, " +
+         std::to_string(misses) + " misses, " + std::to_string(evictions) +
+         " evictions; dictionaries: " + std::to_string(dictionary_keys) +
+         " keys, " + std::to_string(probe_replays) + " probe replays, " +
          fmt_double(build_seconds * 1e3, 1) + " ms build";
 }
 
@@ -293,6 +294,32 @@ std::map<CellCoord, std::vector<ReadKey>> FaultClassifier::probe_signature(
 CacheStats FaultClassifier::dictionary_stats() const {
   const std::lock_guard<std::mutex> lock(cache_mutex_);
   return stats_;
+}
+
+FaultClassifier::DictionarySnapshot FaultClassifier::export_dictionaries()
+    const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  DictionarySnapshot snapshot;
+  snapshot.cells.reserve(cell_cache_.size());
+  for (const auto& [key, signatures] : cell_cache_) {
+    snapshot.cells.emplace_back(key, signatures);
+  }
+  snapshot.rows.reserve(row_cache_.size());
+  for (const auto& [row, signatures] : row_cache_) {
+    snapshot.rows.emplace_back(row, signatures);
+  }
+  return snapshot;
+}
+
+void FaultClassifier::import_dictionaries(DictionarySnapshot snapshot) {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  for (auto& [key, signatures] : snapshot.cells) {
+    cell_cache_[key] = std::move(signatures);
+  }
+  for (auto& [row, signatures] : snapshot.rows) {
+    row_cache_[row] = std::move(signatures);
+  }
+  // stats_ deliberately untouched: imported slots were built elsewhere.
 }
 
 bool FaultClassifier::wrapped() const {
@@ -914,23 +941,78 @@ MemoryClassification FaultClassifier::classify(
   return out;
 }
 
-const FaultClassifier& ClassifierCache::get(const sram::SramConfig& config,
-                                            const march::MarchTest& test,
-                                            const ClassifierOptions& options) {
-  Key key{test.to_string(),      config.words,
-          config.bits,           config.retention_ns,
-          options.clock.period_ns, options.global_words,
-          options.probe_words,   options.min_confidence,
-          static_cast<int>(options.build_mode)};
-  const std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot = cache_[std::move(key)];
-  if (!slot) {
-    ++misses_;
-    slot = std::make_unique<FaultClassifier>(config, test, options);
-  } else {
-    ++hits_;
+ClassifierCache::Key ClassifierCache::make_key(
+    const sram::SramConfig& config, const march::MarchTest& test,
+    const ClassifierOptions& options) {
+  return Key{test.to_string(),      config.words,
+             config.bits,           config.retention_ns,
+             options.clock.period_ns, options.global_words,
+             options.probe_words,   options.min_confidence,
+             static_cast<int>(options.build_mode)};
+}
+
+void ClassifierCache::enforce_bound_locked() {
+  while (max_entries_ != 0 && cache_.size() > max_entries_) {
+    auto victim = cache_.begin();
+    for (auto it = std::next(cache_.begin()); it != cache_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    // Fold the evictee's build counters so stats() never goes backwards;
+    // callers still holding the shared_ptr keep the classifier alive.
+    retired_.merge(victim->second.classifier->dictionary_stats());
+    ++evictions_;
+    cache_.erase(victim);
   }
-  return *slot;
+}
+
+std::shared_ptr<const FaultClassifier> ClassifierCache::get(
+    const sram::SramConfig& config, const march::MarchTest& test,
+    const ClassifierOptions& options) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = cache_[make_key(config, test, options)];
+  slot.last_used = ++tick_;
+  if (!slot.classifier) {
+    ++misses_;
+    slot.classifier = std::make_shared<FaultClassifier>(config, test, options);
+    const std::shared_ptr<const FaultClassifier> result = slot.classifier;
+    enforce_bound_locked();  // never evicts the newest entry (just touched)
+    return result;
+  }
+  ++hits_;
+  return slot.classifier;
+}
+
+void ClassifierCache::insert(std::shared_ptr<FaultClassifier> classifier) {
+  require(classifier != nullptr,
+          "ClassifierCache::insert: classifier must not be null");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = cache_[make_key(classifier->config(), classifier->test(),
+                               classifier->options())];
+  if (slot.classifier) {
+    retired_.merge(slot.classifier->dictionary_stats());
+    ++evictions_;
+  }
+  slot.classifier = std::move(classifier);
+  slot.last_used = ++tick_;
+  enforce_bound_locked();
+}
+
+std::vector<std::shared_ptr<const FaultClassifier>> ClassifierCache::entries()
+    const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<const FaultClassifier>> out;
+  out.reserve(cache_.size());
+  for (const auto& [key, slot] : cache_) {
+    out.push_back(slot.classifier);
+  }
+  return out;
+}
+
+std::size_t ClassifierCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
 }
 
 CacheStats ClassifierCache::stats() const {
@@ -938,8 +1020,10 @@ CacheStats ClassifierCache::stats() const {
   CacheStats out;
   out.hits = hits_;
   out.misses = misses_;
-  for (const auto& [key, classifier] : cache_) {
-    out.merge(classifier->dictionary_stats());
+  out.evictions = evictions_;
+  out.merge(retired_);
+  for (const auto& [key, slot] : cache_) {
+    out.merge(slot.classifier->dictionary_stats());
   }
   return out;
 }
@@ -959,8 +1043,8 @@ SocClassification classify_soc(const bisd::SocUnderTest& soc,
   out.memories.reserve(soc.memory_count());
   for (std::size_t i = 0; i < soc.memory_count(); ++i) {
     const auto& config = soc.config(i);
-    const auto& classifier = cache->get(config, test, options);
-    out.memories.push_back(classifier.classify(syndromes[i]));
+    const auto classifier = cache->get(config, test, options);
+    out.memories.push_back(classifier->classify(syndromes[i]));
     out.confusion.merge(
         score_classification(soc.truth(i), out.memories.back(), config));
   }

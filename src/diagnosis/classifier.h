@@ -123,6 +123,7 @@ enum class DictionaryBuildMode {
 struct CacheStats {
   std::size_t hits = 0;    ///< ClassifierCache::get() served an existing entry
   std::size_t misses = 0;  ///< ClassifierCache::get() built a new classifier
+  std::size_t evictions = 0;  ///< entries displaced by the size bound
   std::size_t dictionary_keys = 0;  ///< signature-dictionary slots built
   std::size_t probe_replays = 0;    ///< March replays spent building them
   double build_seconds = 0.0;       ///< wall time inside dictionary builds
@@ -186,12 +187,12 @@ class FaultClassifier {
 
   [[nodiscard]] const sram::SramConfig& config() const { return config_; }
   [[nodiscard]] const march::MarchTest& test() const { return test_; }
+  [[nodiscard]] const ClassifierOptions& options() const { return options_; }
 
   /// Dictionary-build counters of this classifier (hits/misses stay 0 —
   /// those belong to ClassifierCache).  Thread-safe.
   [[nodiscard]] CacheStats dictionary_stats() const;
 
- private:
   /// Victim position category: without wrap-around, march signatures only
   /// depend on whether the victim sits at a sweep edge or in the middle of
   /// the address space.  Wrapped memories are probed at their exact row
@@ -212,6 +213,28 @@ class FaultClassifier {
     std::vector<std::pair<ReadKey, std::uint32_t>> reads;
   };
 
+  /// Cache key of one cell dictionary: victim bit + row category (exact
+  /// row when wrapped, else the Position sentinel above 2^31).
+  using CellKey = std::pair<std::uint32_t, std::uint32_t>;
+
+  /// Portable image of every signature dictionary built so far, in key
+  /// order — what cache shipping persists.  import_dictionaries() on a
+  /// freshly constructed same-input classifier restores the exact slots,
+  /// so classification proceeds with zero probe replays.
+  struct DictionarySnapshot {
+    std::vector<std::pair<CellKey, std::vector<CellSignature>>> cells;
+    std::vector<std::pair<std::uint32_t, std::vector<RowSignature>>> rows;
+  };
+
+  /// Copies the dictionaries built so far.  Thread-safe.
+  [[nodiscard]] DictionarySnapshot export_dictionaries() const;
+
+  /// Installs @p snapshot's dictionaries, replacing same-key slots.  Build
+  /// counters stay untouched: imported dictionaries cost no probe replays,
+  /// which is the point of shipping them.  Thread-safe.
+  void import_dictionaries(DictionarySnapshot snapshot);
+
+ private:
   /// One candidate of a cell dictionary: the fault to probe plus the
   /// placement metadata its CellSignature carries.
   struct CandidateSpec {
@@ -227,10 +250,6 @@ class FaultClassifier {
     bool wrap = false;            ///< sweep > words (visit counts differ)
     std::uint32_t remainder = 0;  ///< wrap ? sweep % words : 0
   };
-
-  /// Cache key of one cell dictionary: victim bit + row category (exact
-  /// row when wrapped, else the Position sentinel above 2^31).
-  using CellKey = std::pair<std::uint32_t, std::uint32_t>;
 
   [[nodiscard]] bool wrapped() const;
   [[nodiscard]] ProbeGeometry probe_geometry() const;
@@ -296,16 +315,43 @@ class FaultClassifier {
 /// config's words, bits and retention_ns (same-geometry memories with
 /// different retention thresholds decay differently under NWRC, so they
 /// must not share a dictionary) and the sweep/probe options.  Thread-safe.
+///
+/// Residency is optionally bounded: a max_entries cap evicts the least-
+/// recently-used classifier on overflow (a resident service sweeping many
+/// geometries must not grow without bound).  get() hands out shared_ptrs,
+/// so an evicted classifier stays alive for callers still holding it; the
+/// evictee's build counters fold into the cache's retired tally, keeping
+/// stats() monotonic across evictions.
 class ClassifierCache {
  public:
-  /// Returns the classifier for (@p config, @p test, @p options), building
-  /// it on first use.  The reference stays valid for the cache's lifetime.
-  [[nodiscard]] const FaultClassifier& get(const sram::SramConfig& config,
-                                           const march::MarchTest& test,
-                                           const ClassifierOptions& options);
+  ClassifierCache() = default;
 
-  /// Aggregate counters: this cache's hit/miss tallies plus the dictionary
-  /// build counters of every classifier it holds.  Thread-safe.
+  /// @p max_entries bounds resident classifiers; 0 means unbounded.
+  explicit ClassifierCache(std::size_t max_entries)
+      : max_entries_(max_entries) {}
+
+  /// Returns the classifier for (@p config, @p test, @p options), building
+  /// it on first use.
+  [[nodiscard]] std::shared_ptr<const FaultClassifier> get(
+      const sram::SramConfig& config, const march::MarchTest& test,
+      const ClassifierOptions& options);
+
+  /// Installs a pre-built classifier — the cache-shipping import path; the
+  /// key derives from the classifier's own config()/test()/options().
+  /// Replaces an existing same-key entry (which counts as an eviction).
+  void insert(std::shared_ptr<FaultClassifier> classifier);
+
+  /// The resident classifiers in key order — what the export path walks.
+  [[nodiscard]] std::vector<std::shared_ptr<const FaultClassifier>> entries()
+      const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t max_entries() const { return max_entries_; }
+
+  /// Aggregate counters: this cache's hit/miss/eviction tallies plus the
+  /// dictionary build counters of every classifier it has ever held
+  /// (evicted classifiers' counters are folded in at eviction).
+  /// Thread-safe.
   [[nodiscard]] CacheStats stats() const;
 
  private:
@@ -313,10 +359,26 @@ class ClassifierCache {
                          std::uint64_t, std::uint64_t, std::uint32_t,
                          std::uint32_t, double, int>;
 
+  struct Slot {
+    std::shared_ptr<FaultClassifier> classifier;
+    std::uint64_t last_used = 0;
+  };
+
+  [[nodiscard]] static Key make_key(const sram::SramConfig& config,
+                                    const march::MarchTest& test,
+                                    const ClassifierOptions& options);
+
+  /// Evicts LRU entries until the bound holds; requires mutex_ held.
+  void enforce_bound_locked();
+
   mutable std::mutex mutex_;
-  std::map<Key, std::unique_ptr<FaultClassifier>> cache_;
+  std::map<Key, Slot> cache_;
+  std::size_t max_entries_ = 0;
+  std::uint64_t tick_ = 0;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t evictions_ = 0;
+  CacheStats retired_;  ///< build counters of evicted classifiers
 };
 
 /// One SoC's worth of classification: per-memory verdicts plus their score

@@ -83,6 +83,54 @@ void ConfusionMatrix::merge(const ConfusionMatrix& other) {
   spurious_ += other.spurious_;
 }
 
+ConfusionMatrix::Snapshot ConfusionMatrix::snapshot() const {
+  Snapshot out;
+  const auto flatten = [](const std::map<FaultKind, std::size_t>& map,
+                          std::vector<std::pair<FaultKind, std::uint64_t>>&
+                              into) {
+    into.reserve(map.size());
+    for (const auto& [kind, count] : map) {
+      into.emplace_back(kind, count);
+    }
+  };
+  out.counts.reserve(counts_.size());
+  for (const auto& [key, count] : counts_) {
+    out.counts.emplace_back(key, count);
+  }
+  flatten(truth_totals_, out.truth_totals);
+  flatten(lenient_correct_, out.lenient_correct);
+  flatten(spurious_by_kind_, out.spurious_by_kind);
+  out.truths = truths_;
+  out.strict_correct = strict_correct_;
+  out.lenient_total = lenient_total_;
+  out.missed = missed_;
+  out.spurious = spurious_;
+  return out;
+}
+
+ConfusionMatrix ConfusionMatrix::from_snapshot(const Snapshot& snapshot) {
+  ConfusionMatrix matrix;
+  for (const auto& [key, count] : snapshot.counts) {
+    matrix.counts_[key] = static_cast<std::size_t>(count);
+  }
+  const auto unflatten =
+      [](const std::vector<std::pair<FaultKind, std::uint64_t>>& flat,
+         std::map<FaultKind, std::size_t>& into) {
+        for (const auto& [kind, count] : flat) {
+          into[kind] = static_cast<std::size_t>(count);
+        }
+      };
+  unflatten(snapshot.truth_totals, matrix.truth_totals_);
+  unflatten(snapshot.lenient_correct, matrix.lenient_correct_);
+  unflatten(snapshot.spurious_by_kind, matrix.spurious_by_kind_);
+  matrix.truths_ = static_cast<std::size_t>(snapshot.truths);
+  matrix.strict_correct_ = static_cast<std::size_t>(snapshot.strict_correct);
+  matrix.lenient_total_ = static_cast<std::size_t>(snapshot.lenient_total);
+  matrix.missed_ = static_cast<std::size_t>(snapshot.missed);
+  matrix.spurious_ = static_cast<std::size_t>(snapshot.spurious);
+  return matrix;
+}
+
 std::size_t ConfusionMatrix::count(FaultKind truth,
                                    FaultKind predicted) const {
   const auto it = counts_.find({truth, predicted});

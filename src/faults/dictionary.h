@@ -7,10 +7,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "faults/fault.h"
@@ -94,6 +96,27 @@ class ConfusionMatrix {
   /// Human-readable matrix (rows = truth, cols = predicted), non-zero
   /// rows only.
   [[nodiscard]] std::string to_string() const;
+
+  /// Flat, key-ordered image of every internal tally — the serialization
+  /// boundary.  from_snapshot() reconstructs an identical matrix.
+  struct Snapshot {
+    std::vector<std::pair<std::pair<FaultKind, FaultKind>, std::uint64_t>>
+        counts;
+    std::vector<std::pair<FaultKind, std::uint64_t>> truth_totals;
+    std::vector<std::pair<FaultKind, std::uint64_t>> lenient_correct;
+    std::vector<std::pair<FaultKind, std::uint64_t>> spurious_by_kind;
+    std::uint64_t truths = 0;
+    std::uint64_t strict_correct = 0;
+    std::uint64_t lenient_total = 0;
+    std::uint64_t missed = 0;
+    std::uint64_t spurious = 0;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const;
+  [[nodiscard]] static ConfusionMatrix from_snapshot(const Snapshot& snapshot);
+
+  friend bool operator==(const ConfusionMatrix&,
+                         const ConfusionMatrix&) = default;
 
  private:
   std::map<std::pair<FaultKind, FaultKind>, std::size_t> counts_;

@@ -1,0 +1,207 @@
+#include "service/checkpoint.h"
+
+#include <bit>
+#include <cstdio>
+#include <utility>
+
+namespace fastdiag::service {
+
+namespace {
+
+using core::make_unexpected;
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void fnv_bytes(std::uint64_t& hash, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+}
+
+void fnv_u64(std::uint64_t& hash, std::uint64_t value) {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<unsigned char>(value >> (8 * i));
+  }
+  fnv_bytes(hash, bytes, sizeof bytes);
+}
+
+void fnv_str(std::uint64_t& hash, const std::string& value) {
+  fnv_u64(hash, value.size());
+  fnv_bytes(hash, value.data(), value.size());
+}
+
+}  // namespace
+
+std::uint64_t sweep_fingerprint(const core::SweepSpec& sweep) {
+  std::uint64_t hash = kFnvOffset;
+  fnv_u64(hash, sweep.cardinality());
+  fnv_u64(hash, sweep.socs.size());
+  for (const auto& soc : sweep.socs) {
+    fnv_u64(hash, soc.size());
+    for (const auto& config : soc) {
+      fnv_str(hash, config.name);
+      fnv_u64(hash, config.words);
+      fnv_u64(hash, config.bits);
+      fnv_u64(hash, config.has_idle_mode ? 1 : 0);
+      fnv_u64(hash, config.spare_rows);
+      fnv_u64(hash, config.spare_cols);
+      fnv_u64(hash, config.retention_ns);
+    }
+  }
+  fnv_u64(hash, sweep.schemes.size());
+  for (const auto& scheme : sweep.schemes) {
+    fnv_str(hash, scheme);
+  }
+  fnv_u64(hash, sweep.defect_rates.size());
+  for (const double rate : sweep.defect_rates) {
+    fnv_u64(hash, std::bit_cast<std::uint64_t>(rate));
+  }
+  fnv_u64(hash, sweep.seeds.size());
+  for (const std::uint64_t seed : sweep.seeds) {
+    fnv_u64(hash, seed);
+  }
+  return hash;
+}
+
+std::vector<std::uint8_t> encode_checkpoint(const SweepCheckpoint& checkpoint) {
+  ByteWriter writer;
+  writer.u32(kCheckpointMagic);
+  writer.u32(kFormatVersion);
+  writer.u64(checkpoint.fingerprint);
+  writer.u64(checkpoint.position);
+  encode_folded(writer, checkpoint.folded);
+  return std::move(writer).take();
+}
+
+core::Expected<SweepCheckpoint, DecodeError> decode_checkpoint(
+    const std::uint8_t* data, std::size_t size) {
+  ByteReader reader(data, size);
+  if (reader.u32() != kCheckpointMagic) {
+    return make_unexpected(DecodeError{"checkpoint: bad magic"});
+  }
+  if (const std::uint32_t version = reader.u32();
+      version != kFormatVersion) {
+    return make_unexpected(DecodeError{"checkpoint: unsupported version " +
+                                       std::to_string(version)});
+  }
+  SweepCheckpoint checkpoint;
+  checkpoint.fingerprint = reader.u64();
+  checkpoint.position = reader.u64();
+  if (!decode_folded(reader, checkpoint.folded) || !reader.finished()) {
+    return make_unexpected(
+        DecodeError{"checkpoint: truncated or trailing bytes"});
+  }
+  if (checkpoint.position != checkpoint.folded.count) {
+    return make_unexpected(
+        DecodeError{"checkpoint: position disagrees with folded count"});
+  }
+  return checkpoint;
+}
+
+bool save_checkpoint_file(const std::string& path,
+                          const SweepCheckpoint& checkpoint) {
+  const auto blob = encode_checkpoint(checkpoint);
+  const std::string temp = path + ".tmp";
+  std::FILE* file = std::fopen(temp.c_str(), "wb");
+  if (file == nullptr) {
+    return false;
+  }
+  const bool written =
+      std::fwrite(blob.data(), 1, blob.size(), file) == blob.size();
+  const bool closed = std::fclose(file) == 0;
+  if (!written || !closed) {
+    std::remove(temp.c_str());
+    return false;
+  }
+  // POSIX rename atomically replaces path: a kill mid-save leaves the
+  // previous checkpoint readable.
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<SweepCheckpoint> load_checkpoint_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> blob;
+  std::uint8_t chunk[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof chunk, file)) > 0) {
+    blob.insert(blob.end(), chunk, chunk + got);
+  }
+  std::fclose(file);
+  auto decoded = decode_checkpoint(blob.data(), blob.size());
+  if (!decoded) {
+    return std::nullopt;
+  }
+  return std::move(decoded).value();
+}
+
+core::Expected<CheckpointedSweepResult, core::ConfigError>
+run_sweep_with_checkpoints(const core::DiagnosisEngine& engine,
+                           const core::SweepSpec& sweep,
+                           const CheckpointedSweepOptions& options,
+                           const core::SchemeRegistry& registry) {
+  auto cursor = core::SweepCursor::create(sweep, registry);
+  if (!cursor) {
+    return make_unexpected(cursor.error());
+  }
+  const std::uint64_t fingerprint = sweep_fingerprint(sweep);
+  const std::size_t cardinality = cursor.value().cardinality();
+
+  CheckpointedSweepResult result;
+  core::AggregateReport resume;
+  if (!options.path.empty()) {
+    if (auto checkpoint = load_checkpoint_file(options.path);
+        checkpoint && checkpoint->fingerprint == fingerprint &&
+        checkpoint->position <= cardinality) {
+      cursor.value().seek(static_cast<std::size_t>(checkpoint->position));
+      resume.folded = std::move(checkpoint->folded);
+      result.resumed = true;
+    }
+  }
+
+  // The pull source is the spec cursor, optionally capped for abort tests:
+  // stop_after new specs end the stream early, and the checkpoint written
+  // during the fold covers exactly the completed prefix.
+  std::size_t pulled = 0;
+  const core::DiagnosisEngine::SpecSource source =
+      [&]() -> std::optional<core::SessionSpec> {
+    if (options.stop_after != 0 && pulled >= options.stop_after) {
+      return std::nullopt;
+    }
+    ++pulled;
+    return cursor.value().next();
+  };
+
+  core::DiagnosisEngine::StreamOptions stream;
+  stream.window = options.window;
+  stream.sink = options.sink;
+  if (!options.path.empty() && options.interval != 0) {
+    stream.progress_interval = options.interval;
+    stream.progress = [&](std::uint64_t completed,
+                          const core::AggregateReport& aggregate) {
+      SweepCheckpoint checkpoint;
+      checkpoint.fingerprint = fingerprint;
+      checkpoint.position = completed;
+      checkpoint.folded = aggregate.folded;
+      save_checkpoint_file(options.path, checkpoint);
+    };
+  }
+
+  auto streamed = engine.run_stream(source, stream, std::move(resume));
+  result.aggregate = std::move(streamed.aggregate);
+  result.completed = streamed.completed;
+  result.finished = result.completed == cardinality;
+  return result;
+}
+
+}  // namespace fastdiag::service

@@ -1,0 +1,756 @@
+#include "service/serialize.h"
+
+#include <bit>
+#include <utility>
+
+#include "faults/fault_kind.h"
+#include "march/element.h"
+#include "march/op.h"
+#include "util/bitvec.h"
+
+namespace fastdiag::service {
+
+namespace {
+
+using core::make_unexpected;
+
+/// Highest FaultKind value; decode rejects anything above it.
+constexpr std::uint8_t kMaxFaultKind =
+    static_cast<std::uint8_t>(faults::FaultKind::drf1);
+
+/// Reads an enum byte, rejecting values outside [0, max].
+template <typename Enum>
+bool read_enum(ByteReader& reader, Enum& out, std::uint8_t max) {
+  const std::uint8_t value = reader.u8();
+  if (!reader.ok() || value > max) {
+    reader.fail();
+    return false;
+  }
+  out = static_cast<Enum>(value);
+  return true;
+}
+
+void encode_bitvec(ByteWriter& writer, const BitVector& vector) {
+  writer.u64(vector.width());
+  const std::size_t words = vector.word_count();
+  for (std::size_t i = 0; i < words; ++i) {
+    writer.u64(vector.word_data()[i]);
+  }
+}
+
+bool decode_bitvec(ByteReader& reader, BitVector& vector) {
+  const std::uint64_t width = reader.u64();
+  const std::size_t words = (static_cast<std::size_t>(width) + 63) / 64;
+  if (!reader.ok() || words > reader.remaining() / 8) {
+    reader.fail();
+    return false;
+  }
+  std::vector<std::uint64_t> limbs(words);
+  for (auto& limb : limbs) {
+    limb = reader.u64();
+  }
+  if (!reader.ok()) {
+    return false;
+  }
+  // Canonical encodings keep bits above width zero; reject others so a
+  // decoded vector always re-encodes to the same bytes.
+  if (width % 64 != 0 && words != 0 &&
+      (limbs.back() >> (width % 64)) != 0) {
+    reader.fail();
+    return false;
+  }
+  vector.assign_words(limbs.data(), static_cast<std::size_t>(width));
+  return true;
+}
+
+void encode_metric_fold(ByteWriter& writer, const core::MetricFold& fold) {
+  writer.f64(fold.min);
+  writer.f64(fold.max);
+  writer.u64(fold.sum);
+  writer.u64(fold.count);
+}
+
+bool decode_metric_fold(ByteReader& reader, core::MetricFold& fold) {
+  fold.min = reader.f64();
+  fold.max = reader.f64();
+  fold.sum = reader.u64();
+  fold.count = reader.u64();
+  return reader.ok();
+}
+
+void encode_kind_counts(
+    ByteWriter& writer,
+    const std::vector<std::pair<faults::FaultKind, std::uint64_t>>& counts) {
+  writer.u64(counts.size());
+  for (const auto& [kind, count] : counts) {
+    writer.u8(static_cast<std::uint8_t>(kind));
+    writer.u64(count);
+  }
+}
+
+bool decode_kind_counts(
+    ByteReader& reader,
+    std::vector<std::pair<faults::FaultKind, std::uint64_t>>& counts) {
+  const std::size_t size = reader.count(9);
+  counts.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    faults::FaultKind kind{};
+    if (!read_enum(reader, kind, kMaxFaultKind)) {
+      return false;
+    }
+    counts.emplace_back(kind, reader.u64());
+  }
+  return reader.ok();
+}
+
+void encode_confusion(ByteWriter& writer,
+                      const faults::ConfusionMatrix& matrix) {
+  const auto snapshot = matrix.snapshot();
+  writer.u64(snapshot.counts.size());
+  for (const auto& [pair, count] : snapshot.counts) {
+    writer.u8(static_cast<std::uint8_t>(pair.first));
+    writer.u8(static_cast<std::uint8_t>(pair.second));
+    writer.u64(count);
+  }
+  encode_kind_counts(writer, snapshot.truth_totals);
+  encode_kind_counts(writer, snapshot.lenient_correct);
+  encode_kind_counts(writer, snapshot.spurious_by_kind);
+  writer.u64(snapshot.truths);
+  writer.u64(snapshot.strict_correct);
+  writer.u64(snapshot.lenient_total);
+  writer.u64(snapshot.missed);
+  writer.u64(snapshot.spurious);
+}
+
+bool decode_confusion(ByteReader& reader, faults::ConfusionMatrix& matrix) {
+  faults::ConfusionMatrix::Snapshot snapshot;
+  const std::size_t pairs = reader.count(10);
+  snapshot.counts.reserve(pairs);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    faults::FaultKind truth{};
+    faults::FaultKind predicted{};
+    if (!read_enum(reader, truth, kMaxFaultKind) ||
+        !read_enum(reader, predicted, kMaxFaultKind)) {
+      return false;
+    }
+    snapshot.counts.emplace_back(std::make_pair(truth, predicted),
+                                 reader.u64());
+  }
+  if (!decode_kind_counts(reader, snapshot.truth_totals) ||
+      !decode_kind_counts(reader, snapshot.lenient_correct) ||
+      !decode_kind_counts(reader, snapshot.spurious_by_kind)) {
+    return false;
+  }
+  snapshot.truths = reader.u64();
+  snapshot.strict_correct = reader.u64();
+  snapshot.lenient_total = reader.u64();
+  snapshot.missed = reader.u64();
+  snapshot.spurious = reader.u64();
+  if (!reader.ok()) {
+    return false;
+  }
+  matrix = faults::ConfusionMatrix::from_snapshot(snapshot);
+  return true;
+}
+
+void encode_read_key(ByteWriter& writer, const diagnosis::ReadKey& key) {
+  writer.u64(key.phase);
+  writer.u64(key.element);
+  writer.u64(key.visit);
+  writer.u64(key.op);
+}
+
+bool decode_read_key(ByteReader& reader, diagnosis::ReadKey& key) {
+  key.phase = static_cast<std::size_t>(reader.u64());
+  key.element = static_cast<std::size_t>(reader.u64());
+  key.visit = static_cast<std::size_t>(reader.u64());
+  key.op = static_cast<std::size_t>(reader.u64());
+  return reader.ok();
+}
+
+void encode_rows(ByteWriter& writer, const std::vector<std::uint32_t>& rows) {
+  writer.u64(rows.size());
+  for (const std::uint32_t row : rows) {
+    writer.u32(row);
+  }
+}
+
+bool decode_rows(ByteReader& reader, std::vector<std::uint32_t>& rows) {
+  const std::size_t size = reader.count(4);
+  rows.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    rows.push_back(reader.u32());
+  }
+  return reader.ok();
+}
+
+}  // namespace
+
+void encode_sram_config(ByteWriter& writer, const sram::SramConfig& config) {
+  writer.str(config.name);
+  writer.u32(config.words);
+  writer.u32(config.bits);
+  writer.boolean(config.has_idle_mode);
+  writer.u32(config.spare_rows);
+  writer.u32(config.spare_cols);
+  writer.u64(config.retention_ns);
+}
+
+bool decode_sram_config(ByteReader& reader, sram::SramConfig& config) {
+  config.name = reader.str();
+  config.words = reader.u32();
+  config.bits = reader.u32();
+  config.has_idle_mode = reader.boolean();
+  config.spare_rows = reader.u32();
+  config.spare_cols = reader.u32();
+  config.retention_ns = reader.u64();
+  if (!reader.ok()) {
+    return false;
+  }
+  if (config.words == 0 || config.bits == 0) {
+    reader.fail();  // an unusable config would throw far from the decode
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+void encode_classifier_options(ByteWriter& writer,
+                               const diagnosis::ClassifierOptions& options) {
+  writer.f64(options.min_confidence);
+  writer.u64(options.clock.period_ns);
+  writer.u32(options.probe_words);
+  writer.u32(options.global_words);
+  writer.u8(static_cast<std::uint8_t>(options.build_mode));
+}
+
+bool decode_classifier_options(ByteReader& reader,
+                               diagnosis::ClassifierOptions& options) {
+  options.min_confidence = reader.f64();
+  options.clock.period_ns = reader.u64();
+  options.probe_words = reader.u32();
+  options.global_words = reader.u32();
+  return read_enum(reader, options.build_mode,
+                   static_cast<std::uint8_t>(
+                       diagnosis::DictionaryBuildMode::bit_sliced));
+}
+
+void encode_dictionaries(
+    ByteWriter& writer,
+    const diagnosis::FaultClassifier::DictionarySnapshot& snapshot) {
+  writer.u64(snapshot.cells.size());
+  for (const auto& [key, signatures] : snapshot.cells) {
+    writer.u32(key.first);
+    writer.u32(key.second);
+    writer.u64(signatures.size());
+    for (const auto& signature : signatures) {
+      writer.u8(static_cast<std::uint8_t>(signature.kind));
+      writer.u8(static_cast<std::uint8_t>(signature.placement));
+      writer.u32(signature.aggressor_bit);
+      writer.u64(signature.reads.size());
+      for (const auto& read : signature.reads) {
+        encode_read_key(writer, read);
+      }
+    }
+  }
+  writer.u64(snapshot.rows.size());
+  for (const auto& [row, signatures] : snapshot.rows) {
+    writer.u32(row);
+    writer.u64(signatures.size());
+    for (const auto& signature : signatures) {
+      writer.u8(static_cast<std::uint8_t>(signature.kind));
+      writer.u8(static_cast<std::uint8_t>(signature.position));
+      writer.u64(signature.reads.size());
+      for (const auto& [read, bit] : signature.reads) {
+        encode_read_key(writer, read);
+        writer.u32(bit);
+      }
+    }
+  }
+}
+
+bool decode_dictionaries(
+    ByteReader& reader,
+    diagnosis::FaultClassifier::DictionarySnapshot& snapshot) {
+  using Classifier = diagnosis::FaultClassifier;
+  constexpr std::uint8_t kMaxPlacement =
+      static_cast<std::uint8_t>(diagnosis::AggressorPlacement::higher_address);
+  constexpr std::uint8_t kMaxPosition =
+      static_cast<std::uint8_t>(Classifier::Position::last);
+
+  const std::size_t cell_keys = reader.count(16);
+  snapshot.cells.reserve(cell_keys);
+  for (std::size_t k = 0; k < cell_keys; ++k) {
+    Classifier::CellKey key;
+    key.first = reader.u32();
+    key.second = reader.u32();
+    const std::size_t signatures = reader.count(14);
+    std::vector<Classifier::CellSignature> slot;
+    slot.reserve(signatures);
+    for (std::size_t s = 0; s < signatures; ++s) {
+      Classifier::CellSignature signature;
+      if (!read_enum(reader, signature.kind, kMaxFaultKind) ||
+          !read_enum(reader, signature.placement, kMaxPlacement)) {
+        return false;
+      }
+      signature.aggressor_bit = reader.u32();
+      const std::size_t reads = reader.count(32);
+      signature.reads.resize(reads);
+      for (auto& read : signature.reads) {
+        if (!decode_read_key(reader, read)) {
+          return false;
+        }
+      }
+      slot.push_back(std::move(signature));
+    }
+    snapshot.cells.emplace_back(key, std::move(slot));
+  }
+
+  const std::size_t row_keys = reader.count(12);
+  snapshot.rows.reserve(row_keys);
+  for (std::size_t k = 0; k < row_keys; ++k) {
+    const std::uint32_t row = reader.u32();
+    const std::size_t signatures = reader.count(10);
+    std::vector<Classifier::RowSignature> slot;
+    slot.reserve(signatures);
+    for (std::size_t s = 0; s < signatures; ++s) {
+      Classifier::RowSignature signature;
+      if (!read_enum(reader, signature.kind, kMaxFaultKind) ||
+          !read_enum(reader, signature.position, kMaxPosition)) {
+        return false;
+      }
+      const std::size_t reads = reader.count(36);
+      signature.reads.resize(reads);
+      for (auto& [read, bit] : signature.reads) {
+        if (!decode_read_key(reader, read)) {
+          return false;
+        }
+        bit = reader.u32();
+      }
+      slot.push_back(std::move(signature));
+    }
+    snapshot.rows.emplace_back(row, std::move(slot));
+  }
+  return reader.ok();
+}
+
+}  // namespace
+
+void ByteWriter::f64(double value) {
+  u64(std::bit_cast<std::uint64_t>(value));
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+void encode_folded(ByteWriter& writer,
+                   const core::AggregateReport::Folded& folded) {
+  writer.u64(folded.count);
+  encode_metric_fold(writer, folded.recall);
+  encode_metric_fold(writer, folded.time_ns);
+  encode_metric_fold(writer, folded.accuracy);
+  for (const std::uint64_t bucket : folded.times.counts) {
+    writer.u64(bucket);
+  }
+  writer.u64(folded.schemes.size());
+  for (const auto& scheme : folded.schemes) {
+    writer.str(scheme.scheme_name);
+    encode_metric_fold(writer, scheme.recall);
+    encode_metric_fold(writer, scheme.time_ns);
+  }
+}
+
+bool decode_folded(ByteReader& reader,
+                   core::AggregateReport::Folded& folded) {
+  folded.count = reader.u64();
+  if (!decode_metric_fold(reader, folded.recall) ||
+      !decode_metric_fold(reader, folded.time_ns) ||
+      !decode_metric_fold(reader, folded.accuracy)) {
+    return false;
+  }
+  for (auto& bucket : folded.times.counts) {
+    bucket = reader.u64();
+  }
+  const std::size_t schemes = reader.count(4 + 2 * 32);
+  folded.schemes.reserve(schemes);
+  for (std::size_t i = 0; i < schemes; ++i) {
+    core::AggregateReport::Folded::SchemeFold scheme;
+    scheme.scheme_name = reader.str();
+    if (!decode_metric_fold(reader, scheme.recall) ||
+        !decode_metric_fold(reader, scheme.time_ns)) {
+      return false;
+    }
+    folded.schemes.push_back(std::move(scheme));
+  }
+  return reader.ok();
+}
+
+void encode_classification(ByteWriter& writer,
+                           const core::ClassificationOutcome& outcome) {
+  writer.u64(outcome.memories.size());
+  for (const auto& memory : outcome.memories) {
+    writer.u64(memory.memory_index);
+    writer.u64(memory.sites.size());
+    for (const auto& site : memory.sites) {
+      writer.u8(static_cast<std::uint8_t>(site.site));
+      writer.u32(site.cell.row);
+      writer.u32(site.cell.bit);
+      writer.u32(site.row);
+      writer.u64(site.failing_bits);
+      writer.u64(site.hypotheses.size());
+      for (const auto& hypothesis : site.hypotheses) {
+        writer.u8(static_cast<std::uint8_t>(hypothesis.kind));
+        writer.f64(hypothesis.confidence);
+        writer.u8(static_cast<std::uint8_t>(hypothesis.aggressor.placement));
+        writer.u64(hypothesis.aggressor.candidate_bits.size());
+        for (const std::uint32_t bit : hypothesis.aggressor.candidate_bits) {
+          writer.u32(bit);
+        }
+      }
+    }
+  }
+  encode_confusion(writer, outcome.confusion);
+}
+
+bool decode_classification(ByteReader& reader,
+                           core::ClassificationOutcome& outcome) {
+  constexpr std::uint8_t kMaxSite =
+      static_cast<std::uint8_t>(diagnosis::SiteClassification::Site::row);
+  constexpr std::uint8_t kMaxPlacement =
+      static_cast<std::uint8_t>(diagnosis::AggressorPlacement::higher_address);
+
+  const std::size_t memories = reader.count(16);
+  outcome.memories.reserve(memories);
+  for (std::size_t m = 0; m < memories; ++m) {
+    diagnosis::MemoryClassification memory;
+    memory.memory_index = static_cast<std::size_t>(reader.u64());
+    const std::size_t sites = reader.count(29);
+    memory.sites.reserve(sites);
+    for (std::size_t s = 0; s < sites; ++s) {
+      diagnosis::SiteClassification site;
+      if (!read_enum(reader, site.site, kMaxSite)) {
+        return false;
+      }
+      site.cell.row = reader.u32();
+      site.cell.bit = reader.u32();
+      site.row = reader.u32();
+      site.failing_bits = static_cast<std::size_t>(reader.u64());
+      const std::size_t hypotheses = reader.count(18);
+      site.hypotheses.reserve(hypotheses);
+      for (std::size_t h = 0; h < hypotheses; ++h) {
+        diagnosis::Hypothesis hypothesis;
+        if (!read_enum(reader, hypothesis.kind, kMaxFaultKind)) {
+          return false;
+        }
+        hypothesis.confidence = reader.f64();
+        if (!read_enum(reader, hypothesis.aggressor.placement,
+                       kMaxPlacement)) {
+          return false;
+        }
+        const std::size_t bits = reader.count(4);
+        hypothesis.aggressor.candidate_bits.reserve(bits);
+        for (std::size_t b = 0; b < bits; ++b) {
+          hypothesis.aggressor.candidate_bits.push_back(reader.u32());
+        }
+        site.hypotheses.push_back(std::move(hypothesis));
+      }
+      memory.sites.push_back(std::move(site));
+    }
+    outcome.memories.push_back(std::move(memory));
+  }
+  return decode_confusion(reader, outcome.confusion);
+}
+
+void encode_march_test(ByteWriter& writer, const march::MarchTest& test) {
+  writer.str(test.name());
+  writer.u64(test.phases().size());
+  for (const auto& phase : test.phases()) {
+    encode_bitvec(writer, phase.background);
+    writer.u64(phase.elements.size());
+    for (const auto& element : phase.elements) {
+      writer.u8(static_cast<std::uint8_t>(element.order));
+      writer.u64(element.ops.size());
+      for (const auto& op : element.ops) {
+        writer.u8(static_cast<std::uint8_t>(op.kind));
+        writer.u8(static_cast<std::uint8_t>(op.polarity));
+        writer.u64(op.pause_ns);
+      }
+    }
+  }
+}
+
+bool decode_march_test(ByteReader& reader, march::MarchTest& test) {
+  constexpr std::uint8_t kMaxOrder =
+      static_cast<std::uint8_t>(march::AddrOrder::once);
+  constexpr std::uint8_t kMaxOpKind =
+      static_cast<std::uint8_t>(march::MarchOpKind::pause);
+  constexpr std::uint8_t kMaxPolarity =
+      static_cast<std::uint8_t>(march::Polarity::inverted);
+
+  std::string name = reader.str();
+  const std::size_t phase_count = reader.count(16);
+  std::vector<march::MarchPhase> phases;
+  phases.reserve(phase_count);
+  for (std::size_t p = 0; p < phase_count; ++p) {
+    march::MarchPhase phase;
+    if (!decode_bitvec(reader, phase.background)) {
+      return false;
+    }
+    const std::size_t elements = reader.count(9);
+    phase.elements.reserve(elements);
+    for (std::size_t e = 0; e < elements; ++e) {
+      march::MarchElement element;
+      if (!read_enum(reader, element.order, kMaxOrder)) {
+        return false;
+      }
+      const std::size_t ops = reader.count(10);
+      element.ops.reserve(ops);
+      for (std::size_t o = 0; o < ops; ++o) {
+        march::MarchOp op;
+        if (!read_enum(reader, op.kind, kMaxOpKind) ||
+            !read_enum(reader, op.polarity, kMaxPolarity)) {
+          return false;
+        }
+        op.pause_ns = reader.u64();
+        element.ops.push_back(op);
+      }
+      phase.elements.push_back(std::move(element));
+    }
+    phases.push_back(std::move(phase));
+  }
+  if (!reader.ok()) {
+    return false;
+  }
+  test = march::MarchTest(std::move(name), std::move(phases));
+  return true;
+}
+
+std::vector<std::uint8_t> encode_report(const core::Report& report) {
+  ByteWriter writer;
+  writer.u32(kReportMagic);
+  writer.u32(kFormatVersion);
+  writer.str(report.scheme_name);
+  writer.str(report.scheme_description);
+  writer.u64(report.seed);
+  writer.f64(report.defect_rate);
+
+  writer.u64(report.result.iterations);
+  writer.u64(report.result.time.cycles);
+  writer.u64(report.result.time.pause_ns);
+  const auto& records = report.result.log.records();
+  writer.u64(records.size());
+  for (const auto& record : records) {
+    writer.u64(record.memory_index);
+    writer.u32(record.addr);
+    writer.u32(record.bit);
+    encode_bitvec(writer, record.background);
+    writer.u64(record.phase);
+    writer.u64(record.element);
+    writer.u64(record.op);
+    writer.u32(record.visit);
+    writer.u64(record.cycle);
+  }
+
+  writer.u64(report.matches.size());
+  for (const auto& match : report.matches) {
+    writer.u64(match.truth_faults);
+    writer.u64(match.diagnosed_cells);
+    writer.u64(match.matched_faults);
+    writer.u64(match.spurious_cells);
+  }
+  writer.u64(report.total_ns);
+  writer.u64(report.injected_faults);
+
+  writer.boolean(report.repair.has_value());
+  if (report.repair) {
+    writer.u64(report.repair->memories.size());
+    for (const auto& memory : report.repair->memories) {
+      encode_rows(writer, memory.rows);
+      encode_rows(writer, memory.unrepaired_rows);
+    }
+  }
+  writer.boolean(report.repair_2d.has_value());
+  if (report.repair_2d) {
+    writer.u64(report.repair_2d->memories.size());
+    for (const auto& memory : report.repair_2d->memories) {
+      encode_rows(writer, memory.rows);
+      encode_rows(writer, memory.cols);
+      writer.u64(memory.unrepaired.size());
+      for (const auto& cell : memory.unrepaired) {
+        writer.u32(cell.row);
+        writer.u32(cell.bit);
+      }
+    }
+  }
+  writer.boolean(report.repair_verified_clean);
+
+  writer.boolean(report.classification.has_value());
+  if (report.classification) {
+    encode_classification(writer, *report.classification);
+  }
+  return std::move(writer).take();
+}
+
+core::Expected<core::Report, DecodeError> decode_report(
+    const std::uint8_t* data, std::size_t size) {
+  ByteReader reader(data, size);
+  if (reader.u32() != kReportMagic) {
+    return make_unexpected(DecodeError{"report: bad magic"});
+  }
+  if (const std::uint32_t version = reader.u32();
+      version != kFormatVersion) {
+    return make_unexpected(DecodeError{"report: unsupported version " +
+                                       std::to_string(version)});
+  }
+  core::Report report;
+  report.scheme_name = reader.str();
+  report.scheme_description = reader.str();
+  report.seed = reader.u64();
+  report.defect_rate = reader.f64();
+
+  report.result.iterations = reader.u64();
+  report.result.time.cycles = reader.u64();
+  report.result.time.pause_ns = reader.u64();
+  const std::size_t records = reader.count(49);
+  report.result.log.reserve(records);
+  for (std::size_t i = 0; i < records; ++i) {
+    bisd::DiagnosisRecord record;
+    record.memory_index = static_cast<std::size_t>(reader.u64());
+    record.addr = reader.u32();
+    record.bit = reader.u32();
+    if (!decode_bitvec(reader, record.background)) {
+      return make_unexpected(DecodeError{"report: corrupt log record"});
+    }
+    record.phase = static_cast<std::size_t>(reader.u64());
+    record.element = static_cast<std::size_t>(reader.u64());
+    record.op = static_cast<std::size_t>(reader.u64());
+    record.visit = reader.u32();
+    record.cycle = reader.u64();
+    report.result.log.add(std::move(record));
+  }
+
+  const std::size_t matches = reader.count(32);
+  report.matches.reserve(matches);
+  for (std::size_t i = 0; i < matches; ++i) {
+    faults::MatchReport match;
+    match.truth_faults = static_cast<std::size_t>(reader.u64());
+    match.diagnosed_cells = static_cast<std::size_t>(reader.u64());
+    match.matched_faults = static_cast<std::size_t>(reader.u64());
+    match.spurious_cells = static_cast<std::size_t>(reader.u64());
+    report.matches.push_back(match);
+  }
+  report.total_ns = reader.u64();
+  report.injected_faults = static_cast<std::size_t>(reader.u64());
+
+  if (reader.boolean()) {
+    bisd::RepairPlan plan;
+    const std::size_t memories = reader.count(16);
+    plan.memories.reserve(memories);
+    for (std::size_t i = 0; i < memories; ++i) {
+      bisd::RepairPlan::MemoryPlan memory;
+      if (!decode_rows(reader, memory.rows) ||
+          !decode_rows(reader, memory.unrepaired_rows)) {
+        return make_unexpected(DecodeError{"report: corrupt repair plan"});
+      }
+      plan.memories.push_back(std::move(memory));
+    }
+    report.repair = std::move(plan);
+  }
+  if (reader.boolean()) {
+    bisd::RepairPlan2D plan;
+    const std::size_t memories = reader.count(24);
+    plan.memories.reserve(memories);
+    for (std::size_t i = 0; i < memories; ++i) {
+      bisd::RepairPlan2D::MemoryPlan memory;
+      if (!decode_rows(reader, memory.rows) ||
+          !decode_rows(reader, memory.cols)) {
+        return make_unexpected(DecodeError{"report: corrupt 2-D plan"});
+      }
+      const std::size_t cells = reader.count(8);
+      memory.unrepaired.reserve(cells);
+      for (std::size_t c = 0; c < cells; ++c) {
+        sram::CellCoord cell;
+        cell.row = reader.u32();
+        cell.bit = reader.u32();
+        memory.unrepaired.push_back(cell);
+      }
+      plan.memories.push_back(std::move(memory));
+    }
+    report.repair_2d = std::move(plan);
+  }
+  report.repair_verified_clean = reader.boolean();
+
+  if (reader.boolean()) {
+    core::ClassificationOutcome outcome;
+    if (!decode_classification(reader, outcome)) {
+      return make_unexpected(DecodeError{"report: corrupt classification"});
+    }
+    report.classification = std::move(outcome);
+  }
+  if (!reader.finished()) {
+    return make_unexpected(
+        DecodeError{"report: truncated or trailing bytes"});
+  }
+  return report;
+}
+
+std::vector<std::uint8_t> encode_classifier_cache(
+    const diagnosis::ClassifierCache& cache) {
+  ByteWriter writer;
+  writer.u32(kCacheMagic);
+  writer.u32(kFormatVersion);
+  const auto entries = cache.entries();
+  writer.u64(entries.size());
+  for (const auto& classifier : entries) {
+    encode_sram_config(writer, classifier->config());
+    encode_march_test(writer, classifier->test());
+    encode_classifier_options(writer, classifier->options());
+    encode_dictionaries(writer, classifier->export_dictionaries());
+  }
+  return std::move(writer).take();
+}
+
+core::Expected<std::size_t, DecodeError> decode_classifier_cache(
+    const std::uint8_t* data, std::size_t size,
+    diagnosis::ClassifierCache& cache) {
+  ByteReader reader(data, size);
+  if (reader.u32() != kCacheMagic) {
+    return make_unexpected(DecodeError{"cache: bad magic"});
+  }
+  if (const std::uint32_t version = reader.u32();
+      version != kFormatVersion) {
+    return make_unexpected(DecodeError{"cache: unsupported version " +
+                                       std::to_string(version)});
+  }
+  const std::size_t count = reader.count(64);
+  // Decode every entry before touching the cache: a corrupt tail must not
+  // leave a half-imported cache behind.
+  std::vector<std::shared_ptr<diagnosis::FaultClassifier>> classifiers;
+  classifiers.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    sram::SramConfig config;
+    march::MarchTest test;
+    diagnosis::ClassifierOptions options;
+    diagnosis::FaultClassifier::DictionarySnapshot snapshot;
+    if (!decode_sram_config(reader, config) ||
+        !decode_march_test(reader, test) ||
+        !decode_classifier_options(reader, options) ||
+        !decode_dictionaries(reader, snapshot)) {
+      return make_unexpected(
+          DecodeError{"cache: corrupt entry " + std::to_string(i)});
+    }
+    auto classifier = std::make_shared<diagnosis::FaultClassifier>(
+        config, test, options);
+    classifier->import_dictionaries(std::move(snapshot));
+    classifiers.push_back(std::move(classifier));
+  }
+  if (!reader.finished()) {
+    return make_unexpected(DecodeError{"cache: truncated or trailing bytes"});
+  }
+  for (auto& classifier : classifiers) {
+    cache.insert(std::move(classifier));
+  }
+  return classifiers.size();
+}
+
+}  // namespace fastdiag::service

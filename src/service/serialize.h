@@ -1,0 +1,223 @@
+// Compact binary serialization of fastdiag's result and cache types.
+//
+// The fleet workflow ships three artifact kinds between machines: per-run
+// Reports (and their ClassificationOutcome), warmed ClassifierCache
+// contents (so a fresh diagd serves classification jobs with zero probe
+// replays), and streaming-sweep checkpoints (see service/checkpoint.h).
+// All three share one wire discipline:
+//
+//   - little-endian fixed-width integers, doubles as IEEE-754 bit images
+//     (std::bit_cast through uint64), so files are byte-identical across
+//     hosts of either endianness;
+//   - every variable-length field is length-prefixed, every container
+//     count is checked against the bytes actually remaining before any
+//     allocation — truncated or corrupt input fails with a DecodeError,
+//     never with UB or an attacker-sized reserve;
+//   - a 4-byte magic plus a format version lead every top-level blob, so
+//     mismatched artifacts are rejected up front;
+//   - encoders are canonical (map-ordered containers, masked BitVector
+//     limbs): decode(encode(x)) re-encodes to the exact same bytes, which
+//     is what the round-trip tests pin down.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/expected.h"
+#include "core/report.h"
+#include "diagnosis/classifier.h"
+
+namespace fastdiag::service {
+
+struct DecodeError {
+  std::string message;
+};
+
+/// Little-endian append-only buffer the encoders write through.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t value) { buffer_.push_back(value); }
+
+  void u32(std::uint32_t value) {
+    for (int i = 0; i < 4; ++i) {
+      buffer_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+  }
+
+  void u64(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      buffer_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+  }
+
+  void f64(double value);  ///< IEEE-754 bit image via uint64
+
+  void boolean(bool value) { u8(value ? 1 : 0); }
+
+  /// u32 byte length + raw bytes.
+  void str(std::string_view value) {
+    u32(static_cast<std::uint32_t>(value.size()));
+    buffer_.insert(buffer_.end(), value.begin(), value.end());
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const {
+    return buffer_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() && {
+    return std::move(buffer_);
+  }
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Bounds-checked reader over an untrusted byte span.  Errors are sticky:
+/// the first short or invalid read latches ok() == false and every later
+/// read returns a zero value, so decoders can run straight-line and check
+/// once.  No read ever touches memory past the span.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+  /// ok() and every byte consumed — trailing garbage is a decode error.
+  [[nodiscard]] bool finished() const { return ok_ && pos_ == size_; }
+
+  void fail() { ok_ = false; }
+
+  std::uint8_t u8() {
+    std::uint8_t value = 0;
+    take(&value, 1);
+    return value;
+  }
+
+  std::uint32_t u32() {
+    std::uint8_t raw[4] = {};
+    take(raw, 4);
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<std::uint32_t>(raw[i]) << (8 * i);
+    }
+    return value;
+  }
+
+  std::uint64_t u64() {
+    std::uint8_t raw[8] = {};
+    take(raw, 8);
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<std::uint64_t>(raw[i]) << (8 * i);
+    }
+    return value;
+  }
+
+  double f64();
+
+  bool boolean() {
+    const std::uint8_t value = u8();
+    if (value > 1) {
+      ok_ = false;  // non-canonical bool: reject, round-trips stay exact
+    }
+    return value == 1;
+  }
+
+  std::string str() {
+    const std::uint32_t length = u32();
+    if (length > remaining()) {
+      ok_ = false;
+      return {};
+    }
+    std::string value(reinterpret_cast<const char*>(data_ + pos_), length);
+    pos_ += length;
+    return value;
+  }
+
+  /// Reads a u64 element count and rejects it unless count *
+  /// @p min_element_bytes fits in the remaining bytes — a corrupt count
+  /// fails here instead of driving a huge reserve() downstream.
+  std::size_t count(std::size_t min_element_bytes) {
+    const std::uint64_t value = u64();
+    if (min_element_bytes == 0 ||
+        value > remaining() / min_element_bytes) {
+      if (value != 0) {
+        ok_ = false;
+        return 0;
+      }
+    }
+    return static_cast<std::size_t>(value);
+  }
+
+ private:
+  bool take(void* out, std::size_t bytes) {
+    if (!ok_ || bytes > remaining()) {
+      ok_ = false;
+      return false;
+    }
+    std::memcpy(out, data_ + pos_, bytes);
+    pos_ += bytes;
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ---- format identities -----------------------------------------------------
+
+inline constexpr std::uint32_t kReportMagic = 0x50524446;      // "FDRP"
+inline constexpr std::uint32_t kCacheMagic = 0x43434446;       // "FDCC"
+inline constexpr std::uint32_t kCheckpointMagic = 0x4B434446;  // "FDCK"
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+// ---- embedded encoders (no magic; exposed for composition and tests) -------
+
+void encode_folded(ByteWriter& writer,
+                   const core::AggregateReport::Folded& folded);
+[[nodiscard]] bool decode_folded(ByteReader& reader,
+                                 core::AggregateReport::Folded& folded);
+
+void encode_classification(ByteWriter& writer,
+                           const core::ClassificationOutcome& outcome);
+[[nodiscard]] bool decode_classification(ByteReader& reader,
+                                         core::ClassificationOutcome& outcome);
+
+void encode_march_test(ByteWriter& writer, const march::MarchTest& test);
+[[nodiscard]] bool decode_march_test(ByteReader& reader,
+                                     march::MarchTest& test);
+
+void encode_sram_config(ByteWriter& writer, const sram::SramConfig& config);
+[[nodiscard]] bool decode_sram_config(ByteReader& reader,
+                                      sram::SramConfig& config);
+
+// ---- top-level blobs -------------------------------------------------------
+
+/// "FDRP" v1: one per-run Report, classification included when present.
+[[nodiscard]] std::vector<std::uint8_t> encode_report(
+    const core::Report& report);
+[[nodiscard]] core::Expected<core::Report, DecodeError> decode_report(
+    const std::uint8_t* data, std::size_t size);
+
+/// "FDCC" v1: every resident classifier of @p cache — its construction
+/// inputs (config, test, options) plus the signature dictionaries built so
+/// far.  Importing into a fresh cache reconstructs classifiers that serve
+/// the same jobs with zero probe replays.
+[[nodiscard]] std::vector<std::uint8_t> encode_classifier_cache(
+    const diagnosis::ClassifierCache& cache);
+
+/// Decodes a "FDCC" blob into @p cache (entries insert() one by one,
+/// honouring the cache's eviction bound).  Returns the classifier count on
+/// success.
+[[nodiscard]] core::Expected<std::size_t, DecodeError>
+decode_classifier_cache(const std::uint8_t* data, std::size_t size,
+                        diagnosis::ClassifierCache& cache);
+
+}  // namespace fastdiag::service

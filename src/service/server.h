@@ -1,0 +1,72 @@
+// The diagd job server: many clients, one warm ClassifierCache.
+//
+// JobServer answers the protocol.h request vocabulary over any fd pair —
+// a stdin/stdout pipe (serve_connection) or an AF_UNIX socket where each
+// accepted client gets a thread (serve_socket).  Every job funnels through
+// DiagnosisEngine::execute with the server's shared cache, so repeated job
+// shapes hit warm signature dictionaries regardless of which client sent
+// them.  A shutdown request flips the server into draining mode: in-flight
+// connections finish their current frames, the accept loop stops, and
+// serve_socket joins every worker before returning.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "diagnosis/classifier.h"
+#include "service/protocol.h"
+
+namespace fastdiag::service {
+
+struct ServerOptions {
+  /// ClassifierCache size bound (0 = unbounded).
+  std::size_t cache_max_entries = 0;
+};
+
+class JobServer {
+ public:
+  JobServer() = default;
+  explicit JobServer(const ServerOptions& options)
+      : cache_(options.cache_max_entries) {}
+
+  /// Serves one framed connection (requests on @p in_fd, responses on
+  /// @p out_fd) until EOF, a protocol error, or a shutdown request.
+  /// Returns true when the connection asked the whole server to shut down.
+  bool serve_connection(int in_fd, int out_fd);
+
+  /// Binds an AF_UNIX socket at @p path and serves clients until a
+  /// shutdown request drains the server.  Returns false when the socket
+  /// cannot be created.
+  bool serve_socket(const std::string& path);
+
+  /// Imports a "FDCC" cache blob from @p path into the shared cache, so a
+  /// fresh server starts warm.  Returns the imported entry count, or -1
+  /// when the file is missing or corrupt.
+  long load_cache_file(const std::string& path);
+
+  /// Persists the shared cache to @p path as a "FDCC" blob.
+  bool save_cache_file(const std::string& path) const;
+
+  /// One flat JSON object: job counters plus the shared cache's stats.
+  [[nodiscard]] std::string stats_json() const;
+
+  [[nodiscard]] const diagnosis::ClassifierCache& cache() const {
+    return cache_;
+  }
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+ private:
+  bool handle_request(const Frame& request, int out_fd);
+
+  diagnosis::ClassifierCache cache_;
+  std::atomic<bool> draining_{false};
+  std::atomic<std::uint64_t> jobs_submitted_{0};
+  std::atomic<std::uint64_t> jobs_ok_{0};
+  std::atomic<std::uint64_t> jobs_failed_{0};
+  std::atomic<std::uint64_t> total_job_ns_{0};
+};
+
+}  // namespace fastdiag::service

@@ -304,18 +304,20 @@ TEST(ClassifierCache, KeysOnRetentionNotJustGeometry) {
 
   auto fast_decay = cfg(16, 8);
   fast_decay.retention_ns = 100;  // decays during the march pauses
-  const auto& a = cache.get(cfg(16, 8), test, options);
-  const auto& b = cache.get(fast_decay, test, options);
-  const auto& c = cache.get(cfg(16, 8), test, options);
-  EXPECT_NE(&a, &b) << "same geometry, different retention must not share "
-                       "a signature dictionary";
-  EXPECT_EQ(&a, &c) << "identical shape must hit the cached classifier";
+  const auto a = cache.get(cfg(16, 8), test, options);
+  const auto b = cache.get(fast_decay, test, options);
+  const auto c = cache.get(cfg(16, 8), test, options);
+  EXPECT_NE(a.get(), b.get())
+      << "same geometry, different retention must not share "
+         "a signature dictionary";
+  EXPECT_EQ(a.get(), c.get())
+      << "identical shape must hit the cached classifier";
 
   auto slow_clock = options;
   slow_clock.clock.period_ns = 100;  // probes elapse on a different timebase
-  const auto& d = cache.get(cfg(16, 8), test, slow_clock);
-  EXPECT_NE(&a, &d) << "probe clock is signature-relevant and must key the "
-                       "cache";
+  const auto d = cache.get(cfg(16, 8), test, slow_clock);
+  EXPECT_NE(a.get(), d.get())
+      << "probe clock is signature-relevant and must key the cache";
 }
 
 TEST(ClassifierCache, SharedCacheMatchesLocalClassification) {
@@ -613,16 +615,16 @@ TEST(BitSliced, CacheStatsCountBuildsAndSharing) {
   diagnosis::ClassifierCache cache;
   diagnosis::ClassifierOptions options;  // bit_sliced default
 
-  const auto& first = cache.get(config, test, options);
-  const auto& again = cache.get(config, test, options);
-  EXPECT_EQ(&first, &again);
+  const auto first = cache.get(config, test, options);
+  const auto again = cache.get(config, test, options);
+  EXPECT_EQ(first.get(), again.get());
   auto stats = cache.stats();
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.probe_replays, 0u);  // dictionaries build lazily
 
   const auto fault = faults::make_cell_fault(FaultKind::sa1, {5, 2});
-  (void)classify_single_fault(first, config, fault);
+  (void)classify_single_fault(*first, config, fault);
   stats = cache.stats();
   EXPECT_GT(stats.dictionary_keys, 0u);
   EXPECT_GT(stats.probe_replays, 0u);
@@ -630,15 +632,15 @@ TEST(BitSliced, CacheStatsCountBuildsAndSharing) {
 
   // A second classification of the same shape hits the dictionary cache.
   const auto replays = stats.probe_replays;
-  (void)classify_single_fault(first, config, fault);
+  (void)classify_single_fault(*first, config, fault);
   EXPECT_EQ(cache.stats().probe_replays, replays);
 
   // Build modes must not share classifiers (different dictionaries paths).
   diagnosis::ClassifierOptions reference_options = options;
   reference_options.build_mode =
       diagnosis::DictionaryBuildMode::per_candidate;
-  const auto& reference = cache.get(config, test, reference_options);
-  EXPECT_NE(&first, &reference);
+  const auto reference = cache.get(config, test, reference_options);
+  EXPECT_NE(first.get(), reference.get());
 }
 
 }  // namespace

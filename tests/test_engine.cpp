@@ -450,6 +450,145 @@ TEST(Engine, SweepOfInvalidSpecsFailsClosed) {
   EXPECT_EQ(report.error().code, ConfigErrorCode::no_memory);
 }
 
+// ---- SweepCursor + streaming ---------------------------------------------
+
+TEST(SweepCursor, SpecAtMatchesExpansionEverywhere) {
+  const auto sweep = demo_sweep();
+  const auto expanded = sweep.expand();
+  ASSERT_TRUE(expanded.has_value());
+  for (std::size_t i = 0; i < expanded.value().size(); ++i) {
+    const auto at = sweep.spec_at(i);
+    ASSERT_TRUE(at.has_value()) << "index " << i;
+    EXPECT_EQ(at.value().label(), expanded.value()[i].label()) << i;
+  }
+  // Past-the-end index is a caller bug, not a config error.
+  EXPECT_THROW((void)sweep.spec_at(sweep.cardinality()),
+               std::invalid_argument);
+}
+
+TEST(SweepCursor, YieldsTheExpansionInOrderThenExhausts) {
+  const auto sweep = demo_sweep();
+  auto cursor = SweepCursor::create(sweep);
+  ASSERT_TRUE(cursor.has_value());
+  EXPECT_EQ(cursor.value().cardinality(), sweep.cardinality());
+
+  const auto expanded = sweep.expand();
+  ASSERT_TRUE(expanded.has_value());
+  std::size_t yielded = 0;
+  while (auto spec = cursor.value().next()) {
+    ASSERT_LT(yielded, expanded.value().size());
+    EXPECT_EQ(spec->label(), expanded.value()[yielded].label());
+    ++yielded;
+  }
+  EXPECT_EQ(yielded, sweep.cardinality());
+  EXPECT_FALSE(cursor.value().next().has_value());
+}
+
+TEST(SweepCursor, SeekRepositionsAndValidationFailsAtCreate) {
+  auto cursor = SweepCursor::create(demo_sweep());
+  ASSERT_TRUE(cursor.has_value());
+  cursor.value().seek(cursor.value().cardinality() - 1);
+  EXPECT_TRUE(cursor.value().next().has_value());
+  EXPECT_FALSE(cursor.value().next().has_value());
+
+  auto bad = demo_sweep();
+  bad.schemes.push_back("no-such-scheme");
+  EXPECT_EQ(SweepCursor::create(bad).error().code,
+            ConfigErrorCode::unknown_scheme);
+}
+
+TEST(Stream, FoldedAggregateIsBitIdenticalToBatch) {
+  const auto specs = spec_batch();
+  DiagnosisEngine engine({.workers = 4});
+  const auto batch = engine.run_batch(specs);
+
+  std::size_t cursor = 0;
+  const auto streamed = engine.run_stream([&]() -> std::optional<SessionSpec> {
+    if (cursor >= specs.size()) {
+      return std::nullopt;
+    }
+    return specs[cursor++];
+  });
+  EXPECT_EQ(streamed.completed, specs.size());
+  EXPECT_EQ(streamed.aggregate.folded, batch.folded);
+  // The streaming path retains nothing.
+  EXPECT_TRUE(streamed.aggregate.runs.empty());
+}
+
+TEST(Stream, SinkSeesAbsoluteIndicesAndProgressFiresOnInterval) {
+  const auto specs = spec_batch();
+  DiagnosisEngine engine({.workers = 2});
+
+  std::size_t cursor = 0;
+  std::set<std::size_t> seen;
+  std::vector<std::uint64_t> progress_marks;
+  DiagnosisEngine::StreamOptions options;
+  options.window = 4;
+  options.sink = [&](std::size_t index, const Report& run) {
+    seen.insert(index);
+    EXPECT_FALSE(run.scheme_name.empty());
+  };
+  options.progress_interval = 5;
+  options.progress = [&](std::uint64_t completed, const AggregateReport&) {
+    progress_marks.push_back(completed);
+  };
+  const auto result = engine.run_stream(
+      [&]() -> std::optional<SessionSpec> {
+        if (cursor >= specs.size()) {
+          return std::nullopt;
+        }
+        return specs[cursor++];
+      },
+      options);
+
+  EXPECT_EQ(result.completed, specs.size());
+  EXPECT_EQ(seen.size(), specs.size());
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), specs.size() - 1);
+  // 12 specs, interval 5: marks at 5, 10 and the final partial 12.
+  EXPECT_EQ(progress_marks,
+            (std::vector<std::uint64_t>{5, 10, specs.size()}));
+}
+
+TEST(Stream, ResumeFoldsOnTopOfTheSeedAggregate) {
+  const auto specs = spec_batch();
+  DiagnosisEngine engine({.workers = 1});
+  const auto whole = engine.run_batch(specs);
+
+  // Fold the first half, hand it to run_stream as the resume seed, and
+  // stream only the second half: the result must equal the whole run.
+  AggregateReport prefix;
+  for (std::size_t i = 0; i < specs.size() / 2; ++i) {
+    prefix.fold(DiagnosisEngine::execute(specs[i]));
+  }
+  std::size_t cursor = specs.size() / 2;
+  std::vector<std::size_t> sink_indices;
+  DiagnosisEngine::StreamOptions options;
+  options.sink = [&](std::size_t index, const Report&) {
+    sink_indices.push_back(index);
+  };
+  const auto resumed = engine.run_stream(
+      [&]() -> std::optional<SessionSpec> {
+        if (cursor >= specs.size()) {
+          return std::nullopt;
+        }
+        return specs[cursor++];
+      },
+      options, std::move(prefix));
+
+  EXPECT_EQ(resumed.completed, specs.size());  // prefix included
+  EXPECT_EQ(resumed.aggregate.folded, whole.folded);
+  // Sink indices continue from the resumed prefix, not from zero.
+  ASSERT_FALSE(sink_indices.empty());
+  EXPECT_EQ(sink_indices.front(), specs.size() / 2);
+}
+
+TEST(Stream, RequiresACallableSource) {
+  DiagnosisEngine engine;
+  EXPECT_THROW((void)engine.run_stream(DiagnosisEngine::SpecSource{}),
+               std::invalid_argument);
+}
+
 // ---- Expected -------------------------------------------------------------
 
 TEST(Expected, ValueAndErrorPaths) {

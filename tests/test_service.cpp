@@ -1,0 +1,534 @@
+// Tests for the fleet service layer: binary serialization round-trips
+// (byte-identical re-encode), rejection of truncated/corrupt blobs,
+// classifier-cache save/reload with zero probe replays, checkpointed
+// sweeps that survive a kill bit-identically, and the framed job-server
+// protocol over an in-process pipe pair.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <thread>
+
+#include "core/fastdiag.h"
+#include "service/checkpoint.h"
+#include "service/protocol.h"
+#include "service/serialize.h"
+#include "service/server.h"
+
+namespace fastdiag::service {
+namespace {
+
+sram::SramConfig small(const std::string& name, std::uint32_t words,
+                       std::uint32_t bits, std::uint32_t spares = 8) {
+  sram::SramConfig config;
+  config.name = name;
+  config.words = words;
+  config.bits = bits;
+  config.spare_rows = spares;
+  return config;
+}
+
+core::SessionSpec demo_spec(std::uint64_t seed = 7, bool classify = true,
+                            bool repair = true) {
+  auto spec = core::SessionSpec::builder()
+                  .add_sram(small("a", 48, 12))
+                  .add_sram(small("b", 32, 8))
+                  .defect_rate(0.02)
+                  .seed(seed)
+                  .classify(classify)
+                  .with_repair(repair)
+                  .build();
+  EXPECT_TRUE(spec.has_value());
+  return std::move(spec).value();
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "fastdiag_" + name + "." +
+         std::to_string(::getpid());
+}
+
+// ---- primitives -----------------------------------------------------------
+
+TEST(Bytes, PrimitivesRoundTripLittleEndian) {
+  ByteWriter writer;
+  writer.u8(0xAB);
+  writer.u32(0x01020304);
+  writer.u64(0x1122334455667788ULL);
+  writer.f64(-0.125);
+  writer.boolean(true);
+  writer.str("hello");
+
+  // The wire image is fixed, independent of host endianness.
+  ASSERT_EQ(writer.data()[1], 0x04);  // u32 low byte first
+  ASSERT_EQ(writer.data()[2], 0x03);
+
+  ByteReader reader(writer.data().data(), writer.size());
+  EXPECT_EQ(reader.u8(), 0xAB);
+  EXPECT_EQ(reader.u32(), 0x01020304u);
+  EXPECT_EQ(reader.u64(), 0x1122334455667788ULL);
+  EXPECT_EQ(reader.f64(), -0.125);
+  EXPECT_TRUE(reader.boolean());
+  EXPECT_EQ(reader.str(), "hello");
+  EXPECT_TRUE(reader.finished());
+}
+
+TEST(Bytes, ReaderErrorsAreStickyAndBounded) {
+  ByteWriter writer;
+  writer.u32(5);
+  ByteReader reader(writer.data().data(), writer.size());
+  (void)reader.u64();  // short read
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.u32(), 0u);  // sticky: later reads yield zero
+  EXPECT_FALSE(reader.finished());
+}
+
+TEST(Bytes, HostileCountsAndBoolsAreRejectedBeforeAllocation) {
+  {
+    ByteWriter writer;
+    writer.u64(1ULL << 60);  // count that cannot fit the remaining bytes
+    ByteReader reader(writer.data().data(), writer.size());
+    EXPECT_EQ(reader.count(4), 0u);
+    EXPECT_FALSE(reader.ok());
+  }
+  {
+    ByteWriter writer;
+    writer.u8(2);  // non-canonical bool
+    ByteReader reader(writer.data().data(), writer.size());
+    (void)reader.boolean();
+    EXPECT_FALSE(reader.ok());
+  }
+  {
+    ByteWriter writer;
+    writer.u32(100);  // string length past the end
+    ByteReader reader(writer.data().data(), writer.size());
+    EXPECT_EQ(reader.str(), "");
+    EXPECT_FALSE(reader.ok());
+  }
+}
+
+// ---- embedded encoders ----------------------------------------------------
+
+TEST(Serialize, MarchTestReencodesByteIdentical) {
+  const auto test = bisd::FastScheme().classification_test(12);
+  ASSERT_TRUE(test.has_value());
+  ByteWriter first;
+  encode_march_test(first, *test);
+
+  ByteReader reader(first.data().data(), first.size());
+  march::MarchTest decoded;
+  ASSERT_TRUE(decode_march_test(reader, decoded));
+  ASSERT_TRUE(reader.finished());
+  EXPECT_EQ(decoded.to_string(), test->to_string());
+
+  ByteWriter second;
+  encode_march_test(second, decoded);
+  EXPECT_EQ(first.data(), second.data());
+}
+
+TEST(Serialize, FoldedAggregateReencodesByteIdentical) {
+  core::AggregateReport aggregate;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    aggregate.fold(core::DiagnosisEngine::execute(demo_spec(seed)));
+  }
+  ByteWriter first;
+  encode_folded(first, aggregate.folded);
+
+  ByteReader reader(first.data().data(), first.size());
+  core::AggregateReport::Folded decoded;
+  ASSERT_TRUE(decode_folded(reader, decoded));
+  ASSERT_TRUE(reader.finished());
+  EXPECT_EQ(decoded, aggregate.folded);
+
+  ByteWriter second;
+  encode_folded(second, decoded);
+  EXPECT_EQ(first.data(), second.data());
+}
+
+// ---- reports --------------------------------------------------------------
+
+TEST(Serialize, ReportRoundTripsByteIdentical) {
+  const auto report = core::DiagnosisEngine::execute(demo_spec());
+  ASSERT_TRUE(report.classification.has_value());
+  ASSERT_TRUE(report.repair.has_value());
+
+  const auto blob = encode_report(report);
+  auto decoded = decode_report(blob.data(), blob.size());
+  ASSERT_TRUE(decoded.has_value()) << decoded.error().message;
+
+  EXPECT_EQ(decoded.value().scheme_name, report.scheme_name);
+  EXPECT_EQ(decoded.value().seed, report.seed);
+  EXPECT_EQ(decoded.value().total_ns, report.total_ns);
+  EXPECT_EQ(decoded.value().injected_faults, report.injected_faults);
+  EXPECT_EQ(decoded.value().result.log.to_csv(), report.result.log.to_csv());
+  EXPECT_EQ(decoded.value().summary(), report.summary());
+
+  EXPECT_EQ(encode_report(decoded.value()), blob);
+}
+
+TEST(Serialize, EveryTruncationOfAReportIsRejected) {
+  const auto blob = encode_report(core::DiagnosisEngine::execute(demo_spec()));
+  // Every strict prefix must fail cleanly (the format consumes the blob
+  // exactly).  Dense coverage near the front, sampled beyond.
+  for (std::size_t len = 0; len < blob.size();
+       len += (len < 512 ? 1 : 97)) {
+    const auto decoded = decode_report(blob.data(), len);
+    EXPECT_FALSE(decoded.has_value()) << "prefix length " << len;
+  }
+}
+
+TEST(Serialize, CorruptReportBytesNeverCrashTheDecoder) {
+  const auto blob = encode_report(core::DiagnosisEngine::execute(demo_spec()));
+  // Deterministically flip bytes across the blob; each decode must either
+  // fail with a DecodeError or produce a value — no UB either way (the
+  // sanitizer job runs this same test under ASan+UBSan).
+  for (std::size_t i = 0; i < 128; ++i) {
+    auto corrupt = blob;
+    const std::size_t at = (i * 2654435761u) % corrupt.size();
+    corrupt[at] ^= 0x5A;
+    const auto decoded = decode_report(corrupt.data(), corrupt.size());
+    if (decoded.has_value()) {
+      EXPECT_EQ(encode_report(decoded.value()).size(), corrupt.size());
+    }
+  }
+}
+
+TEST(Serialize, WrongMagicAndVersionAreRejectedUpFront) {
+  auto blob = encode_report(core::DiagnosisEngine::execute(demo_spec()));
+  auto bad_magic = blob;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_FALSE(decode_report(bad_magic.data(), bad_magic.size()).has_value());
+
+  auto bad_version = blob;
+  bad_version[4] = 0xEE;
+  const auto decoded = decode_report(bad_version.data(), bad_version.size());
+  ASSERT_FALSE(decoded.has_value());
+  EXPECT_NE(decoded.error().message.find("version"), std::string::npos);
+}
+
+// ---- classifier cache -----------------------------------------------------
+
+TEST(CacheSerialize, ReloadedCacheServesWithZeroProbeReplays) {
+  diagnosis::ClassifierCache warm;
+  const auto spec = demo_spec(5, /*classify=*/true, /*repair=*/false);
+  const auto original = core::DiagnosisEngine::execute(
+      spec, core::SchemeRegistry::global(), &warm);
+  ASSERT_GT(warm.size(), 0u);
+  ASSERT_GT(warm.stats().probe_replays, 0u);
+
+  const auto blob = encode_classifier_cache(warm);
+  diagnosis::ClassifierCache fresh;
+  const auto imported = decode_classifier_cache(blob.data(), blob.size(), fresh);
+  ASSERT_TRUE(imported.has_value()) << imported.error().message;
+  EXPECT_EQ(imported.value(), warm.size());
+  EXPECT_EQ(fresh.size(), warm.size());
+
+  // The imported dictionaries were never rebuilt here...
+  EXPECT_EQ(fresh.stats().probe_replays, 0u);
+
+  // ...yet the same job classifies identically through the fresh cache,
+  // still without a single replay.
+  const auto replayed = core::DiagnosisEngine::execute(
+      spec, core::SchemeRegistry::global(), &fresh);
+  EXPECT_EQ(encode_report(replayed), encode_report(original));
+  EXPECT_EQ(fresh.stats().probe_replays, 0u);
+  EXPECT_EQ(fresh.stats().misses, 0u);
+
+  // Re-encoding the reloaded cache reproduces the blob byte for byte.
+  EXPECT_EQ(encode_classifier_cache(fresh), blob);
+}
+
+TEST(CacheSerialize, CorruptCacheBlobLeavesTheTargetUntouched) {
+  diagnosis::ClassifierCache warm;
+  (void)core::DiagnosisEngine::execute(
+      demo_spec(5, true, false), core::SchemeRegistry::global(), &warm);
+  auto blob = encode_classifier_cache(warm);
+
+  diagnosis::ClassifierCache target;
+  auto truncated = blob;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(
+      decode_classifier_cache(truncated.data(), truncated.size(), target)
+          .has_value());
+  EXPECT_EQ(target.size(), 0u);  // all-or-nothing import
+}
+
+// ---- checkpoint / resume --------------------------------------------------
+
+core::SweepSpec demo_sweep() {
+  core::SweepSpec sweep;
+  sweep.base = core::SessionSpec::builder().add_sram(small("a", 32, 8));
+  sweep.schemes = {"fast", "baseline"};
+  sweep.defect_rates = {0.01, 0.03};
+  sweep.seeds = {1, 2, 3};
+  return sweep;
+}
+
+TEST(Checkpoint, EncodeDecodeRoundTripsByteIdentical) {
+  core::AggregateReport aggregate;
+  aggregate.fold(core::DiagnosisEngine::execute(demo_spec()));
+  SweepCheckpoint checkpoint;
+  checkpoint.fingerprint = sweep_fingerprint(demo_sweep());
+  checkpoint.position = 1;
+  checkpoint.folded = aggregate.folded;
+
+  const auto blob = encode_checkpoint(checkpoint);
+  const auto decoded = decode_checkpoint(blob.data(), blob.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded.value(), checkpoint);
+  EXPECT_EQ(encode_checkpoint(decoded.value()), blob);
+
+  // position != folded.count is an inconsistent image, not a valid resume.
+  auto skewed = checkpoint;
+  skewed.position = 2;
+  const auto bad = encode_checkpoint(skewed);
+  EXPECT_FALSE(decode_checkpoint(bad.data(), bad.size()).has_value());
+}
+
+TEST(Checkpoint, KilledAndResumedSweepIsBitIdenticalToUninterrupted) {
+  const core::DiagnosisEngine engine({.workers = 2});
+  const auto sweep = demo_sweep();
+  const std::string path = temp_path("ckpt");
+
+  CheckpointedSweepOptions uninterrupted;  // no path: no checkpointing
+  const auto whole = run_sweep_with_checkpoints(engine, sweep, uninterrupted);
+  ASSERT_TRUE(whole.has_value());
+  ASSERT_TRUE(whole.value().finished);
+
+  // "Kill" after 5 of 12 runs: stop_after caps the pull source the same
+  // way a SIGKILL between chunks would.
+  CheckpointedSweepOptions first;
+  first.path = path;
+  first.interval = 2;
+  first.stop_after = 5;
+  const auto killed = run_sweep_with_checkpoints(engine, sweep, first);
+  ASSERT_TRUE(killed.has_value());
+  EXPECT_FALSE(killed.value().finished);
+  EXPECT_FALSE(killed.value().resumed);
+  EXPECT_EQ(killed.value().completed, 5u);
+
+  CheckpointedSweepOptions second;
+  second.path = path;
+  second.interval = 2;
+  const auto resumed = run_sweep_with_checkpoints(engine, sweep, second);
+  ASSERT_TRUE(resumed.has_value());
+  EXPECT_TRUE(resumed.value().resumed);
+  EXPECT_TRUE(resumed.value().finished);
+  EXPECT_EQ(resumed.value().completed, sweep.cardinality());
+
+  // The acceptance bar: the resumed aggregate is bit-identical to the
+  // uninterrupted one — same folded image, same encoded bytes.
+  EXPECT_EQ(resumed.value().aggregate.folded, whole.value().aggregate.folded);
+  ByteWriter a;
+  encode_folded(a, resumed.value().aggregate.folded);
+  ByteWriter b;
+  encode_folded(b, whole.value().aggregate.folded);
+  EXPECT_EQ(a.data(), b.data());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MismatchedOrCorruptCheckpointDegradesToFreshStart) {
+  const core::DiagnosisEngine engine({.workers = 1});
+  const std::string path = temp_path("ckpt_bad");
+
+  // A checkpoint of a *different* sweep must not seed this one.
+  auto other = demo_sweep();
+  other.seeds = {9, 10};
+  SweepCheckpoint foreign;
+  foreign.fingerprint = sweep_fingerprint(other);
+  ASSERT_TRUE(save_checkpoint_file(path, foreign));
+
+  CheckpointedSweepOptions options;
+  options.path = path;
+  auto sweep = demo_sweep();
+  sweep.schemes = {"fast"};
+  sweep.seeds = {1};
+  const auto result = run_sweep_with_checkpoints(engine, sweep, options);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result.value().resumed);
+  EXPECT_TRUE(result.value().finished);
+
+  // Corrupt file on disk: load fails soft, run starts fresh.
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  std::fputs("not a checkpoint", file);
+  std::fclose(file);
+  EXPECT_FALSE(load_checkpoint_file(path).has_value());
+  const auto again = run_sweep_with_checkpoints(engine, sweep, options);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_FALSE(again.value().resumed);
+  std::remove(path.c_str());
+}
+
+// ---- merge associativity --------------------------------------------------
+
+TEST(Folded, MergeIsAssociativeAndOrderInsensitive) {
+  std::vector<core::Report> reports;
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    reports.push_back(
+        core::DiagnosisEngine::execute(demo_spec(seed, seed % 2 == 0)));
+  }
+  core::AggregateReport::Folded sequential;
+  for (const auto& report : reports) {
+    sequential.fold(report);
+  }
+
+  // (A + B) + C == A + (B + C) for an arbitrary split.
+  core::AggregateReport::Folded a, b, c;
+  a.fold(reports[0]);
+  a.fold(reports[1]);
+  b.fold(reports[2]);
+  c.fold(reports[3]);
+  c.fold(reports[4]);
+
+  auto left = a;
+  left.merge(b);
+  left.merge(c);
+  auto bc = b;
+  bc.merge(c);
+  auto right = a;
+  right.merge(bc);
+  EXPECT_EQ(left, right);
+  EXPECT_EQ(left, sequential);
+}
+
+// ---- job server over a pipe pair ------------------------------------------
+
+TEST(JobServer, ServesFramesOverPipesAndDrainsOnShutdown) {
+  int to_server[2];
+  int from_server[2];
+  ASSERT_EQ(pipe(to_server), 0);
+  ASSERT_EQ(pipe(from_server), 0);
+
+  JobServer server;
+  bool drained = false;
+  std::thread worker([&] {
+    drained = server.serve_connection(to_server[0], from_server[1]);
+  });
+  const int out = to_server[1];
+  const int in = from_server[0];
+
+  Frame response;
+  ASSERT_TRUE(write_frame(out, MessageType::ping, std::string()));
+  ASSERT_TRUE(read_frame(in, response));
+  EXPECT_EQ(response.type, MessageType::ok);
+
+  // A malformed job (no memories) is an error response, not a dead server.
+  ASSERT_TRUE(write_frame(out, MessageType::submit_job,
+                          encode_job_request(JobRequest{})));
+  ASSERT_TRUE(read_frame(in, response));
+  EXPECT_EQ(response.type, MessageType::error);
+
+  JobRequest request;
+  request.configs = {small("pipe", 32, 8)};
+  request.classify = true;
+  request.seed = 11;
+  ASSERT_TRUE(write_frame(out, MessageType::submit_job,
+                          encode_job_request(request)));
+  ASSERT_TRUE(read_frame(in, response));
+  ASSERT_EQ(response.type, MessageType::job_report);
+  const auto report =
+      decode_report(response.payload.data(), response.payload.size());
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report.value().seed, 11u);
+
+  // The report a local execute produces is byte-identical to the served one.
+  auto local_spec = request.to_spec();
+  ASSERT_TRUE(local_spec.has_value());
+  diagnosis::ClassifierCache cache;
+  const auto local = core::DiagnosisEngine::execute(
+      local_spec.value(), core::SchemeRegistry::global(), &cache);
+  EXPECT_EQ(encode_report(local), response.payload);
+
+  ASSERT_TRUE(write_frame(out, MessageType::get_stats, std::string()));
+  ASSERT_TRUE(read_frame(in, response));
+  EXPECT_EQ(response.type, MessageType::stats_json);
+  const std::string stats(response.payload.begin(), response.payload.end());
+  EXPECT_NE(stats.find("\"jobs_ok\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"jobs_failed\":1"), std::string::npos) << stats;
+
+  ASSERT_TRUE(write_frame(out, MessageType::shutdown, std::string()));
+  ASSERT_TRUE(read_frame(in, response));
+  EXPECT_EQ(response.type, MessageType::ok);
+  worker.join();
+  EXPECT_TRUE(drained);
+  EXPECT_TRUE(server.draining());
+
+  for (int fd : {to_server[0], to_server[1], from_server[0], from_server[1]}) {
+    close(fd);
+  }
+}
+
+TEST(JobServer, CacheFilesRoundTripThroughTheServer) {
+  const std::string path = temp_path("server_cache");
+  JobRequest request;
+  request.configs = {small("svc", 32, 8)};
+  request.classify = true;
+
+  {
+    JobServer server;
+    auto spec = request.to_spec();
+    ASSERT_TRUE(spec.has_value());
+    // Warm the server cache directly through its public surface: one
+    // served job via the pipe path would do the same.
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    int back[2];
+    ASSERT_EQ(pipe(back), 0);
+    std::thread worker([&] { server.serve_connection(fds[0], back[1]); });
+    Frame response;
+    ASSERT_TRUE(write_frame(fds[1], MessageType::submit_job,
+                            encode_job_request(request)));
+    ASSERT_TRUE(read_frame(back[0], response));
+    ASSERT_EQ(response.type, MessageType::job_report);
+    ASSERT_TRUE(server.save_cache_file(path));
+    ASSERT_TRUE(write_frame(fds[1], MessageType::shutdown, std::string()));
+    ASSERT_TRUE(read_frame(back[0], response));
+    worker.join();
+    for (int fd : {fds[0], fds[1], back[0], back[1]}) {
+      close(fd);
+    }
+  }
+
+  JobServer reloaded;
+  EXPECT_GT(reloaded.load_cache_file(path), 0);
+  EXPECT_EQ(reloaded.cache().stats().probe_replays, 0u);
+  EXPECT_EQ(reloaded.load_cache_file(path + ".missing"), -1);
+  std::remove(path.c_str());
+}
+
+TEST(Protocol, MalformedFramesAreRejected) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  // Bad magic.
+  ByteWriter writer;
+  writer.u32(0xDEADBEEF);
+  writer.u8(0);
+  writer.u32(0);
+  ASSERT_EQ(write(fds[1], writer.data().data(), writer.size()),
+            static_cast<ssize_t>(writer.size()));
+  Frame frame;
+  EXPECT_FALSE(read_frame(fds[0], frame));
+  close(fds[0]);
+  close(fds[1]);
+
+  // Oversized payload length.
+  ASSERT_EQ(pipe(fds), 0);
+  ByteWriter big;
+  big.u32(kFrameMagic);
+  big.u8(static_cast<std::uint8_t>(MessageType::ping));
+  big.u32(kMaxFramePayload + 1);
+  ASSERT_EQ(write(fds[1], big.data().data(), big.size()),
+            static_cast<ssize_t>(big.size()));
+  EXPECT_FALSE(read_frame(fds[0], frame));
+  close(fds[0]);
+  close(fds[1]);
+
+  JobRequest request;
+  request.configs = {small("x", 16, 4)};
+  auto payload = encode_job_request(request);
+  payload.resize(payload.size() - 1);  // truncated request payload
+  EXPECT_FALSE(decode_job_request(payload.data(), payload.size()).has_value());
+}
+
+}  // namespace
+}  // namespace fastdiag::service

@@ -1,0 +1,72 @@
+// diagd — the long-running fleet diagnosis job server.
+//
+// Two transports share one JobServer (and therefore one warm
+// ClassifierCache):
+//
+//   diagd                       # pipe mode: frames on stdin/stdout
+//   diagd --socket /tmp/diagd   # AF_UNIX socket, thread per client
+//
+// Pipe mode is what a supervisor (or the CI smoke test) spawns per
+// machine; socket mode lets many local clients share the same warm cache.
+// --load-cache starts the server warm from a "FDCC" blob saved by a
+// previous run, so the first classification job replays zero March probes.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <unistd.h>
+
+#include "service/server.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace fastdiag;
+
+  ArgParser args(argc, argv);
+  const std::string socket_path = args.get_string(
+      "socket", "", "serve an AF_UNIX socket at this path instead of stdio");
+  const std::uint64_t cache_max = args.get_u64(
+      "cache-max", 0, "classifier cache entry bound (0 = unbounded)");
+  const std::string load_cache = args.get_string(
+      "load-cache", "", "warm the classifier cache from this FDCC file");
+  if (args.help_requested()) {
+    args.print_help("fleet diagnosis job server (frames per service/protocol.h)");
+    return 0;
+  }
+  try {
+    args.finish();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "diagd: %s\n", error.what());
+    return 2;
+  }
+
+  service::ServerOptions options;
+  options.cache_max_entries = static_cast<std::size_t>(cache_max);
+  service::JobServer server(options);
+
+  if (!load_cache.empty()) {
+    const long imported = server.load_cache_file(load_cache);
+    if (imported < 0) {
+      std::fprintf(stderr, "diagd: cannot import cache from %s\n",
+                   load_cache.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "diagd: warm start, %ld cached classifiers\n",
+                 imported);
+  }
+
+  if (!socket_path.empty()) {
+    std::fprintf(stderr, "diagd: serving %s\n", socket_path.c_str());
+    if (!server.serve_socket(socket_path)) {
+      std::fprintf(stderr, "diagd: cannot serve socket %s\n",
+                   socket_path.c_str());
+      return 1;
+    }
+  } else {
+    // Pipe mode: the protocol owns stdout, diagnostics go to stderr.
+    server.serve_connection(STDIN_FILENO, STDOUT_FILENO);
+  }
+
+  std::fprintf(stderr, "diagd: drained, final stats %s\n",
+               server.stats_json().c_str());
+  return 0;
+}
