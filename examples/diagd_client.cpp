@@ -129,9 +129,12 @@ int main(int argc, char** argv) {
   const bool repair = args.get_flag("repair", "allocate spare rows");
   const bool stats = args.get_flag("stats", "print server stats JSON");
   const std::string save_cache = args.get_string(
-      "save-cache", "", "ask the server to persist its cache here");
+      "save-cache", "",
+      "ask the server to persist its cache as this bare file name "
+      "(resolved inside the server's --cache-dir)");
   const std::string load_cache = args.get_string(
-      "load-cache", "", "ask the server to import this cache file");
+      "load-cache", "",
+      "ask the server to import this bare file name from its --cache-dir");
   const bool shutdown =
       args.get_flag("shutdown", "request a graceful drain at the end");
   const auto require_hits = args.get_u64(

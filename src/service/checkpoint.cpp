@@ -1,5 +1,8 @@
 #include "service/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <bit>
 #include <cstdio>
 #include <utility>
@@ -110,8 +113,12 @@ bool save_checkpoint_file(const std::string& path,
   if (file == nullptr) {
     return false;
   }
+  // fsync before the rename so atomic-replace holds across power loss,
+  // not just process death — the rename must never land a file whose
+  // content is still in the page cache.
   const bool written =
-      std::fwrite(blob.data(), 1, blob.size(), file) == blob.size();
+      std::fwrite(blob.data(), 1, blob.size(), file) == blob.size() &&
+      std::fflush(file) == 0 && ::fsync(fileno(file)) == 0;
   const bool closed = std::fclose(file) == 0;
   if (!written || !closed) {
     std::remove(temp.c_str());
@@ -122,6 +129,16 @@ bool save_checkpoint_file(const std::string& path,
   if (std::rename(temp.c_str(), path.c_str()) != 0) {
     std::remove(temp.c_str());
     return false;
+  }
+  // Make the rename itself durable.  Best effort: a checkpoint whose
+  // directory entry is lost to a crash degrades to a fresh-start resume.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    (void)::fsync(dir_fd);
+    ::close(dir_fd);
   }
   return true;
 }

@@ -34,8 +34,9 @@ enum class MessageType : std::uint8_t {
   ping = 0,
   submit_job = 1,    ///< payload: encoded JobRequest
   get_stats = 2,     ///< payload: empty
-  save_cache = 3,    ///< payload: str path (server-side file)
-  load_cache = 4,    ///< payload: str path
+  save_cache = 3,  ///< payload: str bare file name, confined to the
+                   ///< server's cache dir (never a path)
+  load_cache = 4,  ///< payload: str bare file name, same confinement
   shutdown = 5,      ///< graceful drain: finish in-flight jobs, then exit
 
   // responses

@@ -40,8 +40,17 @@ void encode_bitvec(ByteWriter& writer, const BitVector& vector) {
 
 bool decode_bitvec(ByteReader& reader, BitVector& vector) {
   const std::uint64_t width = reader.u64();
-  const std::size_t words = (static_cast<std::size_t>(width) + 63) / 64;
-  if (!reader.ok() || words > reader.remaining() / 8) {
+  // Bound width before any word-count arithmetic: a width in
+  // [2^64-63, 2^64-1] wraps (width + 63) to a zero word count, which
+  // would bypass the payload and canonical-mask checks below and build
+  // a BitVector whose width outruns its limbs.
+  if (!reader.ok() || width / 8 > reader.remaining()) {
+    reader.fail();
+    return false;
+  }
+  const std::size_t words =
+      static_cast<std::size_t>(width / 64 + (width % 64 != 0 ? 1 : 0));
+  if (words > reader.remaining() / 8) {
     reader.fail();
     return false;
   }

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <poll.h>
 #include <thread>
 #include <vector>
@@ -117,10 +118,13 @@ bool JobServer::handle_request(const Frame& request, int out_fd) {
 
     case MessageType::save_cache: {
       bool ok = false;
-      const std::string path = reader_path(request.payload, ok);
-      if (!ok) {
-        return write_frame(out_fd, MessageType::error,
-                           std::string("save_cache: bad path payload"));
+      const std::string name = reader_path(request.payload, ok);
+      std::string path;
+      if (!ok || !resolve_cache_path(name, path)) {
+        return write_frame(
+            out_fd, MessageType::error,
+            std::string("save_cache: refused (bare file name inside the "
+                        "server's --cache-dir required)"));
       }
       if (!save_cache_file(path)) {
         return write_frame(out_fd, MessageType::error,
@@ -131,10 +135,13 @@ bool JobServer::handle_request(const Frame& request, int out_fd) {
 
     case MessageType::load_cache: {
       bool ok = false;
-      const std::string path = reader_path(request.payload, ok);
-      if (!ok) {
-        return write_frame(out_fd, MessageType::error,
-                           std::string("load_cache: bad path payload"));
+      const std::string name = reader_path(request.payload, ok);
+      std::string path;
+      if (!ok || !resolve_cache_path(name, path)) {
+        return write_frame(
+            out_fd, MessageType::error,
+            std::string("load_cache: refused (bare file name inside the "
+                        "server's --cache-dir required)"));
       }
       const long imported = load_cache_file(path);
       if (imported < 0) {
@@ -157,6 +164,21 @@ bool JobServer::handle_request(const Frame& request, int out_fd) {
                      std::string("unhandled request type"));
 }
 
+// Socket clients run at whatever privilege the daemon holds, so they name
+// cache files, never paths: the bare name is resolved inside the configured
+// cache directory and anything else is refused.
+bool JobServer::resolve_cache_path(const std::string& name,
+                                   std::string& resolved) const {
+  if (cache_dir_.empty() || name.empty() || name == "." || name == ".." ||
+      name.find('/') != std::string::npos) {
+    return false;
+  }
+  resolved = cache_dir_;
+  resolved += '/';
+  resolved += name;
+  return true;
+}
+
 bool JobServer::serve_socket(const std::string& path) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
@@ -177,12 +199,29 @@ bool JobServer::serve_socket(const std::string& path) {
     return false;
   }
 
-  std::vector<std::thread> workers;
+  struct Worker {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Worker> workers;
+  const auto reap_finished = [&workers]() {
+    for (auto it = workers.begin(); it != workers.end();) {
+      if (it->done->load(std::memory_order_acquire)) {
+        it->thread.join();
+        it = workers.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
   while (!draining()) {
     // Poll with a timeout so a shutdown arriving on another connection
     // stops the accept loop within one tick.
     pollfd pfd{listener, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, 200);
+    // Reap exited workers every tick: a long-lived daemon must not
+    // accumulate unjoined threads across its connection history.
+    reap_finished();
     if (ready <= 0) {
       continue;
     }
@@ -190,13 +229,16 @@ bool JobServer::serve_socket(const std::string& path) {
     if (client < 0) {
       continue;
     }
-    workers.emplace_back([this, client]() {
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::thread thread([this, client, done]() {
       (void)serve_connection(client, client);
       ::close(client);
+      done->store(true, std::memory_order_release);
     });
+    workers.push_back(Worker{std::move(thread), std::move(done)});
   }
   for (auto& worker : workers) {
-    worker.join();
+    worker.thread.join();
   }
   ::close(listener);
   ::unlink(path.c_str());

@@ -22,13 +22,19 @@ namespace fastdiag::service {
 struct ServerOptions {
   /// ClassifierCache size bound (0 = unbounded).
   std::size_t cache_max_entries = 0;
+  /// Directory the protocol-level save_cache/load_cache requests may
+  /// touch.  Clients name a bare file inside it (no '/' components);
+  /// empty rejects those requests entirely.  The startup-time
+  /// load_cache_file/save_cache_file API is the operator's and stays
+  /// unrestricted.
+  std::string cache_dir;
 };
 
 class JobServer {
  public:
   JobServer() = default;
   explicit JobServer(const ServerOptions& options)
-      : cache_(options.cache_max_entries) {}
+      : cache_(options.cache_max_entries), cache_dir_(options.cache_dir) {}
 
   /// Serves one framed connection (requests on @p in_fd, responses on
   /// @p out_fd) until EOF, a protocol error, or a shutdown request.
@@ -60,8 +66,11 @@ class JobServer {
 
  private:
   bool handle_request(const Frame& request, int out_fd);
+  bool resolve_cache_path(const std::string& name,
+                          std::string& resolved) const;
 
   diagnosis::ClassifierCache cache_;
+  std::string cache_dir_;
   std::atomic<bool> draining_{false};
   std::atomic<std::uint64_t> jobs_submitted_{0};
   std::atomic<std::uint64_t> jobs_ok_{0};

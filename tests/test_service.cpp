@@ -47,6 +47,32 @@ std::string temp_path(const std::string& name) {
          std::to_string(::getpid());
 }
 
+// Byte-at-a-time str encoding: GCC's optimizer flags ByteWriter::str's
+// range-insert of short literals with a false-positive -Wstringop-overflow
+// under -O3 -Werror, so these test helpers stick to push_back growth.
+[[gnu::noinline]] std::vector<std::uint8_t> str_payload(
+    const std::string& text) {
+  ByteWriter writer;
+  writer.u32(static_cast<std::uint32_t>(text.size()));
+  for (const char c : text) {
+    writer.u8(static_cast<std::uint8_t>(c));
+  }
+  return std::move(writer).take();
+}
+
+[[gnu::noinline]] std::vector<std::uint8_t> evil_march_bytes(
+    std::uint64_t width) {
+  ByteWriter writer;
+  writer.u32(4);  // MarchTest name: "evil"
+  for (const char c : {'e', 'v', 'i', 'l'}) {
+    writer.u8(static_cast<std::uint8_t>(c));
+  }
+  writer.u64(1);      // one phase
+  writer.u64(width);  // background bitvec width
+  writer.u64(0);      // one limb's worth of trailing bytes
+  return std::move(writer).take();
+}
+
 // ---- primitives -----------------------------------------------------------
 
 TEST(Bytes, PrimitivesRoundTripLittleEndian) {
@@ -203,6 +229,21 @@ TEST(Serialize, WrongMagicAndVersionAreRejectedUpFront) {
   const auto decoded = decode_report(bad_version.data(), bad_version.size());
   ASSERT_FALSE(decoded.has_value());
   EXPECT_NE(decoded.error().message.find("version"), std::string::npos);
+}
+
+TEST(Serialize, OverflowingBitvecWidthIsRejectedNotWrapped) {
+  // A march phase's background bitvec leads with a u64 width.  Widths in
+  // [2^64-63, 2^64-1] used to wrap the word-count computation to zero,
+  // bypassing the payload and canonical-mask checks and building a
+  // BitVector whose width outruns its (empty) limbs — OOB on first get().
+  for (const std::uint64_t width :
+       {~0ULL, ~0ULL - 62, 0x8000000000000000ULL, 1ULL << 40}) {
+    const auto blob = evil_march_bytes(width);
+    ByteReader reader(blob.data(), blob.size());
+    march::MarchTest test;
+    EXPECT_FALSE(decode_march_test(reader, test)) << "width " << width;
+    EXPECT_FALSE(reader.ok());
+  }
 }
 
 // ---- classifier cache -----------------------------------------------------
@@ -453,6 +494,70 @@ TEST(JobServer, ServesFramesOverPipesAndDrainsOnShutdown) {
   EXPECT_TRUE(drained);
   EXPECT_TRUE(server.draining());
 
+  for (int fd : {to_server[0], to_server[1], from_server[0], from_server[1]}) {
+    close(fd);
+  }
+}
+
+TEST(JobServer, ClientCachePathsAreConfinedToTheCacheDir) {
+  ServerOptions options;
+  options.cache_dir = ::testing::TempDir();
+  JobServer server(options);
+  int to_server[2];
+  int from_server[2];
+  ASSERT_EQ(pipe(to_server), 0);
+  ASSERT_EQ(pipe(from_server), 0);
+  std::thread worker(
+      [&] { server.serve_connection(to_server[0], from_server[1]); });
+  const int out = to_server[1];
+  const int in = from_server[0];
+
+  const auto request = [&](MessageType type, const std::string& name) {
+    Frame response;
+    EXPECT_TRUE(write_frame(out, type, str_payload(name)));
+    EXPECT_TRUE(read_frame(in, response));
+    return response.type;
+  };
+
+  // Traversal and absolute paths are refused before touching the fs.
+  EXPECT_EQ(request(MessageType::save_cache, "../evil"), MessageType::error);
+  EXPECT_EQ(request(MessageType::save_cache, "/tmp/evil"),
+            MessageType::error);
+  EXPECT_EQ(request(MessageType::load_cache, ".."), MessageType::error);
+  // A bare name lands inside the configured directory.
+  const std::string name = "confined." + std::to_string(::getpid()) + ".fdcc";
+  EXPECT_EQ(request(MessageType::save_cache, name), MessageType::ok);
+  EXPECT_EQ(request(MessageType::load_cache, name), MessageType::stats_json);
+  std::remove((options.cache_dir + "/" + name).c_str());
+
+  Frame response;
+  ASSERT_TRUE(write_frame(out, MessageType::shutdown, std::string()));
+  ASSERT_TRUE(read_frame(in, response));
+  worker.join();
+  for (int fd : {to_server[0], to_server[1], from_server[0], from_server[1]}) {
+    close(fd);
+  }
+}
+
+TEST(JobServer, ClientCacheRequestsAreRefusedWithoutACacheDir) {
+  // A default-constructed server has no cache dir: protocol-level cache
+  // persistence is off entirely (the operator-facing *_file API remains).
+  JobServer server;
+  int to_server[2];
+  int from_server[2];
+  ASSERT_EQ(pipe(to_server), 0);
+  ASSERT_EQ(pipe(from_server), 0);
+  std::thread worker(
+      [&] { server.serve_connection(to_server[0], from_server[1]); });
+  Frame response;
+  ASSERT_TRUE(write_frame(to_server[1], MessageType::save_cache,
+                          str_payload("innocent.fdcc")));
+  ASSERT_TRUE(read_frame(from_server[0], response));
+  EXPECT_EQ(response.type, MessageType::error);
+  ASSERT_TRUE(write_frame(to_server[1], MessageType::shutdown,
+                          std::string()));
+  ASSERT_TRUE(read_frame(from_server[0], response));
+  worker.join();
   for (int fd : {to_server[0], to_server[1], from_server[0], from_server[1]}) {
     close(fd);
   }

@@ -26,6 +26,10 @@ int main(int argc, char** argv) {
       "socket", "", "serve an AF_UNIX socket at this path instead of stdio");
   const std::uint64_t cache_max = args.get_u64(
       "cache-max", 0, "classifier cache entry bound (0 = unbounded)");
+  const std::string cache_dir = args.get_string(
+      "cache-dir", ".",
+      "directory client save_cache/load_cache requests are confined to "
+      "(empty = refuse them)");
   const std::string load_cache = args.get_string(
       "load-cache", "", "warm the classifier cache from this FDCC file");
   if (args.help_requested()) {
@@ -41,6 +45,7 @@ int main(int argc, char** argv) {
 
   service::ServerOptions options;
   options.cache_max_entries = static_cast<std::size_t>(cache_max);
+  options.cache_dir = cache_dir;
   service::JobServer server(options);
 
   if (!load_cache.empty()) {
