@@ -1,6 +1,7 @@
 // Quickstart: diagnose one embedded SRAM with the proposed fast scheme.
 //
 //   $ quickstart [--words 512] [--bits 100] [--rate 0.01] [--seed 42]
+//                [--kernel word_parallel|per_cell|instance_sliced]
 //
 // Builds the paper's benchmark e-SRAM, injects a 1 % defect population
 // (including the data-retention faults prior schemes miss), runs the
@@ -23,11 +24,20 @@ int main(int argc, char** argv) {
     const auto bits = args.get_u64("bits", 100, "memory IO width (c)");
     const auto rate = args.get_double("rate", 0.01, "cell defect rate");
     const auto seed = args.get_u64("seed", 42, "injection seed");
+    const auto kernel_name = args.get_string(
+        "kernel", "word_parallel",
+        "access kernel: word_parallel, per_cell or instance_sliced");
     if (args.help_requested()) {
       args.print_help("fastdiag quickstart: one e-SRAM, fast diagnosis");
       return 0;
     }
     args.finish();
+
+    const auto kernel = sram::parse_access_kernel(kernel_name);
+    if (!kernel) {
+      std::fprintf(stderr, "unknown --kernel '%s'\n", kernel_name.c_str());
+      return 1;
+    }
 
     sram::SramConfig config;
     config.name = "quickstart";
@@ -40,6 +50,7 @@ int main(int argc, char** argv) {
                           .defect_rate(rate)
                           .seed(seed)
                           .with_repair(true)
+                          .access_kernel(*kernel)
                           .build();
     if (!spec) {
       std::fprintf(stderr, "bad configuration — %s\n",

@@ -12,7 +12,9 @@
 #include "nwrtm/nwrtm.h"
 #include "serial/psc.h"
 #include "serial/spc.h"
+#include "sram/instance_slab.h"
 #include "util/require.h"
+#include "util/simd.h"
 
 namespace fastdiag::bisd {
 namespace {
@@ -68,6 +70,24 @@ bool test_has_nwrc(const MarchTest& test) {
   return false;
 }
 
+/// Runtime state of one instance-sliced group: the packed slab carrying the
+/// lanes' cells, one golden shadow (identical writes reach every lane, so a
+/// single fault-free expectation serves the whole group), and the broadcast
+/// images the packed write/compare paths consume.  The group shares its
+/// representative member's SPC and address generator — identical geometry
+/// means identical mapping.
+struct SlicedGroup {
+  SliceGroup info;
+  sram::InstanceSlab slab;
+  std::unique_ptr<sram::Sram> golden;
+  std::vector<std::uint64_t> wbcast;  ///< write image, refreshed per element
+  std::vector<std::uint64_t> ebcast;  ///< expected image, refreshed per read
+  BitVector expected_scratch;
+  std::uint32_t addr = 0;         ///< address of the in-flight read
+  std::uint64_t batch_diff = 0;   ///< lane-diff OR of the current batch
+  std::uint64_t clock_diff = 0;   ///< lane diff of the current shift clock
+};
+
 }  // namespace
 
 FastScheme::FastScheme(FastSchemeOptions options)
@@ -119,8 +139,49 @@ DiagnosisResult FastScheme::diagnose(SocUnderTest& soc) {
   const MarchTest test = test_for_width(c_max);
   const std::size_t memories = soc.memory_count();
 
+  // Instance-sliced groups (only when the SoC selects that kernel):
+  // identical-geometry transparent memories advance as bit-lanes of one
+  // packed slab; every other memory stays on the per-memory ("direct")
+  // path, so faulty lanes keep their exact per-cell semantics and record
+  // attribution is untouched.
+  std::vector<std::unique_ptr<SlicedGroup>> groups;
+  std::vector<std::ptrdiff_t> group_of(memories, -1);
+  std::vector<std::uint32_t> lane_of(memories, 0);
+  if (soc.access_kernel() == sram::AccessKernel::instance_sliced) {
+    for (auto& info : soc.slice_groups()) {
+      std::vector<sram::Sram*> lanes;
+      lanes.reserve(info.members.size());
+      for (std::size_t k = 0; k < info.members.size(); ++k) {
+        const std::size_t m = info.members[k];
+        group_of[m] = static_cast<std::ptrdiff_t>(groups.size());
+        lane_of[m] = static_cast<std::uint32_t>(k);
+        lanes.push_back(&soc.memory(m));
+      }
+      auto group = std::make_unique<SlicedGroup>(
+          SlicedGroup{info, sram::InstanceSlab(std::move(lanes)), nullptr,
+                      {}, {}, {}, 0, 0, 0});
+      auto golden_config = soc.config(info.members.front());
+      golden_config.name += ".golden";
+      group->golden = std::make_unique<sram::Sram>(golden_config);
+      group->slab.gather();
+      group->wbcast.assign(info.bits, 0);
+      group->ebcast.assign(info.bits, 0);
+      groups.push_back(std::move(group));
+    }
+  }
+  std::vector<std::size_t> direct;
+  direct.reserve(memories);
+  for (std::size_t i = 0; i < memories; ++i) {
+    if (group_of[i] < 0) {
+      direct.push_back(i);
+    }
+  }
+
   // Per-memory machinery: SPC/PSC local to each e-SRAM, a local address
   // generator, and the golden shadow providing wrap-aware expectations.
+  // Sliced members keep their SPC/PSC/generator (the group borrows its
+  // representative's, and record fields use the per-memory generators) but
+  // skip the golden shadow — the group-level one covers every lane.
   std::vector<serial::SerialToParallelConverter> spcs;
   std::vector<serial::ParallelToSerialConverter> pscs;
   std::vector<LocalAddressGenerator> generators;
@@ -133,12 +194,25 @@ DiagnosisResult FastScheme::diagnose(SocUnderTest& soc) {
     spcs.emplace_back(config.bits);
     pscs.emplace_back(config.bits);
     generators.emplace_back(config.words);
-    auto golden_config = config;
-    golden_config.name += ".golden";
-    golden.push_back(std::make_unique<sram::Sram>(golden_config));
+    if (group_of[i] < 0) {
+      auto golden_config = config;
+      golden_config.name += ".golden";
+      golden.push_back(std::make_unique<sram::Sram>(golden_config));
+    } else {
+      golden.push_back(nullptr);
+    }
   }
-  for (auto& spc : spcs) {
-    spc_ptrs.push_back(&spc);
+  for (std::size_t i = 0; i < memories; ++i) {
+    // Broadcast listeners: direct memories plus one representative per
+    // group (the delivery cost is the pattern width, independent of the
+    // listener count, so sharing changes no cycle accounting).
+    const bool is_rep =
+        group_of[i] >= 0 &&
+        groups[static_cast<std::size_t>(group_of[i])]->info.members.front() ==
+            i;
+    if (group_of[i] < 0 || is_rep) {
+      spc_ptrs.push_back(&spcs[i]);
+    }
   }
 
   DataBackgroundGenerator generator(c_max);
@@ -187,9 +261,26 @@ DiagnosisResult FastScheme::diagnose(SocUnderTest& soc) {
         bound, std::max<std::uint64_t>(log_capacity_hint_, 256))));
   }
   std::uint64_t cycles = 0;
+  // In sliced mode the per-tick clock advance walks only the direct
+  // memories (an O(all memories) walk per cycle would cap the speedup);
+  // sliced lanes are transparent — no time-dependent state — so they take
+  // one deferred advance of the full amount at the end.
+  const bool sliced_mode = !groups.empty();
+  std::uint64_t deferred_ns = 0;
+  sram::OpCounters sliced_tally;  // per-lane op counts, credited at the end
+  const auto advance = [&](std::uint64_t ns) {
+    if (!sliced_mode) {
+      soc.advance_time_ns(ns);
+      return;
+    }
+    deferred_ns += ns;
+    for (const std::size_t i : direct) {
+      soc.memory(i).advance_time_ns(ns);
+    }
+  };
   const auto tick = [&](std::uint64_t n) {
     cycles += n;
-    soc.advance_time_ns(n * options_.clock.period_ns);
+    advance(n * options_.clock.period_ns);
   };
 
   // NWRTM bracket: asserted just before the first NWRC element, released
@@ -223,7 +314,7 @@ DiagnosisResult FastScheme::diagnose(SocUnderTest& soc) {
           ensure(op.kind == MarchOpKind::pause,
                  "FastScheme: non-pause op in once element");
           result.time.add_pause_ns(op.pause_ns);
-          soc.advance_time_ns(op.pause_ns);
+          advance(op.pause_ns);
         }
         continue;
       }
@@ -240,6 +331,13 @@ DiagnosisResult FastScheme::diagnose(SocUnderTest& soc) {
                                       ? phase.background
                                       : phase.background.inverted();
         tick(generator.broadcast(pattern, spc_ptrs));
+        for (auto& group : groups) {
+          // Expand the representative SPC's parallel word into the
+          // per-column broadcast image the packed slab writes consume.
+          simd::dispatch().expand_bits(
+              spcs[group->info.members.front()].parallel_out().word_data(),
+              group->wbcast.data(), group->info.bits);
+        }
       }
 
       // Address trigger: one full sweep of the largest capacity.
@@ -250,7 +348,7 @@ DiagnosisResult FastScheme::diagnose(SocUnderTest& soc) {
             case MarchOpKind::write:
             case MarchOpKind::nwrc_write: {
               tick(1);
-              for (std::size_t i = 0; i < memories; ++i) {
+              for (const std::size_t i : direct) {
                 const std::uint32_t addr =
                     generators[i].map(step, element.order, n_max);
                 const BitVector& data = spcs[i].parallel_out();
@@ -264,11 +362,30 @@ DiagnosisResult FastScheme::diagnose(SocUnderTest& soc) {
                 // Golden expectation: NWRC == normal write on good cells.
                 golden[i]->write(addr, data);
               }
+              for (auto& group : groups) {
+                // One packed pulse advances every lane: identical geometry
+                // means identical address mapping and identical SPC content,
+                // and NWRC == normal write on transparent lanes.
+                const std::size_t rep = group->info.members.front();
+                const std::uint32_t addr =
+                    generators[rep].map(step, element.order, n_max);
+                if (op.kind == MarchOpKind::nwrc_write) {
+                  ensure(nwrtm_line.asserted(),
+                         "FastScheme: NWRC op outside NWRTM bracket");
+                }
+                group->slab.write_row(addr, group->wbcast.data());
+                group->golden->write(addr, spcs[rep].parallel_out());
+              }
+              if (sliced_mode) {
+                ++(op.kind == MarchOpKind::nwrc_write
+                       ? sliced_tally.nwrc_writes
+                       : sliced_tally.writes);
+              }
               break;
             }
             case MarchOpKind::read: {
               tick(1);  // capture into the PSCs
-              for (std::size_t i = 0; i < memories; ++i) {
+              for (const std::size_t i : direct) {
                 const std::uint32_t addr =
                     generators[i].map(step, element.order, n_max);
                 soc.memory(i).read_into(addr, read_scratch);
@@ -277,6 +394,20 @@ DiagnosisResult FastScheme::diagnose(SocUnderTest& soc) {
                 if (soc.config(i).has_idle_mode) {
                   soc.memory(i).set_mode(sram::Mode::idle);
                 }
+              }
+              for (auto& group : groups) {
+                // The whole group reads the same address; the packed compare
+                // happens during serialization, against the broadcast image
+                // of the shared golden word.
+                const std::size_t rep = group->info.members.front();
+                group->addr = generators[rep].map(step, element.order, n_max);
+                group->golden->read_into(group->addr, group->expected_scratch);
+                simd::dispatch().expand_bits(
+                    group->expected_scratch.word_data(), group->ebcast.data(),
+                    group->info.bits);
+              }
+              if (sliced_mode) {
+                ++sliced_tally.reads;
               }
               // Serialize the responses back, memories in parallel;
               // narrower PSCs drain into the zero fill.
@@ -293,7 +424,7 @@ DiagnosisResult FastScheme::diagnose(SocUnderTest& soc) {
                   const std::uint64_t batch_start_cycles = cycles;
                   tick(batch);
                   std::uint64_t any_diff = 0;
-                  for (std::size_t i = 0; i < memories; ++i) {
+                  for (const std::size_t i : direct) {
                     const std::uint64_t observed =
                         pscs[i].shift_out_word(batch);
                     const std::uint64_t expect =
@@ -301,6 +432,59 @@ DiagnosisResult FastScheme::diagnose(SocUnderTest& soc) {
                     diff_scratch[i] =
                         comparators.compare_word(i, expect, observed, batch);
                     any_diff |= diff_scratch[i];
+                  }
+                  // One packed compare covers the whole group's batch: the
+                  // result is a per-lane mask, all-zero on clean lanes (the
+                  // hot case), so the column-wise demux below runs only for
+                  // a group that actually mismatched.
+                  std::uint64_t group_mismatch = 0;
+                  for (auto& group : groups) {
+                    const std::uint32_t gbits = group->info.bits;
+                    group->batch_diff =
+                        k < gbits
+                            ? group->slab.compare_columns(
+                                  group->addr, group->ebcast.data(), k,
+                                  std::min<std::uint32_t>(
+                                      k + static_cast<std::uint32_t>(batch),
+                                      gbits))
+                            : 0;
+                    group_mismatch |= group->batch_diff;
+                  }
+                  if (group_mismatch != 0 || any_diff != 0) {
+                    // diff_scratch of sliced members still holds the last
+                    // batch that entered this path — clear every sliced
+                    // lane before demuxing the mismatching groups into it.
+                    for (const auto& group : groups) {
+                      for (const std::size_t m : group->info.members) {
+                        diff_scratch[m] = 0;
+                      }
+                    }
+                    for (const auto& group : groups) {
+                      if (group->batch_diff == 0) {
+                        continue;
+                      }
+                      const std::uint32_t j_end = std::min<std::uint32_t>(
+                          k + static_cast<std::uint32_t>(batch),
+                          group->info.bits);
+                      for (std::uint32_t j = k; j < j_end; ++j) {
+                        std::uint64_t lanes_diff =
+                            (group->slab.column(group->addr, j) ^
+                             group->ebcast[j]) &
+                            group->slab.lane_mask();
+                        if (lanes_diff == 0) {
+                          continue;
+                        }
+                        const std::uint64_t clock_bit = std::uint64_t{1}
+                                                        << (j - k);
+                        any_diff |= clock_bit;
+                        while (lanes_diff != 0) {
+                          const auto lane = static_cast<std::size_t>(
+                              std::countr_zero(lanes_diff));
+                          lanes_diff &= lanes_diff - 1;
+                          diff_scratch[group->info.members[lane]] |= clock_bit;
+                        }
+                      }
+                    }
                   }
                   // Rare path: walk the mismatching clocks in order.
                   while (any_diff != 0) {
@@ -331,7 +515,36 @@ DiagnosisResult FastScheme::diagnose(SocUnderTest& soc) {
               } else {
                 for (std::uint32_t k = 0; k < c_max; ++k) {
                   tick(1);
+                  for (auto& group : groups) {
+                    // Sliced lanes all have idle mode (a slice_groups()
+                    // precondition), so one packed column compare per shift
+                    // clock replaces the per-lane PSC/comparator walk.
+                    group->clock_diff =
+                        k < group->info.bits
+                            ? (group->slab.column(group->addr, k) ^
+                               group->ebcast[k]) &
+                                  group->slab.lane_mask()
+                            : 0;
+                  }
                   for (std::size_t i = 0; i < memories; ++i) {
+                    if (group_of[i] >= 0) {
+                      const auto& group =
+                          *groups[static_cast<std::size_t>(group_of[i])];
+                      if ((group.clock_diff >> lane_of[i]) & 1) {
+                        DiagnosisRecord record;
+                        record.memory_index = i;
+                        record.addr = group.addr;
+                        record.bit = k;
+                        record.background = phase.background;
+                        record.phase = p;
+                        record.element = e;
+                        record.op = o;
+                        record.visit = step / generators[i].words();
+                        record.cycle = cycles;
+                        result.log.add(std::move(record));
+                      }
+                      continue;
+                    }
                     const std::uint32_t bits_i = soc.config(i).bits;
                     if (!soc.config(i).has_idle_mode) {
                       // No idle mode: keep the memory in read mode with data
@@ -361,7 +574,7 @@ DiagnosisResult FastScheme::diagnose(SocUnderTest& soc) {
                   }
                 }
               }
-              for (std::size_t i = 0; i < memories; ++i) {
+              for (const std::size_t i : direct) {
                 if (soc.config(i).has_idle_mode) {
                   soc.memory(i).set_mode(sram::Mode::normal);
                 }
@@ -378,6 +591,18 @@ DiagnosisResult FastScheme::diagnose(SocUnderTest& soc) {
         nwrtm_line.deassert_mode();
         tick(c_max);
       }
+    }
+  }
+
+  // Sliced lanes now catch up with the world: the arena scatters back into
+  // each lane's CellArray, and the deferred clock/op accounting lands so the
+  // lanes' observable state (contents, uptime, counters) is exactly what the
+  // per-memory path would have produced.
+  for (auto& group : groups) {
+    group->slab.scatter();
+    for (const std::size_t m : group->info.members) {
+      soc.memory(m).advance_time_ns(deferred_ns);
+      soc.memory(m).credit_ops(sliced_tally);
     }
   }
 

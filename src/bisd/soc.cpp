@@ -73,9 +73,37 @@ void SocUnderTest::advance_time_ns(std::uint64_t ns) {
 }
 
 void SocUnderTest::set_access_kernel(sram::AccessKernel kernel) {
+  kernel_ = kernel;
   for (auto& entry : memories_) {
     entry.memory->set_access_kernel(kernel);
   }
+}
+
+std::vector<SliceGroup> SocUnderTest::slice_groups() const {
+  std::vector<SliceGroup> groups;
+  for (std::size_t i = 0; i < memories_.size(); ++i) {
+    const auto& memory = *memories_[i].memory;
+    // Idle mode is required: a memory without it performs per-shift-clock
+    // dummy reads during PSC drain, which a shared slab cannot replicate
+    // per lane without giving up the whole win.
+    if (!memory.sliceable() || !memory.config().has_idle_mode) {
+      continue;
+    }
+    SliceGroup* open = nullptr;
+    for (auto& group : groups) {
+      if (group.words == memory.words() && group.bits == memory.bits() &&
+          group.members.size() < 64) {
+        open = &group;
+        break;
+      }
+    }
+    if (open == nullptr) {
+      groups.push_back(SliceGroup{memory.words(), memory.bits(), {}});
+      open = &groups.back();
+    }
+    open->members.push_back(i);
+  }
+  return groups;
 }
 
 std::size_t SocUnderTest::total_faults() const {

@@ -61,7 +61,9 @@
 #include "serial/serial_interface.h"  // IWYU pragma: export
 #include "serial/spc.h"            // IWYU pragma: export
 #include "sram/electrical.h"       // IWYU pragma: export
+#include "sram/instance_slab.h"    // IWYU pragma: export
 #include "sram/sram.h"             // IWYU pragma: export
+#include "util/simd.h"             // IWYU pragma: export
 
 namespace fastdiag {
 

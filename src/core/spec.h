@@ -108,7 +108,10 @@ class SessionSpec::Builder {
 
   /// Simulation access kernel (default word_parallel).  per_cell forces the
   /// bit-at-a-time reference path in every memory — slow, but the oracle the
-  /// word-parallel kernel is differentially tested against.
+  /// faster kernels are differentially tested against.  instance_sliced
+  /// additionally advances groups of up to 64 identical-geometry fault-free
+  /// memories as bit-lanes of one packed slab (sram::InstanceSlab) — one
+  /// word op per cell-column for the whole group, bit-identical reports.
   Builder& access_kernel(sram::AccessKernel kernel);
 
   /// Validates every collected parameter — memory present, each SramConfig

@@ -42,6 +42,10 @@ class FaultSet final : public sram::FaultBehavior {
   }
 
   // sram::FaultBehavior --------------------------------------------------
+  /// An empty population is exactly FaultFreeBehavior, so the memory may be
+  /// folded into an instance-sliced bit-lane; any instance (even one whose
+  /// kind the current test cannot expose) keeps exact per-cell semantics.
+  [[nodiscard]] bool transparent() const override { return faults_.empty(); }
   void attach(const sram::SramConfig& config) override;
   void decode(std::uint32_t addr, std::vector<std::uint32_t>& rows) override;
   void write_cell(sram::CellArray& cells, sram::CellCoord cell, bool value,

@@ -4,7 +4,9 @@
 #include <bit>
 #include <memory>
 
+#include "sram/instance_slab.h"
 #include "util/require.h"
+#include "util/simd.h"
 
 namespace fastdiag::march {
 
@@ -123,7 +125,171 @@ void run_loop(const sram::ClockDomain& clock, sram::Sram& memory,
   }
 }
 
+/// One packed pass over a chunk of <= 64 sliceable lanes: the instance-sliced
+/// mirror of run_loop.  Uniform data (every lane receives the same background
+/// word) means one slab write per op and one packed compare per read; the
+/// per-lane Mismatch streams are demuxed from the compare masks only on the
+/// rare mismatching read.  @p out are the chunk's RunResult slots.
+void run_sliced_chunk(const sram::ClockDomain& clock,
+                      const std::vector<sram::Sram*>& lanes,
+                      const std::vector<RunResult*>& out,
+                      const MarchTest& test, std::uint32_t global_words) {
+  const std::uint32_t words = lanes.front()->words();
+  const std::uint32_t bits = lanes.front()->bits();
+  require(test.width() >= bits, [&] {
+    return "MarchRunner: test narrower than memory '" +
+           lanes.front()->config().name + "'";
+  });
+  const std::uint32_t sweep = global_words == 0 ? words : global_words;
+  require(sweep >= words, "MarchRunner: global_words below the word count");
+
+  sram::InstanceSlab slab(lanes);
+  slab.gather();
+
+  // Wrap-aware expectation, exactly as in run_loop: identical writes reach
+  // every lane, so one shared shadow serves the whole chunk.
+  std::unique_ptr<sram::Sram> golden;
+  BitVector golden_scratch;
+  if (sweep > words) {
+    auto config = lanes.front()->config();
+    config.name += ".golden";
+    golden = std::make_unique<sram::Sram>(config);
+  }
+
+  std::uint64_t ops = 0;
+  std::uint64_t elapsed_ns = 0;
+  sram::OpCounters tally;
+  std::vector<std::uint64_t> bcast_bg(bits);
+  std::vector<std::uint64_t> bcast_inv(bits);
+  std::vector<std::uint64_t> ebcast(bits);
+
+  for (std::size_t p = 0; p < test.phases().size(); ++p) {
+    const auto& phase = test.phases()[p];
+    const BitVector bg = phase.background.low_bits(bits);
+    const BitVector bg_inv = bg.inverted();
+    simd::dispatch().expand_bits(bg.word_data(), bcast_bg.data(), bits);
+    simd::dispatch().expand_bits(bg_inv.word_data(), bcast_inv.data(), bits);
+
+    for (std::size_t e = 0; e < phase.elements.size(); ++e) {
+      const auto& element = phase.elements[e];
+
+      if (element.order == AddrOrder::once) {
+        for (const auto& op : element.ops) {
+          ensure(op.kind == MarchOpKind::pause,
+                 "MarchRunner: non-pause op in once element");
+          elapsed_ns += op.pause_ns;
+          ++ops;
+        }
+        continue;
+      }
+
+      for (std::uint32_t step = 0; step < sweep; ++step) {
+        const std::uint32_t global =
+            element.order == AddrOrder::down ? sweep - 1 - step : step;
+        const std::uint32_t addr = global % words;
+        const std::uint32_t visit = step / words;
+        for (std::size_t o = 0; o < element.ops.size(); ++o) {
+          const auto& op = element.ops[o];
+          elapsed_ns += clock.period_ns;
+          ++ops;
+          const bool inverse = op.polarity != Polarity::background;
+          switch (op.kind) {
+            case MarchOpKind::write:
+            case MarchOpKind::nwrc_write:
+              // NWRC == normal write on transparent lanes.
+              slab.write_row(addr,
+                             inverse ? bcast_inv.data() : bcast_bg.data());
+              if (golden) {
+                golden->write(addr, inverse ? bg_inv : bg);
+              }
+              ++(op.kind == MarchOpKind::nwrc_write ? tally.nwrc_writes
+                                                    : tally.writes);
+              break;
+            case MarchOpKind::read: {
+              ++tally.reads;
+              const BitVector* expected = inverse ? &bg_inv : &bg;
+              const std::uint64_t* eb =
+                  inverse ? bcast_inv.data() : bcast_bg.data();
+              if (golden) {
+                golden->read_into(addr, golden_scratch);
+                simd::dispatch().expand_bits(golden_scratch.word_data(),
+                                             ebcast.data(), bits);
+                expected = &golden_scratch;
+                eb = ebcast.data();
+              }
+              std::uint64_t diff = slab.compare_columns(addr, eb, 0, bits);
+              while (diff != 0) {
+                const auto lane =
+                    static_cast<std::size_t>(std::countr_zero(diff));
+                diff &= diff - 1;
+                Mismatch mismatch{p, e, o, addr, visit, *expected, *expected};
+                for (std::uint32_t j = 0; j < bits; ++j) {
+                  if (((slab.column(addr, j) ^ eb[j]) >> lane) & 1) {
+                    mismatch.actual.flip(j);
+                  }
+                }
+                out[lane]->mismatches.push_back(std::move(mismatch));
+              }
+              break;
+            }
+            case MarchOpKind::pause:
+              ensure(false, "MarchRunner: pause in addressed element");
+          }
+        }
+      }
+    }
+  }
+
+  slab.scatter();
+  for (std::size_t k = 0; k < lanes.size(); ++k) {
+    out[k]->ops = ops;
+    out[k]->elapsed_ns = elapsed_ns;
+    lanes[k]->advance_time_ns(elapsed_ns);
+    lanes[k]->credit_ops(tally);
+  }
+}
+
 }  // namespace
+
+std::vector<RunResult> MarchRunner::run_group(
+    const std::vector<sram::Sram*>& memories, const MarchTest& test,
+    std::uint32_t global_words) const {
+  require(!memories.empty(), "MarchRunner::run_group: empty group");
+  for (const sram::Sram* memory : memories) {
+    require(memory != nullptr, "MarchRunner::run_group: null memory");
+    require(memory->words() == memories.front()->words() &&
+                memory->bits() == memories.front()->bits(),
+            [&] {
+              return "MarchRunner::run_group: memory '" +
+                     memory->config().name + "' geometry differs";
+            });
+  }
+
+  std::vector<RunResult> results(memories.size());
+  std::vector<std::size_t> sliced;
+  for (std::size_t i = 0; i < memories.size(); ++i) {
+    if (memories[i]->access_kernel() == sram::AccessKernel::instance_sliced &&
+        memories[i]->sliceable()) {
+      sliced.push_back(i);
+    } else {
+      results[i] = run(*memories[i], test, global_words);
+    }
+  }
+
+  for (std::size_t start = 0; start < sliced.size(); start += 64) {
+    const std::size_t count = std::min<std::size_t>(64, sliced.size() - start);
+    std::vector<sram::Sram*> lanes;
+    std::vector<RunResult*> out;
+    lanes.reserve(count);
+    out.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      lanes.push_back(memories[sliced[start + k]]);
+      out.push_back(&results[sliced[start + k]]);
+    }
+    run_sliced_chunk(clock_, lanes, out, test, global_words);
+  }
+  return results;
+}
 
 RunResult MarchRunner::run(sram::Sram& memory, const MarchTest& test,
                            std::uint32_t global_words) const {

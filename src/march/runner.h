@@ -79,6 +79,17 @@ class MarchRunner {
   RunResult run(sram::Sram& memory, const MarchTest& test,
                 std::uint32_t global_words = 0) const;
 
+  /// Runs @p test over a fleet of identical-geometry memories, one RunResult
+  /// per memory in input order, bit-identical to calling run() on each.
+  /// Memories whose access kernel is AccessKernel::instance_sliced and that
+  /// are sliceable() advance as bit-lanes of shared sram::InstanceSlabs
+  /// (chunks of up to 64, in input order) — one word op per cell-column for
+  /// the whole chunk; everything else falls back to the per-memory loop, so
+  /// faulty lanes keep exact per-cell semantics.
+  [[nodiscard]] std::vector<RunResult> run_group(
+      const std::vector<sram::Sram*>& memories, const MarchTest& test,
+      std::uint32_t global_words = 0) const;
+
   /// Multi-victim replay: runs @p test once and demultiplexes the mismatch
   /// stream per failing cell — every cell with at least one mismatching
   /// read bit maps to its distinct ReadEvents in March order.  Equivalent

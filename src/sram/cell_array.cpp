@@ -4,6 +4,7 @@
 #include <string>
 
 #include "util/require.h"
+#include "util/simd.h"
 
 namespace fastdiag::sram {
 
@@ -64,11 +65,16 @@ void CellArray::set_row(std::uint32_t row, const BitVector& value) {
   require(value.width() == bits_, "CellArray::set_row: width mismatch");
   // value's bits above width() are zero (BitVector invariant), so a straight
   // limb copy preserves the arena's zero-padding invariant.
-  std::copy_n(value.word_data(), words_per_row_,
-              &arena_[row * words_per_row_]);
+  simd::dispatch().copy_limbs(&arena_[row * words_per_row_], value.word_data(),
+                              words_per_row_);
 }
 
 const std::uint64_t* CellArray::row_words(std::uint32_t row) const {
+  check(CellCoord{row, 0});
+  return &arena_[row * words_per_row_];
+}
+
+std::uint64_t* CellArray::row_words_mut(std::uint32_t row) {
   check(CellCoord{row, 0});
   return &arena_[row * words_per_row_];
 }

@@ -61,6 +61,11 @@ class CellArray {
   /// Limbs of one row (words_per_row() of them).
   [[nodiscard]] const std::uint64_t* row_words(std::uint32_t row) const;
 
+  /// Mutable limbs of one row — the raw seam InstanceSlab scatters sliced
+  /// lane state back through.  Callers must keep the padding bits above
+  /// bits() in the top limb zero (the arena invariant).
+  [[nodiscard]] std::uint64_t* row_words_mut(std::uint32_t row);
+
   /// 64-bit limbs per row.
   [[nodiscard]] std::size_t words_per_row() const { return words_per_row_; }
 

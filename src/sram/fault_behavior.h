@@ -41,6 +41,13 @@ class FaultBehavior {
   /// Called once when the behaviour is bound to a memory.
   virtual void attach(const SramConfig& config) = 0;
 
+  /// True when the behaviour is observably fault-free: identity decode and
+  /// plain storage semantics on every access.  Transparent memories may be
+  /// advanced by shared packed state (the instance-sliced kernel folds them
+  /// into one bit-lane of an InstanceSlab); anything stateful must return
+  /// false so its accesses keep exact per-cell semantics.
+  [[nodiscard]] virtual bool transparent() const { return false; }
+
   /// Address decoding.  Fills @p rows with the physical rows whose wordline
   /// fires for logical @p addr.  A fault-free decoder yields exactly {addr};
   /// address-decoder faults may yield none, other rows, or several rows.
@@ -113,6 +120,8 @@ class FaultBehavior {
 class FaultFreeBehavior final : public FaultBehavior {
  public:
   void attach(const SramConfig&) override {}
+
+  [[nodiscard]] bool transparent() const override { return true; }
 
   void decode(std::uint32_t addr, std::vector<std::uint32_t>& rows) override {
     rows.assign(1, addr);

@@ -1,0 +1,75 @@
+// Instance-sliced packed storage: up to 64 identical-geometry memories as
+// bit-lanes of one transposed arena.
+//
+// PR 2 packed the *cells* of one memory into 64-bit limbs; this layer packs
+// *instances*.  The slab stores one limb per cell-column (row, bit): bit k
+// of that limb is lane k's value of the cell, so a uniform March operation
+// (every lane receives the same data — the shared-BISD broadcast of the
+// paper's Fig. 3) advances the whole group with one word op per cell-column,
+// and a comparison against a broadcast expectation demuxes straight into a
+// per-lane mismatch mask.
+//
+// gather()/scatter() convert between this layout and each lane's CellArray
+// arena with 64x64 bit-matrix transposes (simd::transpose_64x64 — an
+// involution, so the same kernel runs both directions), touching
+// rows * words_per_row transposes instead of rows * bits cell moves.
+//
+// Only sliceable() memories (transparent behaviour, no spares consumed) may
+// be lanes: the slab implements exactly fault-free storage semantics, and
+// anything stateful must stay on the per-memory port path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sram/sram.h"
+
+namespace fastdiag::sram {
+
+class InstanceSlab {
+ public:
+  /// @p lanes: 1..64 memories of identical geometry, all sliceable().  Raw
+  /// pointers are kept — the memories must outlive the slab.
+  explicit InstanceSlab(std::vector<Sram*> lanes);
+
+  [[nodiscard]] std::size_t lane_count() const { return lanes_.size(); }
+  /// Bit k set for every registered lane (low lane_count() bits).
+  [[nodiscard]] std::uint64_t lane_mask() const { return lane_mask_; }
+  [[nodiscard]] std::uint32_t rows() const { return rows_; }
+  [[nodiscard]] std::uint32_t bits() const { return bits_; }
+
+  /// Loads the arena from every lane's current CellArray contents.
+  void gather();
+
+  /// Writes the arena back into every lane's CellArray (the inverse of
+  /// gather; the padding bits above bits() stay zero in every lane).
+  void scatter();
+
+  /// One uniform word-write pulse into @p row: every lane's cell (row, j)
+  /// takes bit j of the broadcast image — @p bcast[j] is all-ones or
+  /// all-zeros per column (see simd::LimbOps::expand_bits), bits() entries.
+  void write_row(std::uint32_t row, const std::uint64_t* bcast);
+
+  /// OR over columns [bit_begin, bit_end) of (column ^ expect_bcast[j]),
+  /// masked to the registered lanes: bit k of the result is set when lane k
+  /// disagrees with the broadcast expectation anywhere in the range.  The
+  /// all-zero fast answer is the common case — clean lanes never mismatch.
+  [[nodiscard]] std::uint64_t compare_columns(
+      std::uint32_t row, const std::uint64_t* expect_bcast,
+      std::uint32_t bit_begin, std::uint32_t bit_end) const;
+
+  /// The lane limb of one cell-column (bit k = lane k's value of cell
+  /// (row, bit)) — the demux view the rare mismatch paths walk.
+  [[nodiscard]] std::uint64_t column(std::uint32_t row,
+                                     std::uint32_t bit) const;
+
+ private:
+  std::vector<Sram*> lanes_;
+  std::uint32_t rows_ = 0;
+  std::uint32_t bits_ = 0;
+  std::uint64_t lane_mask_ = 0;
+  /// rows_ x bits_ limbs, row-major: arena_[row * bits_ + bit].
+  std::vector<std::uint64_t> arena_;
+};
+
+}  // namespace fastdiag::sram

@@ -63,7 +63,7 @@ void Sram::read_into(std::uint32_t addr, BitVector& out) {
     return;
   }
 
-  if (kernel_ == AccessKernel::word_parallel && !any_col_repair_ &&
+  if (kernel_ != AccessKernel::per_cell && !any_col_repair_ &&
       decode_scratch_.size() == 1) {
     // Word-parallel fast path: one decoded row, no column muxing.  The
     // behaviour reads the whole row at once; only rows with non-driving
@@ -136,9 +136,11 @@ void Sram::write_impl(std::uint32_t addr, const BitVector& value,
 
   behavior_->decode(addr, decode_scratch_);
 
-  if (kernel_ == AccessKernel::word_parallel && !any_col_repair_ &&
+  if (kernel_ != AccessKernel::per_cell && !any_col_repair_ &&
       decode_scratch_.size() == 1) {
     // Word-parallel fast path: the behaviour applies the whole word pulse
+    // (instance_sliced behaves as word_parallel at the single-port level;
+    // slicing itself happens in the group paths that bypass this port).
     // (defect-free rows take a packed limb copy).
     behavior_->write_row(cells_, decode_scratch_[0], value, style, now_ns_);
     return;

@@ -12,8 +12,12 @@
 // unrepaired-column accesses through the behaviour's word-level hooks
 // (write_row / read_row), which take packed limb copies when the row carries
 // no defect; the per_cell kernel forces the bit-at-a-time reference loop on
-// every access.  Both produce bit-identical results — the per_cell kernel
-// exists so differential tests and benchmarks can prove it.
+// every access; instance_sliced behaves like word_parallel at this level and
+// additionally lets group executors (bisd::SocUnderTest::slice_groups,
+// march::MarchRunner::run_group) advance sliceable() memories as bit-lanes
+// of a shared sram::InstanceSlab.  All kernels produce bit-identical
+// results — the narrower ones exist so differential tests and benchmarks
+// can prove it.
 #pragma once
 
 #include <cstdint>
@@ -112,6 +116,34 @@ class Sram {
 
   /// True when IO bit @p bit has been remapped to a spare lane.
   [[nodiscard]] bool is_column_repaired(std::uint32_t bit) const;
+
+  // ---- instance slicing ---------------------------------------------------
+
+  /// True when this memory's observable behaviour is exactly fault-free
+  /// storage (transparent FaultBehavior, no row or column spares consumed),
+  /// so it may be advanced as one bit-lane of a shared InstanceSlab instead
+  /// of through its own port.  Faulty or repaired memories must keep their
+  /// exact per-cell access semantics and always return false.
+  [[nodiscard]] bool sliceable() const {
+    return behavior_->transparent() && spares_used() == 0 &&
+           col_spares_used() == 0;
+  }
+
+  /// The raw cell matrix — the gather/scatter seam of InstanceSlab and the
+  /// golden-model bootstrap.  Bypasses the fault engine, mode checks and
+  /// counters, like peek()/poke().
+  [[nodiscard]] const CellArray& cells() const { return cells_; }
+  [[nodiscard]] CellArray& cells_mut() { return cells_; }
+
+  /// Adds @p ops to the operation counters without touching storage.  The
+  /// sliced execution paths perform the group's port traffic on the packed
+  /// slab and credit each lane afterwards, so counters match a per-memory
+  /// run op for op.
+  void credit_ops(const OpCounters& ops) {
+    counters_.reads += ops.reads;
+    counters_.writes += ops.writes;
+    counters_.nwrc_writes += ops.nwrc_writes;
+  }
 
   // ---- introspection -----------------------------------------------------
 
