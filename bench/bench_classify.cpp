@@ -6,11 +6,12 @@
 // production flow pays the probe simulations once per memory shape and then
 // classifies at dictionary-lookup speed.  This bench measures both phases —
 // cold (dictionary warm-up included) and warm (steady-state classification)
-// — for BOTH dictionary build modes: the per_candidate reference (one probe
-// replay per candidate fault) and the bit_sliced packed builder (one replay
-// per packed candidate batch).  The cold-build speedup and the byte-identity
-// of the resulting verdicts are part of the emitted `JSON:` line, plus the
-// end-to-end closed loop (diagnose -> classify -> repair -> retest).
+// — for ALL THREE dictionary build modes: the per_candidate reference (one
+// probe replay per candidate fault), the bit_sliced packed builder (one
+// replay per packed candidate batch) and the instance_sliced builder (64
+// packed probes replayed per word op).  The cold-build speedups and the
+// byte-identity of the resulting verdicts are part of the emitted `JSON:`
+// line, plus the closed loop (diagnose -> classify -> repair -> retest).
 #include <chrono>
 #include <iostream>
 #include <string>
@@ -130,14 +131,20 @@ double measure_closed_loop(std::size_t* residual) {
 }
 
 void classify_table() {
+  const ClassifyRun instance =
+      measure_classification(diagnosis::DictionaryBuildMode::instance_sliced);
   const ClassifyRun sliced =
       measure_classification(diagnosis::DictionaryBuildMode::bit_sliced);
   const ClassifyRun reference =
       measure_classification(diagnosis::DictionaryBuildMode::per_candidate);
-  const bool identical = sliced.verdicts == reference.verdicts;
+  const bool identical = sliced.verdicts == reference.verdicts &&
+                         instance.verdicts == reference.verdicts;
   const double speedup = sliced.cold_seconds > 0
                              ? reference.cold_seconds / sliced.cold_seconds
                              : 0.0;
+  const double instance_speedup =
+      instance.cold_seconds > 0 ? sliced.cold_seconds / instance.cold_seconds
+                                : 0.0;
   std::size_t residual = 0;
   const double loop_seconds = measure_closed_loop(&residual);
 
@@ -145,7 +152,7 @@ void classify_table() {
   table.set_title("64-memory SoC, 1% defects, syndrome classification");
   const auto rate = [&](double seconds) {
     return seconds == 0.0 ? 0.0
-                          : static_cast<double>(sliced.sites) / seconds;
+                          : static_cast<double>(instance.sites) / seconds;
   };
   table.add_row({"classify (cold, per_candidate dictionaries)",
                  fmt_double(reference.cold_seconds * 1e3, 1) + " ms",
@@ -153,19 +160,27 @@ void classify_table() {
   table.add_row({"classify (cold, bit_sliced dictionaries)",
                  fmt_double(sliced.cold_seconds * 1e3, 1) + " ms",
                  fmt_double(rate(sliced.cold_seconds), 1)});
+  table.add_row({"classify (cold, instance_sliced dictionaries)",
+                 fmt_double(instance.cold_seconds * 1e3, 1) + " ms",
+                 fmt_double(rate(instance.cold_seconds), 1)});
   table.add_row({"classify (warm)",
-                 fmt_double(sliced.warm_seconds * 1e3, 1) + " ms",
-                 fmt_double(rate(sliced.warm_seconds), 1)});
+                 fmt_double(instance.warm_seconds * 1e3, 1) + " ms",
+                 fmt_double(rate(instance.warm_seconds), 1)});
   table.add_row({"closed loop (diagnose..retest)",
                  fmt_double(loop_seconds * 1e3, 1) + " ms", "-"});
-  table.add_note("cold dictionary build speedup: " + fmt_ratio(speedup) +
+  table.add_note("cold build speedup (bit_sliced over per_candidate): " +
+                 fmt_ratio(speedup) +
                  std::string(identical ? " (verdicts byte-identical)"
                                        : " (VERDICTS DIVERGE!)"));
+  table.add_note("cold build speedup (instance_sliced over bit_sliced): " +
+                 fmt_ratio(instance_speedup));
+  table.add_note("instance_sliced " + instance.stats.to_string());
   table.add_note("bit_sliced " + sliced.stats.to_string());
   table.add_note("per_candidate " + reference.stats.to_string());
-  table.add_note("sites classified: " + std::to_string(sliced.classified) +
-                 "/" + std::to_string(sliced.sites) + ", lenient accuracy " +
-                 fmt_percent(sliced.lenient_accuracy));
+  table.add_note("sites classified: " + std::to_string(instance.classified) +
+                 "/" + std::to_string(instance.sites) +
+                 ", lenient accuracy " +
+                 fmt_percent(instance.lenient_accuracy));
   table.add_note("closed-loop residual records: " +
                  std::to_string(residual));
   table.print(std::cout);
@@ -174,19 +189,26 @@ void classify_table() {
       JsonObject()
           .field("bench", "classify")
           .field("memories", 64)
-          .field("sites", static_cast<std::uint64_t>(sliced.sites))
-          .field("classified", static_cast<std::uint64_t>(sliced.classified))
-          .field("cold_seconds", sliced.cold_seconds)
+          .field("sites", static_cast<std::uint64_t>(instance.sites))
+          .field("classified",
+                 static_cast<std::uint64_t>(instance.classified))
+          .field("cold_seconds", instance.cold_seconds)
+          .field("cold_seconds_bit_sliced", sliced.cold_seconds)
           .field("cold_seconds_per_candidate", reference.cold_seconds)
           .field("cold_build_speedup", speedup, 2)
+          .field("instance_sliced_speedup", instance_speedup, 2)
           .field("build_identical", identical)
           .field("build_probe_replays",
                  static_cast<std::uint64_t>(sliced.stats.probe_replays))
           .field("build_probe_replays_per_candidate",
                  static_cast<std::uint64_t>(reference.stats.probe_replays))
-          .field("warm_seconds", sliced.warm_seconds)
-          .field("warm_sites_per_sec", rate(sliced.warm_seconds), 1)
-          .field("lenient_accuracy", sliced.lenient_accuracy)
+          .field("build_slab_batches",
+                 static_cast<std::uint64_t>(instance.stats.slab_batches))
+          .field("build_slab_lanes",
+                 static_cast<std::uint64_t>(instance.stats.slab_lanes))
+          .field("warm_seconds", instance.warm_seconds)
+          .field("warm_sites_per_sec", rate(instance.warm_seconds), 1)
+          .field("lenient_accuracy", instance.lenient_accuracy)
           .field("closed_loop_seconds", loop_seconds)
           .field("closed_loop_residual",
                  static_cast<std::uint64_t>(residual)));
@@ -261,6 +283,7 @@ void BM_DictionaryBuild(benchmark::State& state) {
 BENCHMARK(BM_DictionaryBuild)
     ->Arg(static_cast<int>(diagnosis::DictionaryBuildMode::per_candidate))
     ->Arg(static_cast<int>(diagnosis::DictionaryBuildMode::bit_sliced))
+    ->Arg(static_cast<int>(diagnosis::DictionaryBuildMode::instance_sliced))
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -151,6 +151,7 @@ std::string_view dictionary_build_mode_name(DictionaryBuildMode mode) {
   switch (mode) {
     case DictionaryBuildMode::per_candidate: return "per_candidate";
     case DictionaryBuildMode::bit_sliced: return "bit_sliced";
+    case DictionaryBuildMode::instance_sliced: return "instance_sliced";
   }
   return "?";
 }
@@ -161,6 +162,8 @@ CacheStats& CacheStats::merge(const CacheStats& other) {
   evictions += other.evictions;
   dictionary_keys += other.dictionary_keys;
   probe_replays += other.probe_replays;
+  slab_batches += other.slab_batches;
+  slab_lanes += other.slab_lanes;
   build_seconds += other.build_seconds;
   return *this;
 }
@@ -170,6 +173,8 @@ std::string CacheStats::to_string() const {
          std::to_string(misses) + " misses, " + std::to_string(evictions) +
          " evictions; dictionaries: " + std::to_string(dictionary_keys) +
          " keys, " + std::to_string(probe_replays) + " probe replays, " +
+         std::to_string(slab_batches) + " slab batches (" +
+         std::to_string(slab_lanes) + " lanes), " +
          fmt_double(build_seconds * 1e3, 1) + " ms build";
 }
 
@@ -445,8 +450,13 @@ FaultClassifier::cell_dictionary(CellCoord cell) const {
       return cached->second;
     }
   }
-  if (options_.build_mode == DictionaryBuildMode::bit_sliced) {
-    return build_cell_bit_sliced(key, cell.row, geometry);
+  switch (options_.build_mode) {
+    case DictionaryBuildMode::bit_sliced:
+      return build_cell_bit_sliced(key, cell.row, geometry);
+    case DictionaryBuildMode::instance_sliced:
+      return build_cell_instance_sliced(key, cell.row, geometry);
+    case DictionaryBuildMode::per_candidate:
+      break;
   }
   return build_cell_per_candidate(key, victim_row, geometry);
 }
@@ -487,6 +497,21 @@ const std::vector<FaultClassifier::CellSignature>&
 FaultClassifier::build_cell_bit_sliced(const CellKey& key,
                                        std::uint32_t observed_row,
                                        const ProbeGeometry& geometry) const {
+  return build_cell_sliced(key, observed_row, geometry, false);
+}
+
+const std::vector<FaultClassifier::CellSignature>&
+FaultClassifier::build_cell_instance_sliced(
+    const CellKey& key, std::uint32_t observed_row,
+    const ProbeGeometry& geometry) const {
+  return build_cell_sliced(key, observed_row, geometry, true);
+}
+
+const std::vector<FaultClassifier::CellSignature>&
+FaultClassifier::build_cell_sliced(const CellKey& key,
+                                   std::uint32_t observed_row,
+                                   const ProbeGeometry& geometry,
+                                   bool instance_sliced) const {
   // One batch fills every key of this probe geometry, so serialize batch
   // builds instead of letting racing threads duplicate the whole pack.
   const std::lock_guard<std::mutex> build_lock(build_mutex_);
@@ -633,26 +658,62 @@ FaultClassifier::build_cell_bit_sliced(const CellKey& key,
     }
   }
 
-  // ---- one March replay per round ----------------------------------------
+  // ---- replay the plan ----------------------------------------------------
+  // bit_sliced: one March replay per round.  instance_sliced: every round
+  // becomes one lane of a SlicedProbeBatch and the whole plan replays 64
+  // rounds per batch — same rounds, same demux, so the dictionaries are
+  // byte-identical across all three modes by construction.
   auto probe_config = config_;
   probe_config.name = "probe";
   probe_config.words = geometry.words;
   probe_config.spare_rows = 0;
   probe_config.spare_cols = 0;
   const march::MarchRunner runner(options_.clock);
-  for (const auto& [id, packed] : rounds) {
-    auto behavior = std::make_unique<faults::CompositeProbeBehavior>();
-    for (const auto& ref : packed) {
-      behavior->add_candidate(specs[ref.target][ref.slot].fault);
+  std::size_t replays = 0;
+  std::size_t slab_batches = 0;
+  std::size_t slab_lanes = 0;
+  if (instance_sliced && !rounds.empty()) {
+    std::vector<std::vector<faults::FaultInstance>> lanes;
+    std::vector<const std::vector<PackedRef>*> lane_refs;
+    lanes.reserve(rounds.size());
+    lane_refs.reserve(rounds.size());
+    for (const auto& [id, packed] : rounds) {
+      auto& lane = lanes.emplace_back();
+      lane.reserve(packed.size());
+      for (const auto& ref : packed) {
+        lane.push_back(specs[ref.target][ref.slot].fault);
+      }
+      lane_refs.push_back(&packed);
     }
-    sram::Sram memory(probe_config, std::move(behavior));
-    const auto by_cell = runner.run_per_cell(memory, test_, geometry.sweep);
-    for (const auto& ref : packed) {
-      const auto it = by_cell.find(specs[ref.target][ref.slot].fault.victim);
-      if (it != by_cell.end()) {
-        dictionaries[ref.target][ref.slot].reads = to_read_keys(it->second);
+    const auto results =
+        runner.run_group_per_cell(probe_config, lanes, test_, geometry.sweep);
+    for (std::size_t k = 0; k < lanes.size(); ++k) {
+      const auto& by_cell = results[k];
+      for (const auto& ref : *lane_refs[k]) {
+        const auto it = by_cell.find(specs[ref.target][ref.slot].fault.victim);
+        if (it != by_cell.end()) {
+          dictionaries[ref.target][ref.slot].reads = to_read_keys(it->second);
+        }
       }
     }
+    slab_lanes = lanes.size();
+    slab_batches = (lanes.size() + 63) / 64;
+  } else {
+    for (const auto& [id, packed] : rounds) {
+      auto behavior = std::make_unique<faults::CompositeProbeBehavior>();
+      for (const auto& ref : packed) {
+        behavior->add_candidate(specs[ref.target][ref.slot].fault);
+      }
+      sram::Sram memory(probe_config, std::move(behavior));
+      const auto by_cell = runner.run_per_cell(memory, test_, geometry.sweep);
+      for (const auto& ref : packed) {
+        const auto it = by_cell.find(specs[ref.target][ref.slot].fault.victim);
+        if (it != by_cell.end()) {
+          dictionaries[ref.target][ref.slot].reads = to_read_keys(it->second);
+        }
+      }
+    }
+    replays = rounds.size();
   }
   const double elapsed = seconds_since(start);
 
@@ -661,11 +722,13 @@ FaultClassifier::build_cell_bit_sliced(const CellKey& key,
     cell_cache_.emplace(targets[t].key, std::move(dictionaries[t]));
   }
   stats_.dictionary_keys += targets.size();
-  stats_.probe_replays += rounds.size();
+  stats_.probe_replays += replays;
+  stats_.slab_batches += slab_batches;
+  stats_.slab_lanes += slab_lanes;
   stats_.build_seconds += elapsed;
   const auto built = cell_cache_.find(key);
   ensure(built != cell_cache_.end(),
-         "FaultClassifier: bit-sliced batch missed the requested key");
+         "FaultClassifier: sliced batch missed the requested key");
   return built->second;
 }
 

@@ -111,6 +111,15 @@ enum class DictionaryBuildMode {
   /// O(kinds x rows x bits) replays of per_candidate into
   /// O(kinds + placements) and produces byte-identical dictionaries.
   bit_sliced,
+
+  /// Composes the bit_sliced packing with instance slicing: the packed
+  /// probe memories of one build plan are grouped into
+  /// faults::SlicedProbeBatch lanes (up to 64 per slab) and each batch is
+  /// replayed once through MarchRunner::run_group_per_cell — one masked
+  /// word op per cell-column advances the whole group, and mismatching
+  /// reads demux straight to (lane, candidate, victim) coordinates.  Same
+  /// enumeration, same demux, byte-identical dictionaries again.
+  instance_sliced,
 };
 
 [[nodiscard]] std::string_view dictionary_build_mode_name(
@@ -125,7 +134,11 @@ struct CacheStats {
   std::size_t misses = 0;  ///< ClassifierCache::get() built a new classifier
   std::size_t evictions = 0;  ///< entries displaced by the size bound
   std::size_t dictionary_keys = 0;  ///< signature-dictionary slots built
-  std::size_t probe_replays = 0;    ///< March replays spent building them
+  std::size_t probe_replays = 0;    ///< March replays individually executed
+  std::size_t slab_batches = 0;     ///< instance-sliced batch replays (each
+                                    ///< covers up to 64 probe lanes)
+  std::size_t slab_lanes = 0;       ///< probe lanes absorbed by those batches
+                                    ///< (replays that did NOT run one-by-one)
   double build_seconds = 0.0;       ///< wall time inside dictionary builds
 
   CacheStats& merge(const CacheStats& other);
@@ -156,10 +169,11 @@ struct ClassifierOptions {
   /// 0 means the memory's own word count (no wrap-around).
   std::uint32_t global_words = 0;
 
-  /// Dictionary construction strategy; both modes yield byte-identical
-  /// dictionaries (a differential test pins that down), bit_sliced is just
-  /// much faster to warm.
-  DictionaryBuildMode build_mode = DictionaryBuildMode::bit_sliced;
+  /// Dictionary construction strategy; all modes yield byte-identical
+  /// dictionaries (a differential test pins that down), the sliced modes
+  /// are just much faster to warm: bit_sliced packs candidates per probe,
+  /// instance_sliced additionally replays 64 packed probes per word op.
+  DictionaryBuildMode build_mode = DictionaryBuildMode::instance_sliced;
 };
 
 /// Classifies the syndromes of memories built from one SramConfig against
@@ -204,6 +218,9 @@ class FaultClassifier {
     AggressorPlacement placement = AggressorPlacement::none;
     std::uint32_t aggressor_bit = 0;  ///< meaningful for couplings
     std::vector<ReadKey> reads;       ///< sorted; empty = fault invisible
+
+    friend bool operator==(const CellSignature&, const CellSignature&) =
+        default;
   };
 
   struct RowSignature {
@@ -211,6 +228,9 @@ class FaultClassifier {
     Position position;  ///< position of the failing probe row
     /// (read, bit) pairs of the failing row, sorted.
     std::vector<std::pair<ReadKey, std::uint32_t>> reads;
+
+    friend bool operator==(const RowSignature&, const RowSignature&) =
+        default;
   };
 
   /// Cache key of one cell dictionary: victim bit + row category (exact
@@ -224,6 +244,9 @@ class FaultClassifier {
   struct DictionarySnapshot {
     std::vector<std::pair<CellKey, std::vector<CellSignature>>> cells;
     std::vector<std::pair<std::uint32_t, std::vector<RowSignature>>> rows;
+
+    friend bool operator==(const DictionarySnapshot&,
+                           const DictionarySnapshot&) = default;
   };
 
   /// Copies the dictionaries built so far.  Thread-safe.
@@ -279,6 +302,17 @@ class FaultClassifier {
   [[nodiscard]] const std::vector<CellSignature>& build_cell_bit_sliced(
       const CellKey& key, std::uint32_t observed_row,
       const ProbeGeometry& geometry) const;
+  /// instance_sliced build: the bit_sliced plan's packed probes become
+  /// lanes of SlicedProbeBatch slabs, replayed 64 per batch through
+  /// MarchRunner::run_group_per_cell.  Fills the same keys, same slots.
+  [[nodiscard]] const std::vector<CellSignature>& build_cell_instance_sliced(
+      const CellKey& key, std::uint32_t observed_row,
+      const ProbeGeometry& geometry) const;
+  /// Shared body of the two sliced builds: identical batch domain, packing
+  /// plan and demux; @p instance_sliced switches only the replay engine.
+  [[nodiscard]] const std::vector<CellSignature>& build_cell_sliced(
+      const CellKey& key, std::uint32_t observed_row,
+      const ProbeGeometry& geometry, bool instance_sliced) const;
   [[nodiscard]] const std::vector<RowSignature>& row_dictionary(
       std::uint32_t row) const;
 

@@ -31,22 +31,28 @@ void FaultInstance::validate(const sram::SramConfig& config) const {
   const auto in_bounds = [&config](sram::CellCoord c) {
     return c.row < config.words && c.bit < config.bits;
   };
+  // Lazy messages: validate() runs once per packed candidate on the
+  // dictionary-build hot path, so the success path must not allocate.
   if (is_address_fault(kind)) {
-    require(addr < config.words,
-            to_string() + ": address out of range for '" + config.name + "'");
+    require(addr < config.words, [&] {
+      return to_string() + ": address out of range for '" + config.name + "'";
+    });
     if (kind != FaultKind::af_no_access) {
-      require(other_row < config.words, to_string() + ": other_row out of range");
+      require(other_row < config.words,
+              [&] { return to_string() + ": other_row out of range"; });
       require(other_row != addr,
-              to_string() + ": other_row must differ from addr");
+              [&] { return to_string() + ": other_row must differ from addr"; });
     }
     return;
   }
-  require(in_bounds(victim),
-          to_string() + ": victim out of range for '" + config.name + "'");
+  require(in_bounds(victim), [&] {
+    return to_string() + ": victim out of range for '" + config.name + "'";
+  });
   if (needs_aggressor(kind)) {
-    require(in_bounds(aggressor), to_string() + ": aggressor out of range");
+    require(in_bounds(aggressor),
+            [&] { return to_string() + ": aggressor out of range"; });
     require(!(aggressor == victim),
-            to_string() + ": aggressor must differ from victim");
+            [&] { return to_string() + ": aggressor must differ from victim"; });
   }
 }
 

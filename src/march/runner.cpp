@@ -1,8 +1,11 @@
 #include "march/runner.h"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <memory>
+
+#include "faults/composite_probe.h"
 
 #include "sram/instance_slab.h"
 #include "util/require.h"
@@ -32,8 +35,93 @@ std::vector<sram::CellCoord> RunResult::suspect_cells() const {
 
 namespace {
 
-/// The shared run loop.  @p on_mismatch(phase, element, op, addr, visit,
-/// expected, actual) fires for every mismatching read; the BitVector
+/// One March operation of the element stream, as seen by a drive_march sink.
+struct OpCtx {
+  std::size_t phase = 0;
+  std::size_t element = 0;
+  std::size_t op = 0;
+  std::uint32_t addr = 0;
+  std::uint32_t visit = 0;
+  bool inverse = false;  ///< op polarity differs from the phase background
+  bool nwrc = false;     ///< write op uses the NWRC style
+};
+
+/// The shared element-loop driver: phase/element iteration, once-element
+/// pause handling, the controller's global-index-to-local-address mapping
+/// (bisd::LocalAddressGenerator: addr wraps the memory's own capacity,
+/// visit counts the wrap-around revisits) and op accounting.  The four run
+/// entry points differ only in delivery and demux, which live in their
+/// sinks: begin_phase(p, phase), pause(ns), write(ctx), read(ctx).
+template <typename Sink>
+void drive_march(const MarchTest& test, std::uint32_t words,
+                 std::uint32_t sweep, std::uint64_t& ops, Sink&& sink) {
+  for (std::size_t p = 0; p < test.phases().size(); ++p) {
+    const auto& phase = test.phases()[p];
+    sink.begin_phase(p, phase);
+
+    for (std::size_t e = 0; e < phase.elements.size(); ++e) {
+      const auto& element = phase.elements[e];
+
+      if (element.order == AddrOrder::once) {
+        for (const auto& op : element.ops) {
+          ensure(op.kind == MarchOpKind::pause,
+                 "MarchRunner: non-pause op in once element");
+          sink.pause(op.pause_ns);
+          ++ops;
+        }
+        continue;
+      }
+
+      for (std::uint32_t step = 0; step < sweep; ++step) {
+        const std::uint32_t global =
+            element.order == AddrOrder::down ? sweep - 1 - step : step;
+        const std::uint32_t addr = global % words;
+        const std::uint32_t visit = step / words;
+        for (std::size_t o = 0; o < element.ops.size(); ++o) {
+          const auto& op = element.ops[o];
+          ++ops;
+          const OpCtx ctx{p,
+                          e,
+                          o,
+                          addr,
+                          visit,
+                          op.polarity != Polarity::background,
+                          op.kind == MarchOpKind::nwrc_write};
+          switch (op.kind) {
+            case MarchOpKind::write:
+            case MarchOpKind::nwrc_write:
+              sink.write(ctx);
+              break;
+            case MarchOpKind::read:
+              sink.read(ctx);
+              break;
+            case MarchOpKind::pause:
+              ensure(false, "MarchRunner: pause in addressed element");
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Wrap-around revisits read back what the previous visit wrote, not the
+/// nominal pattern, so the expectation needs a fault-free shadow tracking
+/// the exact op stream ("memory size information stored in the BISD
+/// controller", Sec. 3.1).  The classical no-wrap run keeps the cheap
+/// nominal expectation and no shadow.
+std::unique_ptr<sram::Sram> make_golden(const sram::SramConfig& config,
+                                        std::uint32_t words,
+                                        std::uint32_t sweep) {
+  if (sweep <= words) {
+    return nullptr;
+  }
+  auto golden_config = config;
+  golden_config.name += ".golden";
+  return std::make_unique<sram::Sram>(golden_config);
+}
+
+/// The per-memory port loop.  @p on_mismatch(phase, element, op, addr,
+/// visit, expected, actual) fires for every mismatching read; the BitVector
 /// references are scratch storage valid only for the duration of the call.
 template <typename OnMismatch>
 void run_loop(const sram::ClockDomain& clock, sram::Sram& memory,
@@ -46,83 +134,55 @@ void run_loop(const sram::ClockDomain& clock, sram::Sram& memory,
   const std::uint32_t words = memory.words();
   const std::uint32_t sweep = global_words == 0 ? words : global_words;
   require(sweep >= words, "MarchRunner: global_words below the word count");
-  BitVector actual;  // scratch reused by every read
 
-  // Wrap-around revisits read back what the previous visit wrote, not the
-  // nominal pattern, so the expectation needs a fault-free shadow tracking
-  // the exact op stream ("memory size information stored in the BISD
-  // controller", Sec. 3.1).  The classical no-wrap run keeps the cheap
-  // nominal expectation.
-  std::unique_ptr<sram::Sram> golden;
-  BitVector golden_scratch;
-  if (sweep > words) {
-    auto config = memory.config();
-    config.name += ".golden";
-    golden = std::make_unique<sram::Sram>(config);
-  }
+  struct PortSink {
+    PortSink(const sram::ClockDomain& clock, sram::Sram& memory,
+             sram::Sram* golden, OnMismatch& on_mismatch)
+        : clock(clock), memory(memory), golden(golden),
+          on_mismatch(on_mismatch) {}
 
-  for (std::size_t p = 0; p < test.phases().size(); ++p) {
-    const auto& phase = test.phases()[p];
-    const BitVector bg = phase.background.low_bits(memory.bits());
-    const BitVector bg_inv = bg.inverted();
+    const sram::ClockDomain& clock;
+    sram::Sram& memory;
+    sram::Sram* golden;
+    OnMismatch& on_mismatch;
+    BitVector bg, bg_inv;
+    BitVector actual, golden_scratch;  // scratch reused by every read
 
-    for (std::size_t e = 0; e < phase.elements.size(); ++e) {
-      const auto& element = phase.elements[e];
-
-      if (element.order == AddrOrder::once) {
-        for (const auto& op : element.ops) {
-          ensure(op.kind == MarchOpKind::pause,
-                 "MarchRunner: non-pause op in once element");
-          memory.advance_time_ns(op.pause_ns);
-          ++ops;
-        }
-        continue;
+    void begin_phase(std::size_t, const MarchPhase& phase) {
+      bg = phase.background.low_bits(memory.bits());
+      bg_inv = bg.inverted();
+    }
+    void pause(std::uint64_t ns) { memory.advance_time_ns(ns); }
+    void write(const OpCtx& ctx) {
+      memory.advance_time_ns(clock.period_ns);
+      const BitVector& data = ctx.inverse ? bg_inv : bg;
+      if (ctx.nwrc) {
+        memory.nwrc_write(ctx.addr, data);
+      } else {
+        memory.write(ctx.addr, data);
       }
-
-      for (std::uint32_t step = 0; step < sweep; ++step) {
-        // The controller's global index; the local address wraps around the
-        // memory's own capacity (bisd::LocalAddressGenerator's mapping).
-        const std::uint32_t global =
-            element.order == AddrOrder::down ? sweep - 1 - step : step;
-        const std::uint32_t addr = global % words;
-        const std::uint32_t visit = step / words;
-        for (std::size_t o = 0; o < element.ops.size(); ++o) {
-          const auto& op = element.ops[o];
-          memory.advance_time_ns(clock.period_ns);
-          ++ops;
-          const BitVector& data =
-              op.polarity == Polarity::background ? bg : bg_inv;
-          switch (op.kind) {
-            case MarchOpKind::write:
-            case MarchOpKind::nwrc_write:
-              if (op.kind == MarchOpKind::write) {
-                memory.write(addr, data);
-              } else {
-                memory.nwrc_write(addr, data);
-              }
-              if (golden) {
-                golden->write(addr, data);
-              }
-              break;
-            case MarchOpKind::read: {
-              memory.read_into(addr, actual);
-              const BitVector* expected = &data;
-              if (golden) {
-                golden->read_into(addr, golden_scratch);
-                expected = &golden_scratch;
-              }
-              if (actual != *expected) {
-                on_mismatch(p, e, o, addr, visit, *expected, actual);
-              }
-              break;
-            }
-            case MarchOpKind::pause:
-              ensure(false, "MarchRunner: pause in addressed element");
-          }
-        }
+      if (golden != nullptr) {
+        golden->write(ctx.addr, data);
       }
     }
-  }
+    void read(const OpCtx& ctx) {
+      memory.advance_time_ns(clock.period_ns);
+      memory.read_into(ctx.addr, actual);
+      const BitVector* expected = ctx.inverse ? &bg_inv : &bg;
+      if (golden != nullptr) {
+        golden->read_into(ctx.addr, golden_scratch);
+        expected = &golden_scratch;
+      }
+      if (actual != *expected) {
+        on_mismatch(ctx.phase, ctx.element, ctx.op, ctx.addr, ctx.visit,
+                    *expected, actual);
+      }
+    }
+  };
+
+  const auto golden = make_golden(memory.config(), words, sweep);
+  PortSink sink{clock, memory, golden.get(), on_mismatch};
+  drive_march(test, words, sweep, ops, sink);
 }
 
 /// One packed pass over a chunk of <= 64 sliceable lanes: the instance-sliced
@@ -143,109 +203,244 @@ void run_sliced_chunk(const sram::ClockDomain& clock,
   const std::uint32_t sweep = global_words == 0 ? words : global_words;
   require(sweep >= words, "MarchRunner: global_words below the word count");
 
+  struct SlabSink {
+    SlabSink(const sram::ClockDomain& clock, sram::InstanceSlab& slab,
+             const std::vector<RunResult*>& out, sram::Sram* golden,
+             std::uint32_t bits)
+        : clock(clock), slab(slab), out(out), golden(golden), bits(bits) {}
+
+    const sram::ClockDomain& clock;
+    sram::InstanceSlab& slab;
+    const std::vector<RunResult*>& out;
+    sram::Sram* golden;
+    std::uint32_t bits;
+    std::uint64_t elapsed_ns = 0;
+    sram::OpCounters tally;
+    BitVector bg, bg_inv;
+    std::vector<std::uint64_t> bcast_bg, bcast_inv, ebcast;
+    BitVector golden_scratch;
+
+    void begin_phase(std::size_t, const MarchPhase& phase) {
+      bg = phase.background.low_bits(bits);
+      bg_inv = bg.inverted();
+      bcast_bg.resize(bits);
+      bcast_inv.resize(bits);
+      simd::dispatch().expand_bits(bg.word_data(), bcast_bg.data(), bits);
+      simd::dispatch().expand_bits(bg_inv.word_data(), bcast_inv.data(), bits);
+    }
+    void pause(std::uint64_t ns) { elapsed_ns += ns; }
+    void write(const OpCtx& ctx) {
+      elapsed_ns += clock.period_ns;
+      // NWRC == normal write on transparent lanes.
+      slab.write_row(ctx.addr,
+                     ctx.inverse ? bcast_inv.data() : bcast_bg.data());
+      if (golden != nullptr) {
+        golden->write(ctx.addr, ctx.inverse ? bg_inv : bg);
+      }
+      ++(ctx.nwrc ? tally.nwrc_writes : tally.writes);
+    }
+    void read(const OpCtx& ctx) {
+      elapsed_ns += clock.period_ns;
+      ++tally.reads;
+      const BitVector* expected = ctx.inverse ? &bg_inv : &bg;
+      const std::uint64_t* eb =
+          ctx.inverse ? bcast_inv.data() : bcast_bg.data();
+      if (golden != nullptr) {
+        golden->read_into(ctx.addr, golden_scratch);
+        ebcast.resize(bits);
+        simd::dispatch().expand_bits(golden_scratch.word_data(), ebcast.data(),
+                                     bits);
+        expected = &golden_scratch;
+        eb = ebcast.data();
+      }
+      std::uint64_t diff = slab.compare_columns(ctx.addr, eb, 0, bits);
+      if (diff == 0) {
+        return;
+      }
+      // Demux: one Mismatch per disagreeing lane, then patch only the
+      // flagged columns (mismatch_columns) instead of scanning all bits
+      // per lane.
+      std::array<std::int32_t, 64> slot;
+      slot.fill(-1);
+      const std::uint64_t lanes_hit = diff;
+      while (diff != 0) {
+        const auto lane = static_cast<std::size_t>(std::countr_zero(diff));
+        diff &= diff - 1;
+        slot[lane] = static_cast<std::int32_t>(out[lane]->mismatches.size());
+        out[lane]->mismatches.push_back(
+            Mismatch{ctx.phase, ctx.element, ctx.op, ctx.addr, ctx.visit,
+                     *expected, *expected});
+      }
+      for (std::uint32_t base = 0; base < bits; base += 64) {
+        std::uint64_t cols = slab.mismatch_columns(ctx.addr, eb, base);
+        while (cols != 0) {
+          const std::uint32_t j =
+              base + static_cast<std::uint32_t>(std::countr_zero(cols));
+          cols &= cols - 1;
+          std::uint64_t m = (slab.column(ctx.addr, j) ^ eb[j]) & lanes_hit;
+          while (m != 0) {
+            const auto lane = static_cast<std::size_t>(std::countr_zero(m));
+            m &= m - 1;
+            out[lane]->mismatches[static_cast<std::size_t>(slot[lane])]
+                .actual.flip(j);
+          }
+        }
+      }
+    }
+  };
+
   sram::InstanceSlab slab(lanes);
   slab.gather();
 
   // Wrap-aware expectation, exactly as in run_loop: identical writes reach
   // every lane, so one shared shadow serves the whole chunk.
-  std::unique_ptr<sram::Sram> golden;
-  BitVector golden_scratch;
-  if (sweep > words) {
-    auto config = lanes.front()->config();
-    config.name += ".golden";
-    golden = std::make_unique<sram::Sram>(config);
-  }
+  const auto golden = make_golden(lanes.front()->config(), words, sweep);
 
   std::uint64_t ops = 0;
-  std::uint64_t elapsed_ns = 0;
-  sram::OpCounters tally;
-  std::vector<std::uint64_t> bcast_bg(bits);
-  std::vector<std::uint64_t> bcast_inv(bits);
-  std::vector<std::uint64_t> ebcast(bits);
-
-  for (std::size_t p = 0; p < test.phases().size(); ++p) {
-    const auto& phase = test.phases()[p];
-    const BitVector bg = phase.background.low_bits(bits);
-    const BitVector bg_inv = bg.inverted();
-    simd::dispatch().expand_bits(bg.word_data(), bcast_bg.data(), bits);
-    simd::dispatch().expand_bits(bg_inv.word_data(), bcast_inv.data(), bits);
-
-    for (std::size_t e = 0; e < phase.elements.size(); ++e) {
-      const auto& element = phase.elements[e];
-
-      if (element.order == AddrOrder::once) {
-        for (const auto& op : element.ops) {
-          ensure(op.kind == MarchOpKind::pause,
-                 "MarchRunner: non-pause op in once element");
-          elapsed_ns += op.pause_ns;
-          ++ops;
-        }
-        continue;
-      }
-
-      for (std::uint32_t step = 0; step < sweep; ++step) {
-        const std::uint32_t global =
-            element.order == AddrOrder::down ? sweep - 1 - step : step;
-        const std::uint32_t addr = global % words;
-        const std::uint32_t visit = step / words;
-        for (std::size_t o = 0; o < element.ops.size(); ++o) {
-          const auto& op = element.ops[o];
-          elapsed_ns += clock.period_ns;
-          ++ops;
-          const bool inverse = op.polarity != Polarity::background;
-          switch (op.kind) {
-            case MarchOpKind::write:
-            case MarchOpKind::nwrc_write:
-              // NWRC == normal write on transparent lanes.
-              slab.write_row(addr,
-                             inverse ? bcast_inv.data() : bcast_bg.data());
-              if (golden) {
-                golden->write(addr, inverse ? bg_inv : bg);
-              }
-              ++(op.kind == MarchOpKind::nwrc_write ? tally.nwrc_writes
-                                                    : tally.writes);
-              break;
-            case MarchOpKind::read: {
-              ++tally.reads;
-              const BitVector* expected = inverse ? &bg_inv : &bg;
-              const std::uint64_t* eb =
-                  inverse ? bcast_inv.data() : bcast_bg.data();
-              if (golden) {
-                golden->read_into(addr, golden_scratch);
-                simd::dispatch().expand_bits(golden_scratch.word_data(),
-                                             ebcast.data(), bits);
-                expected = &golden_scratch;
-                eb = ebcast.data();
-              }
-              std::uint64_t diff = slab.compare_columns(addr, eb, 0, bits);
-              while (diff != 0) {
-                const auto lane =
-                    static_cast<std::size_t>(std::countr_zero(diff));
-                diff &= diff - 1;
-                Mismatch mismatch{p, e, o, addr, visit, *expected, *expected};
-                for (std::uint32_t j = 0; j < bits; ++j) {
-                  if (((slab.column(addr, j) ^ eb[j]) >> lane) & 1) {
-                    mismatch.actual.flip(j);
-                  }
-                }
-                out[lane]->mismatches.push_back(std::move(mismatch));
-              }
-              break;
-            }
-            case MarchOpKind::pause:
-              ensure(false, "MarchRunner: pause in addressed element");
-          }
-        }
-      }
-    }
-  }
+  SlabSink sink{clock, slab, out, golden.get(), bits};
+  drive_march(test, words, sweep, ops, sink);
 
   slab.scatter();
   for (std::size_t k = 0; k < lanes.size(); ++k) {
     out[k]->ops = ops;
-    out[k]->elapsed_ns = elapsed_ns;
-    lanes[k]->advance_time_ns(elapsed_ns);
-    lanes[k]->credit_ops(tally);
+    out[k]->elapsed_ns = sink.elapsed_ns;
+    lanes[k]->advance_time_ns(sink.elapsed_ns);
+    lanes[k]->credit_ops(sink.tally);
+  }
+}
+
+/// One packed pass over a chunk of <= 64 probe lanes: the instance-sliced
+/// dictionary-build replay.  Each lane's candidate list becomes exact
+/// per-candidate records of one faults::SlicedProbeBatch; the uniform March
+/// stream advances the whole chunk with one masked word op per cell-column,
+/// and mismatching reads demux straight to per-lane (cell -> ReadEvent)
+/// maps, bit-identical to run_per_cell on a CompositeProbeBehavior memory.
+void run_probe_chunk(
+    const sram::ClockDomain& clock, const sram::SramConfig& probe_config,
+    const std::vector<faults::FaultInstance>* lanes, std::size_t lane_count,
+    std::map<sram::CellCoord, std::vector<ReadEvent>>* const* out,
+    const MarchTest& test, std::uint32_t sweep) {
+  const std::uint32_t words = probe_config.words;
+  const std::uint32_t bits = probe_config.bits;
+
+  /// One raw (cell, event) observation of a lane, in March arrival order.
+  /// The sink only appends; grouping by cell and the consecutive-duplicate
+  /// filter happen once per chunk, after the drive, so the hot read path
+  /// never touches the per-lane result maps.
+  struct LaneEvent {
+    std::uint32_t cell_id = 0;  ///< row * bits + bit
+    ReadEvent event;
+  };
+
+  struct ProbeSink {
+    ProbeSink(const sram::ClockDomain& clock, faults::SlicedProbeBatch& batch,
+              std::size_t lane_count, sram::Sram* golden, std::uint32_t bits)
+        : clock(clock), batch(batch), events(lane_count), golden(golden),
+          bits(bits) {}
+
+    const sram::ClockDomain& clock;
+    faults::SlicedProbeBatch& batch;
+    std::vector<std::vector<LaneEvent>> events;
+    sram::Sram* golden;
+    std::uint32_t bits;
+    std::uint64_t now_ns = 0;
+    BitVector bg, bg_inv;
+    std::vector<std::uint64_t> bcast_bg, bcast_inv, ebcast;
+    BitVector golden_scratch;
+    std::vector<faults::SlicedProbeBatch::LaneBitMismatch> scratch;
+
+    void begin_phase(std::size_t, const MarchPhase& phase) {
+      bg = phase.background.low_bits(bits);
+      bg_inv = bg.inverted();
+      bcast_bg.resize(bits);
+      bcast_inv.resize(bits);
+      simd::dispatch().expand_bits(bg.word_data(), bcast_bg.data(), bits);
+      simd::dispatch().expand_bits(bg_inv.word_data(), bcast_inv.data(), bits);
+    }
+    void pause(std::uint64_t ns) { now_ns += ns; }
+    void write(const OpCtx& ctx) {
+      now_ns += clock.period_ns;
+      const BitVector& data = ctx.inverse ? bg_inv : bg;
+      batch.write_row(ctx.addr,
+                      ctx.inverse ? bcast_inv.data() : bcast_bg.data(),
+                      ctx.nwrc ? sram::WriteStyle::nwrc
+                               : sram::WriteStyle::normal,
+                      now_ns);
+      if (golden != nullptr) {
+        golden->write(ctx.addr, data);
+      }
+    }
+    void read(const OpCtx& ctx) {
+      now_ns += clock.period_ns;
+      const std::uint64_t* eb =
+          ctx.inverse ? bcast_inv.data() : bcast_bg.data();
+      if (golden != nullptr) {
+        golden->read_into(ctx.addr, golden_scratch);
+        ebcast.resize(bits);
+        simd::dispatch().expand_bits(golden_scratch.word_data(), ebcast.data(),
+                                     bits);
+        eb = ebcast.data();
+      }
+      batch.read_row(ctx.addr, eb, now_ns, scratch);
+      if (scratch.empty()) {
+        return;
+      }
+      const ReadEvent event{ctx.phase, ctx.element, ctx.visit, ctx.op};
+      for (const auto& m : scratch) {
+        events[m.lane].push_back({ctx.addr * bits + m.bit, event});
+      }
+    }
+  };
+
+  faults::SlicedProbeBatch batch(probe_config, lanes, lane_count);
+  const auto golden = make_golden(probe_config, words, sweep);
+
+  std::uint64_t ops = 0;
+  ProbeSink sink{clock, batch, lane_count, golden.get(), bits};
+  drive_march(test, words, sweep, ops, sink);
+
+  // Fold each lane's raw event stream into its (cell -> reads) map exactly
+  // as run_per_cell would have.  A counting pass over the lane's events
+  // sizes each cell's reads vector up front (no growth reallocation), the
+  // touched-cell list — tiny compared to the event stream — is sorted so
+  // the end-hint map insert is O(1) per cell, and a second arrival-order
+  // pass appends straight through a dense cell -> vector pointer grid,
+  // collapsing consecutive duplicates.  The grids are reused across lanes;
+  // only touched slots are reset.
+  const std::size_t grid = static_cast<std::size_t>(words) * bits;
+  std::vector<std::uint32_t> counts(grid, 0);
+  std::vector<std::vector<ReadEvent>*> slot(grid, nullptr);
+  std::vector<std::uint32_t> touched;
+  for (std::size_t k = 0; k < lane_count; ++k) {
+    const auto& evs = sink.events[k];
+    touched.clear();
+    for (const auto& e : evs) {
+      if (counts[e.cell_id]++ == 0) {
+        touched.push_back(e.cell_id);
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    auto& by_cell = *out[k];
+    for (const auto cell_id : touched) {
+      auto& reads =
+          by_cell
+              .emplace_hint(by_cell.end(),
+                            sram::CellCoord{cell_id / bits, cell_id % bits},
+                            std::vector<ReadEvent>())
+              ->second;
+      reads.reserve(counts[cell_id]);
+      slot[cell_id] = &reads;
+    }
+    for (const auto& e : evs) {
+      auto& reads = *slot[e.cell_id];
+      if (reads.empty() || reads.back() != e.event) {
+        reads.push_back(e.event);
+      }
+    }
+    for (const auto cell_id : touched) {
+      counts[cell_id] = 0;
+      slot[cell_id] = nullptr;
+    }
   }
 }
 
@@ -333,6 +528,34 @@ std::map<sram::CellCoord, std::vector<ReadEvent>> MarchRunner::run_per_cell(
              }
            });
   return by_cell;
+}
+
+std::vector<std::map<sram::CellCoord, std::vector<ReadEvent>>>
+MarchRunner::run_group_per_cell(
+    const sram::SramConfig& probe_config,
+    const std::vector<std::vector<faults::FaultInstance>>& lanes,
+    const MarchTest& test, std::uint32_t global_words) const {
+  require(!lanes.empty(), "MarchRunner::run_group_per_cell: empty group");
+  require(test.width() >= probe_config.bits, [&] {
+    return "MarchRunner: test narrower than memory '" + probe_config.name +
+           "'";
+  });
+  const std::uint32_t words = probe_config.words;
+  const std::uint32_t sweep = global_words == 0 ? words : global_words;
+  require(sweep >= words, "MarchRunner: global_words below the word count");
+
+  std::vector<std::map<sram::CellCoord, std::vector<ReadEvent>>> results(
+      lanes.size());
+  for (std::size_t start = 0; start < lanes.size(); start += 64) {
+    const std::size_t count = std::min<std::size_t>(64, lanes.size() - start);
+    std::array<std::map<sram::CellCoord, std::vector<ReadEvent>>*, 64> out{};
+    for (std::size_t k = 0; k < count; ++k) {
+      out[k] = &results[start + k];
+    }
+    run_probe_chunk(clock_, probe_config, &lanes[start], count, out.data(),
+                    test, sweep);
+  }
+  return results;
 }
 
 }  // namespace fastdiag::march

@@ -8,17 +8,22 @@
 // read (Sram::read_into), and the heap is touched only when a mismatch is
 // recorded.
 //
-// Two entry points share one loop: run() materializes the full Mismatch
-// stream (expected/actual word copies included), run_per_cell() folds the
-// stream straight into per-cell failed-read sets — the multi-victim replay
-// the bit-sliced dictionary builder demultiplexes packed candidate faults
-// from, one signature per victim cell of a single replay.
+// Four entry points share one element-loop driver (drive_march in the
+// implementation): run() materializes the full Mismatch stream
+// (expected/actual word copies included), run_per_cell() folds the stream
+// straight into per-cell failed-read sets — the multi-victim replay the
+// bit-sliced dictionary builder demultiplexes packed candidate faults from —
+// run_group() advances sliceable fleets as InstanceSlab lanes, and
+// run_group_per_cell() batches up to 64 packed probe memories per slab for
+// the instance-sliced dictionary build.  The clients differ only in delivery
+// (port vs broadcast) and demux (word mismatch vs lane mask vs lane/cell).
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <vector>
 
+#include "faults/fault.h"
 #include "march/test.h"
 #include "sram/sram.h"
 #include "sram/timing.h"
@@ -100,6 +105,20 @@ class MarchRunner {
   [[nodiscard]] std::map<sram::CellCoord, std::vector<ReadEvent>>
   run_per_cell(sram::Sram& memory, const MarchTest& test,
                std::uint32_t global_words = 0) const;
+
+  /// Instance-sliced multi-victim replay: one run_per_cell result per lane,
+  /// bit-identical to replaying each lane's candidate list through its own
+  /// CompositeProbeBehavior memory of geometry @p probe_config — but the
+  /// whole group advances as bit-lanes of shared faults::SlicedProbeBatch
+  /// slabs (chunks of up to 64, in input order), one masked word op per
+  /// cell-column plus exact per-candidate records.  Mismatching reads demux
+  /// from the packed compare masks straight to (lane, cell) coordinates.
+  [[nodiscard]] std::vector<std::map<sram::CellCoord, std::vector<ReadEvent>>>
+  run_group_per_cell(const sram::SramConfig& probe_config,
+                     const std::vector<std::vector<faults::FaultInstance>>&
+                         lanes,
+                     const MarchTest& test,
+                     std::uint32_t global_words = 0) const;
 
  private:
   sram::ClockDomain clock_;

@@ -242,7 +242,7 @@ bool decode_classifier_options(ByteReader& reader,
   options.global_words = reader.u32();
   return read_enum(reader, options.build_mode,
                    static_cast<std::uint8_t>(
-                       diagnosis::DictionaryBuildMode::bit_sliced));
+                       diagnosis::DictionaryBuildMode::instance_sliced));
 }
 
 void encode_dictionaries(

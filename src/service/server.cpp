@@ -278,6 +278,9 @@ std::string JobServer::stats_json() const {
              static_cast<std::uint64_t>(cache_stats.dictionary_keys))
       .field("probe_replays",
              static_cast<std::uint64_t>(cache_stats.probe_replays))
+      .field("slab_batches",
+             static_cast<std::uint64_t>(cache_stats.slab_batches))
+      .field("slab_lanes", static_cast<std::uint64_t>(cache_stats.slab_lanes))
       .field("dictionary_build_seconds", cache_stats.build_seconds, 6);
   return body.str();
 }

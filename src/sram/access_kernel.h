@@ -25,6 +25,14 @@ namespace fastdiag::sram {
 ///    no idle mode, odd geometry) fall back to the word_parallel path —
 ///    exact per-cell fault semantics are preserved either way.
 ///
+/// Sliceability for *diagnosis* lanes is all-or-nothing (Sram::sliceable():
+/// transparent behaviour, no spares consumed).  The dictionary-build probe
+/// slabs relax that per cell-column instead: InstanceSlab's exactness
+/// bitmaps mark the individual (lane, cell) slots owned by fault-candidate
+/// records, which are preserved through the broadcast write (write-exact)
+/// or skipped by the packed compare (read-exact), while every clean slot
+/// stays on the uniform broadcast path.
+///
 /// All three produce bit-identical results — the narrower kernels exist so
 /// differential tests and benchmarks can prove it.
 enum class AccessKernel { word_parallel, per_cell, instance_sliced };

@@ -27,12 +27,25 @@ InstanceSlab::InstanceSlab(std::vector<Sram*> lanes)
              "' is not sliceable (faulty or repaired)";
     });
   }
-  lane_mask_ = lanes_.size() == 64 ? ~std::uint64_t{0}
-                                   : (std::uint64_t{1} << lanes_.size()) - 1;
+  lane_count_ = lanes_.size();
+  lane_mask_ = lane_count_ == 64 ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << lane_count_) - 1;
+  arena_.assign(static_cast<std::size_t>(rows_) * bits_, 0);
+}
+
+InstanceSlab::InstanceSlab(std::uint32_t rows, std::uint32_t bits,
+                           std::size_t lane_count)
+    : lane_count_(lane_count), rows_(rows), bits_(bits) {
+  require(rows_ > 0 && bits_ > 0, "InstanceSlab: empty geometry");
+  require(lane_count_ >= 1 && lane_count_ <= 64,
+          "InstanceSlab: 1..64 lanes required");
+  lane_mask_ = lane_count_ == 64 ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << lane_count_) - 1;
   arena_.assign(static_cast<std::size_t>(rows_) * bits_, 0);
 }
 
 void InstanceSlab::gather() {
+  require(!lanes_.empty(), "InstanceSlab::gather: standalone slab");
   const std::size_t words_per_row = lanes_.front()->cells().words_per_row();
   std::uint64_t block[64];
   for (std::uint32_t row = 0; row < rows_; ++row) {
@@ -53,6 +66,7 @@ void InstanceSlab::gather() {
 }
 
 void InstanceSlab::scatter() {
+  require(!lanes_.empty(), "InstanceSlab::scatter: standalone slab");
   const std::size_t words_per_row = lanes_.front()->cells().words_per_row();
   std::uint64_t block[64];
   for (std::uint32_t row = 0; row < rows_; ++row) {
@@ -99,6 +113,110 @@ std::uint64_t InstanceSlab::column(std::uint32_t row, std::uint32_t bit) const {
   require_in_range(row < rows_ && bit < bits_,
                    "InstanceSlab::column: out of range");
   return arena_[static_cast<std::size_t>(row) * bits_ + bit];
+}
+
+std::uint64_t InstanceSlab::mismatch_columns(std::uint32_t row,
+                                             const std::uint64_t* expect_bcast,
+                                             std::uint32_t bit_begin) const {
+  require_in_range(row < rows_ && bit_begin < bits_,
+                   "InstanceSlab::mismatch_columns: out of range");
+  const std::uint64_t* arena_row =
+      &arena_[static_cast<std::size_t>(row) * bits_];
+  const std::uint32_t take = std::min<std::uint32_t>(64, bits_ - bit_begin);
+  return simd::dispatch().diff_column_mask(
+      arena_row + bit_begin, expect_bcast + bit_begin, lane_mask_, take);
+}
+
+void InstanceSlab::mark_write_exact(std::size_t lane, std::uint32_t row,
+                                    std::uint32_t bit) {
+  require_in_range(lane < lane_count_ && row < rows_ && bit < bits_,
+                   "InstanceSlab::mark_write_exact: out of range");
+  if (write_exact_.empty()) {
+    write_exact_.assign(arena_.size(), 0);
+    row_write_exact_.assign(rows_, 0);
+  }
+  write_exact_[static_cast<std::size_t>(row) * bits_ + bit] |=
+      std::uint64_t{1} << lane;
+  row_write_exact_[row] = 1;
+}
+
+void InstanceSlab::mark_read_exact(std::size_t lane, std::uint32_t row,
+                                   std::uint32_t bit) {
+  require_in_range(lane < lane_count_ && row < rows_ && bit < bits_,
+                   "InstanceSlab::mark_read_exact: out of range");
+  if (read_exact_.empty()) {
+    read_exact_.assign(arena_.size(), 0);
+    row_read_exact_.assign(rows_, 0);
+  }
+  read_exact_[static_cast<std::size_t>(row) * bits_ + bit] |= std::uint64_t{1}
+                                                              << lane;
+  row_read_exact_[row] = 1;
+}
+
+bool InstanceSlab::row_has_write_exact(std::uint32_t row) const {
+  require_in_range(row < rows_,
+                   "InstanceSlab::row_has_write_exact: out of range");
+  return !row_write_exact_.empty() && row_write_exact_[row] != 0;
+}
+
+bool InstanceSlab::row_has_read_exact(std::uint32_t row) const {
+  require_in_range(row < rows_,
+                   "InstanceSlab::row_has_read_exact: out of range");
+  return !row_read_exact_.empty() && row_read_exact_[row] != 0;
+}
+
+std::uint64_t InstanceSlab::read_exact_mask(std::uint32_t row,
+                                            std::uint32_t bit) const {
+  require_in_range(row < rows_ && bit < bits_,
+                   "InstanceSlab::read_exact_mask: out of range");
+  if (read_exact_.empty()) {
+    return 0;
+  }
+  return read_exact_[static_cast<std::size_t>(row) * bits_ + bit];
+}
+
+void InstanceSlab::write_row_masked(std::uint32_t row,
+                                    const std::uint64_t* bcast) {
+  require_in_range(row < rows_,
+                   "InstanceSlab::write_row_masked: row out of range");
+  std::uint64_t* arena_row = &arena_[static_cast<std::size_t>(row) * bits_];
+  if (!row_has_write_exact(row)) {
+    simd::dispatch().copy_limbs(arena_row, bcast, bits_);
+    return;
+  }
+  // arena = (arena & exact) | (bcast & ~exact): exact slots survive the
+  // broadcast pulse, their owning records advance them afterwards.
+  simd::dispatch().blend_limbs(
+      arena_row, &write_exact_[static_cast<std::size_t>(row) * bits_], bcast,
+      bits_);
+}
+
+std::uint64_t InstanceSlab::compare_columns_masked(
+    std::uint32_t row, const std::uint64_t* expect_bcast,
+    std::uint32_t bit_begin, std::uint32_t bit_end) const {
+  require_in_range(row < rows_ && bit_begin <= bit_end && bit_end <= bits_,
+                   "InstanceSlab::compare_columns_masked: range out of bounds");
+  const std::uint64_t* arena_row =
+      &arena_[static_cast<std::size_t>(row) * bits_];
+  if (!row_has_read_exact(row)) {
+    return simd::dispatch().lane_diff_or(arena_row + bit_begin,
+                                         expect_bcast + bit_begin, lane_mask_,
+                                         bit_end - bit_begin);
+  }
+  return simd::dispatch().masked_lane_diff_or(
+      arena_row + bit_begin, expect_bcast + bit_begin,
+      &read_exact_[static_cast<std::size_t>(row) * bits_ + bit_begin],
+      lane_mask_, bit_end - bit_begin);
+}
+
+std::uint64_t* InstanceSlab::row_mut(std::uint32_t row) {
+  require_in_range(row < rows_, "InstanceSlab::row_mut: row out of range");
+  return &arena_[static_cast<std::size_t>(row) * bits_];
+}
+
+const std::uint64_t* InstanceSlab::row_data(std::uint32_t row) const {
+  require_in_range(row < rows_, "InstanceSlab::row_data: row out of range");
+  return &arena_[static_cast<std::size_t>(row) * bits_];
 }
 
 }  // namespace fastdiag::sram

@@ -67,10 +67,37 @@ void expand_bits_scalar(const std::uint64_t* packed, std::uint64_t* masks,
   }
 }
 
-constexpr LimbOps kScalarOps{IsaLevel::scalar,   copy_scalar,
-                             xor_scalar,         diff_or_scalar,
-                             blend_scalar,       lane_diff_or_scalar,
-                             expand_bits_scalar};
+std::uint64_t masked_lane_diff_or_scalar(const std::uint64_t* lanes,
+                                         const std::uint64_t* expect,
+                                         const std::uint64_t* skip,
+                                         std::uint64_t lane_mask,
+                                         std::size_t n) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc |= (lanes[i] ^ expect[i]) & ~skip[i];
+  }
+  return acc & lane_mask;
+}
+
+std::uint64_t diff_column_mask_scalar(const std::uint64_t* a,
+                                      const std::uint64_t* b,
+                                      std::uint64_t lane_mask, std::size_t n) {
+  std::uint64_t cols = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cols |= static_cast<std::uint64_t>(((a[i] ^ b[i]) & lane_mask) != 0) << i;
+  }
+  return cols;
+}
+
+constexpr LimbOps kScalarOps{IsaLevel::scalar,
+                             copy_scalar,
+                             xor_scalar,
+                             diff_or_scalar,
+                             blend_scalar,
+                             lane_diff_or_scalar,
+                             expand_bits_scalar,
+                             masked_lane_diff_or_scalar,
+                             diff_column_mask_scalar};
 
 #if FASTDIAG_SIMD_X86
 
@@ -199,10 +226,62 @@ __attribute__((target("avx2"))) void expand_bits_avx2(
   }
 }
 
-constexpr LimbOps kAvx2Ops{IsaLevel::avx2,  copy_avx2,
-                           xor_avx2,        diff_or_avx2,
-                           blend_avx2,      lane_diff_or_avx2,
-                           expand_bits_avx2};
+__attribute__((target("avx2"))) std::uint64_t masked_lane_diff_or_avx2(
+    const std::uint64_t* lanes, const std::uint64_t* expect,
+    const std::uint64_t* skip, std::uint64_t lane_mask, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vl =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lanes + i));
+    const __m256i ve =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(expect + i));
+    const __m256i vs =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(skip + i));
+    acc = _mm256_or_si256(acc,
+                          _mm256_andnot_si256(vs, _mm256_xor_si256(vl, ve)));
+  }
+  std::uint64_t tail = horizontal_or_avx2(acc);
+  for (; i < n; ++i) {
+    tail |= (lanes[i] ^ expect[i]) & ~skip[i];
+  }
+  return tail & lane_mask;
+}
+
+__attribute__((target("avx2"))) std::uint64_t diff_column_mask_avx2(
+    const std::uint64_t* a, const std::uint64_t* b, std::uint64_t lane_mask,
+    std::size_t n) {
+  const __m256i vm = _mm256_set1_epi64x(static_cast<long long>(lane_mask));
+  const __m256i zero = _mm256_setzero_si256();
+  std::uint64_t cols = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i diff = _mm256_and_si256(_mm256_xor_si256(va, vb), vm);
+    // One sign bit per 64-bit column: equal columns compare to all-ones, so
+    // the inverted movemask is the per-column "disagrees somewhere" nibble.
+    const auto eq = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(diff, zero))));
+    cols |= static_cast<std::uint64_t>(~eq & 0xFu) << i;
+  }
+  for (; i < n; ++i) {
+    cols |= static_cast<std::uint64_t>(((a[i] ^ b[i]) & lane_mask) != 0) << i;
+  }
+  return cols;
+}
+
+constexpr LimbOps kAvx2Ops{IsaLevel::avx2,
+                           copy_avx2,
+                           xor_avx2,
+                           diff_or_avx2,
+                           blend_avx2,
+                           lane_diff_or_avx2,
+                           expand_bits_avx2,
+                           masked_lane_diff_or_avx2,
+                           diff_column_mask_avx2};
 
 // ---- AVX-512F kernels (8 limbs per vector) --------------------------------
 
@@ -293,13 +372,59 @@ __attribute__((target("avx512f"))) std::uint64_t lane_diff_or_avx512(
   return tail & lane_mask;
 }
 
+__attribute__((target("avx512f"))) std::uint64_t masked_lane_diff_or_avx512(
+    const std::uint64_t* lanes, const std::uint64_t* expect,
+    const std::uint64_t* skip, std::uint64_t lane_mask, std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_or_si512(
+        acc, _mm512_andnot_si512(
+                 _mm512_loadu_si512(skip + i),
+                 _mm512_xor_si512(_mm512_loadu_si512(lanes + i),
+                                  _mm512_loadu_si512(expect + i))));
+  }
+  std::uint64_t tail =
+      static_cast<std::uint64_t>(_mm512_reduce_or_epi64(acc));
+  for (; i < n; ++i) {
+    tail |= (lanes[i] ^ expect[i]) & ~skip[i];
+  }
+  return tail & lane_mask;
+}
+
+__attribute__((target("avx512f"))) std::uint64_t diff_column_mask_avx512(
+    const std::uint64_t* a, const std::uint64_t* b, std::uint64_t lane_mask,
+    std::size_t n) {
+  const __m512i vm = _mm512_set1_epi64(static_cast<long long>(lane_mask));
+  std::uint64_t cols = 0;
+  std::size_t i = 0;
+  // The mask-register compare demuxes eight lane-columns per instruction:
+  // _mm512_cmpneq_epi64_mask yields the per-column disagreement byte
+  // directly, with the lane mask folded in by comparing masked operands.
+  for (; i + 8 <= n; i += 8) {
+    const __mmask8 neq = _mm512_cmpneq_epi64_mask(
+        _mm512_and_si512(_mm512_loadu_si512(a + i), vm),
+        _mm512_and_si512(_mm512_loadu_si512(b + i), vm));
+    cols |= static_cast<std::uint64_t>(neq) << i;
+  }
+  for (; i < n; ++i) {
+    cols |= static_cast<std::uint64_t>(((a[i] ^ b[i]) & lane_mask) != 0) << i;
+  }
+  return cols;
+}
+
 // expand_bits is bandwidth-trivial next to the compares; the AVX2 variant
 // is already past the point of diminishing returns, so the avx512 table
 // reuses it (AVX-512F implies AVX2 at runtime).
-constexpr LimbOps kAvx512Ops{IsaLevel::avx512, copy_avx512,
-                             xor_avx512,       diff_or_avx512,
-                             blend_avx512,     lane_diff_or_avx512,
-                             expand_bits_avx2};
+constexpr LimbOps kAvx512Ops{IsaLevel::avx512,
+                             copy_avx512,
+                             xor_avx512,
+                             diff_or_avx512,
+                             blend_avx512,
+                             lane_diff_or_avx512,
+                             expand_bits_avx2,
+                             masked_lane_diff_or_avx512,
+                             diff_column_mask_avx512};
 
 #if defined(__GNUC__) && !defined(__clang__)
 #pragma GCC diagnostic pop

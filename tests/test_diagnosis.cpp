@@ -613,7 +613,7 @@ TEST(BitSliced, CacheStatsCountBuildsAndSharing) {
   bisd::FastScheme scheme;
   const auto test = scheme.test_for_width(config.bits);
   diagnosis::ClassifierCache cache;
-  diagnosis::ClassifierOptions options;  // bit_sliced default
+  diagnosis::ClassifierOptions options;  // instance_sliced default
 
   const auto first = cache.get(config, test, options);
   const auto again = cache.get(config, test, options);
@@ -621,19 +621,25 @@ TEST(BitSliced, CacheStatsCountBuildsAndSharing) {
   auto stats = cache.stats();
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.hits, 1u);
-  EXPECT_EQ(stats.probe_replays, 0u);  // dictionaries build lazily
+  EXPECT_EQ(stats.slab_lanes, 0u);  // dictionaries build lazily
 
   const auto fault = faults::make_cell_fault(FaultKind::sa1, {5, 2});
   (void)classify_single_fault(*first, config, fault);
   stats = cache.stats();
   EXPECT_GT(stats.dictionary_keys, 0u);
-  EXPECT_GT(stats.probe_replays, 0u);
+  // The default instance_sliced mode replays the cell plan as slab lanes —
+  // up to 64 per batch — instead of one-by-one probe replays.
+  EXPECT_GT(stats.slab_lanes, 0u);
+  EXPECT_GT(stats.slab_batches, 0u);
+  EXPECT_LE(stats.slab_batches, (stats.slab_lanes + 63) / 64);
   EXPECT_GE(stats.build_seconds, 0.0);
 
   // A second classification of the same shape hits the dictionary cache.
   const auto replays = stats.probe_replays;
+  const auto lanes = stats.slab_lanes;
   (void)classify_single_fault(*first, config, fault);
   EXPECT_EQ(cache.stats().probe_replays, replays);
+  EXPECT_EQ(cache.stats().slab_lanes, lanes);
 
   // Build modes must not share classifiers (different dictionaries paths).
   diagnosis::ClassifierOptions reference_options = options;
@@ -641,6 +647,149 @@ TEST(BitSliced, CacheStatsCountBuildsAndSharing) {
       diagnosis::DictionaryBuildMode::per_candidate;
   const auto reference = cache.get(config, test, reference_options);
   EXPECT_NE(first.get(), reference.get());
+}
+
+// ---- instance-sliced dictionary builds ------------------------------------
+//
+// The instance_sliced mode composes the bit_sliced packing with 64-lane
+// probe slabs; like bit_sliced it must be a pure performance transformation.
+// The snapshot comparisons below are the strongest possible form: the
+// exported dictionaries — every slot of every key — must compare equal
+// across all three build modes, at every SIMD dispatch level this CPU runs.
+
+std::vector<simd::IsaLevel> available_levels() {
+  std::vector<simd::IsaLevel> levels{simd::IsaLevel::scalar};
+  if (simd::detected_level() >= simd::IsaLevel::avx2) {
+    levels.push_back(simd::IsaLevel::avx2);
+  }
+  if (simd::detected_level() >= simd::IsaLevel::avx512) {
+    levels.push_back(simd::IsaLevel::avx512);
+  }
+  return levels;
+}
+
+/// Restores the pre-test dispatch level when a level sweep exits.
+class LevelGuard {
+ public:
+  LevelGuard() : saved_(simd::active_level()) {}
+  ~LevelGuard() { simd::force(saved_); }
+  LevelGuard(const LevelGuard&) = delete;
+  LevelGuard& operator=(const LevelGuard&) = delete;
+
+ private:
+  simd::IsaLevel saved_;
+};
+
+/// Classifies one fabricated single-cell syndrome per dictionary key so
+/// every mode's lazy cache fills completely: the sliced modes batch-fill
+/// all keys on first touch, per_candidate needs each key requested.
+void warm_all_cell_keys(const FaultClassifier& classifier,
+                        const SramConfig& config,
+                        std::uint32_t global_words = 0) {
+  std::vector<std::uint32_t> rows;
+  if (global_words > config.words) {
+    for (std::uint32_t row = 0; row < config.words; ++row) {
+      rows.push_back(row);  // wrapped keys are per exact row
+    }
+  } else {
+    rows.push_back(0);
+    if (config.words >= 3) {
+      rows.push_back(config.words / 2);
+    }
+    if (config.words >= 2) {
+      rows.push_back(config.words - 1);
+    }
+  }
+  for (const auto row : rows) {
+    for (std::uint32_t bit = 0; bit < config.bits; ++bit) {
+      diagnosis::MemorySyndrome syndrome;
+      syndrome.cells.push_back({{row, bit}, {}, 0});
+      (void)classifier.classify(syndrome);
+    }
+  }
+}
+
+TEST(InstanceSliced, DictionariesByteIdenticalAcrossModesAndIsaLevels) {
+  // Even and odd IO widths (the odd width exercises the packing plan's
+  // round-robin bye column and the slab's partial-limb tails).
+  for (const auto& config : {cfg(12, 6), cfg(9, 5)}) {
+    bisd::FastScheme scheme;
+    const auto test = scheme.test_for_width(config.bits);
+    diagnosis::ClassifierOptions options;
+    options.build_mode = diagnosis::DictionaryBuildMode::per_candidate;
+    const FaultClassifier reference(config, test, options);
+    warm_all_cell_keys(reference, config);
+    const auto want = reference.export_dictionaries();
+    ASSERT_FALSE(want.cells.empty());
+
+    options.build_mode = diagnosis::DictionaryBuildMode::bit_sliced;
+    const FaultClassifier bit_sliced(config, test, options);
+    warm_all_cell_keys(bit_sliced, config);
+    EXPECT_TRUE(want == bit_sliced.export_dictionaries()) << config.name;
+
+    LevelGuard guard;
+    for (const auto level : available_levels()) {
+      ASSERT_TRUE(simd::force(level));
+      options.build_mode = diagnosis::DictionaryBuildMode::instance_sliced;
+      const FaultClassifier instance(config, test, options);
+      warm_all_cell_keys(instance, config);
+      EXPECT_TRUE(want == instance.export_dictionaries())
+          << config.name << " at " << simd::isa_name(level);
+      EXPECT_GT(instance.dictionary_stats().slab_lanes, 0u);
+    }
+  }
+}
+
+TEST(InstanceSliced, DictionariesByteIdenticalUnderWrapAround) {
+  // A 6-word memory swept by a 16-step controller: wrapped builds key per
+  // exact row and replay with the golden-shadow expectation, so the probe
+  // batches run the wrap demux path too.
+  const auto narrow = cfg(6, 4);
+  const std::uint32_t sweep = 16;
+  bisd::FastScheme scheme;
+  const auto test = scheme.test_for_width(8);
+  diagnosis::ClassifierOptions options;
+  options.global_words = sweep;
+  options.build_mode = diagnosis::DictionaryBuildMode::per_candidate;
+  const FaultClassifier reference(narrow, test, options);
+  warm_all_cell_keys(reference, narrow, sweep);
+  const auto want = reference.export_dictionaries();
+  ASSERT_FALSE(want.cells.empty());
+
+  options.build_mode = diagnosis::DictionaryBuildMode::bit_sliced;
+  const FaultClassifier bit_sliced(narrow, test, options);
+  warm_all_cell_keys(bit_sliced, narrow, sweep);
+  EXPECT_TRUE(want == bit_sliced.export_dictionaries());
+
+  options.build_mode = diagnosis::DictionaryBuildMode::instance_sliced;
+  const FaultClassifier instance(narrow, test, options);
+  warm_all_cell_keys(instance, narrow, sweep);
+  EXPECT_TRUE(want == instance.export_dictionaries());
+}
+
+TEST(InstanceSliced, VerdictsIdenticalToBothModesAcrossKindCorpus) {
+  const auto config = cfg(12, 6);
+  bisd::FastScheme scheme;
+  const auto test = scheme.test_for_width(config.bits);
+  diagnosis::ClassifierOptions options;
+  options.build_mode = diagnosis::DictionaryBuildMode::per_candidate;
+  const FaultClassifier reference(config, test, options);
+  options.build_mode = diagnosis::DictionaryBuildMode::bit_sliced;
+  const FaultClassifier bit_sliced(config, test, options);
+  options.build_mode = diagnosis::DictionaryBuildMode::instance_sliced;
+  const FaultClassifier instance(config, test, options);
+
+  Rng rng(20260807);
+  for (const auto& fault : build_kind_corpus(config, rng, 3)) {
+    const auto expected =
+        classify_single_fault(reference, config, fault).to_string();
+    EXPECT_EQ(expected,
+              classify_single_fault(instance, config, fault).to_string())
+        << "fault: " << fault.to_string();
+    EXPECT_EQ(expected,
+              classify_single_fault(bit_sliced, config, fault).to_string())
+        << "fault: " << fault.to_string();
+  }
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/fastdiag.h"
+#include "faults/composite_probe.h"
 
 namespace fastdiag {
 namespace {
@@ -207,6 +208,38 @@ TEST(SimdDispatch, KernelsMatchScalarReferenceAtEveryLevel) {
       EXPECT_EQ(ops.lane_diff_or(a.data(), b.data(), lane_mask, n),
                 diff_ref & lane_mask)
           << "lane_diff_or " << label;
+
+      // masked_lane_diff_or: like lane_diff_or but with a per-limb skip
+      // mask (the read-exact bitmap of the probe slabs).
+      std::uint64_t masked_ref = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        masked_ref |= (a[i] ^ b[i]) & ~mask[i];
+      }
+      masked_ref &= lane_mask;
+      EXPECT_EQ(ops.masked_lane_diff_or(a.data(), b.data(), mask.data(),
+                                        lane_mask, n),
+                masked_ref)
+          << "masked_lane_diff_or " << label;
+      EXPECT_EQ(ops.masked_lane_diff_or(a.data(), a.data(), mask.data(),
+                                        lane_mask, n),
+                0u)
+          << "masked_lane_diff_or self " << label;
+
+      // diff_column_mask: per-limb (not folded) disagreement flags for a
+      // chunk of <= 64 columns.
+      const std::size_t chunk = std::min<std::size_t>(n, 64);
+      std::uint64_t cols_ref = 0;
+      for (std::size_t i = 0; i < chunk; ++i) {
+        if (((a[i] ^ b[i]) & lane_mask) != 0) {
+          cols_ref |= std::uint64_t{1} << i;
+        }
+      }
+      EXPECT_EQ(ops.diff_column_mask(a.data(), b.data(), lane_mask, chunk),
+                cols_ref)
+          << "diff_column_mask " << label;
+      EXPECT_EQ(ops.diff_column_mask(a.data(), a.data(), lane_mask, chunk),
+                0u)
+          << "diff_column_mask self " << label;
     }
   }
 }
@@ -469,6 +502,166 @@ TEST(RunGroup, WrapEmulationMatchesPerMemoryRun) {
       expect_run_identical(results[i], reference,
                            std::string(simd::isa_name(level)) + " lane " +
                                std::to_string(i));
+    }
+  }
+}
+
+// ---- InstanceSlab exactness bitmaps (probe-slab support) -------------------
+
+TEST(InstanceSlab, ExactnessBitmapsMaskWritesAndCompares) {
+  LevelGuard guard;
+  for (const auto level : available_levels()) {
+    ASSERT_TRUE(simd::force(level));
+    sram::InstanceSlab slab(/*rows=*/3, /*bits=*/70, /*lane_count=*/5);
+    EXPECT_EQ(slab.lane_count(), 5u);
+    EXPECT_EQ(slab.lane_mask(), 0x1Fu);
+    // Standalone slabs have no lane memories to gather from / scatter to.
+    EXPECT_THROW(slab.gather(), std::exception);
+    EXPECT_THROW(slab.scatter(), std::exception);
+
+    // Seed lane 3's cell (1, 66) and pin it write-exact; the broadcast
+    // write must preserve exactly that slot and overwrite every other.
+    slab.row_mut(1)[66] |= std::uint64_t{1} << 3;
+    slab.mark_write_exact(3, 1, 66);
+    EXPECT_TRUE(slab.row_has_write_exact(1));
+    EXPECT_FALSE(slab.row_has_write_exact(0));
+
+    std::vector<std::uint64_t> zeros(70, 0);
+    std::vector<std::uint64_t> ones(70, ~std::uint64_t{0});
+    slab.write_row_masked(1, zeros.data());
+    EXPECT_EQ(slab.column(1, 66), std::uint64_t{1} << 3)
+        << "write-exact slot must survive the broadcast";
+    EXPECT_EQ(slab.column(1, 65), 0u);
+    slab.write_row_masked(0, ones.data());
+    EXPECT_EQ(slab.column(0, 7) & slab.lane_mask(), 0x1Fu)
+        << "clean rows take the plain copy";
+
+    // The packed compare sees the preserved slot as a mismatch against the
+    // all-zero expectation — unless the slot is also marked read-exact.
+    EXPECT_EQ(slab.compare_columns_masked(1, zeros.data(), 0, 70),
+              std::uint64_t{1} << 3);
+    EXPECT_EQ(slab.mismatch_columns(1, zeros.data(), 64),
+              std::uint64_t{1} << (66 - 64));
+    EXPECT_EQ(slab.mismatch_columns(1, zeros.data(), 0), 0u);
+    slab.mark_read_exact(3, 1, 66);
+    EXPECT_TRUE(slab.row_has_read_exact(1));
+    EXPECT_EQ(slab.read_exact_mask(1, 66), std::uint64_t{1} << 3);
+    EXPECT_EQ(slab.compare_columns_masked(1, zeros.data(), 0, 70), 0u)
+        << "read-exact slots never contribute a packed mismatch";
+    // The unmasked compare and the raw column demux stay oblivious: the
+    // probe-batch read path subtracts the read-exact mask per column.
+    EXPECT_EQ(slab.compare_columns(1, zeros.data(), 0, 70),
+              std::uint64_t{1} << 3);
+  }
+}
+
+// ---- MarchRunner::run_group_per_cell vs per-probe run_per_cell -------------
+
+/// Deterministic candidate list for probe lane @p i against @p config:
+/// cycles through every packable fault kind, alternates same-word and
+/// distinct-row aggressors, and gives every third lane a second disjoint
+/// candidate.  Geometry must have >= 4 words and >= 5 bits so the cells
+/// stay pairwise disjoint (the CompositeProbeBehavior packing contract).
+std::vector<FaultInstance> probe_lane_candidates(std::size_t i,
+                                                 const SramConfig& config) {
+  static const FaultKind kinds[] = {
+      FaultKind::sa0,        FaultKind::sa1,        FaultKind::tf_up,
+      FaultKind::tf_down,    FaultKind::sof,        FaultKind::drf0,
+      FaultKind::drf1,       FaultKind::cf_in_up,   FaultKind::cf_in_down,
+      FaultKind::cf_id_up0,  FaultKind::cf_id_up1,  FaultKind::cf_id_down0,
+      FaultKind::cf_id_down1, FaultKind::cf_st_00,  FaultKind::cf_st_01,
+      FaultKind::cf_st_10,   FaultKind::cf_st_11,
+  };
+  const auto make = [&](std::size_t kind_index, std::uint32_t row,
+                        std::uint32_t bit, bool same_row) {
+    const auto kind = kinds[kind_index % std::size(kinds)];
+    const CellCoord victim{row % config.words, bit % config.bits};
+    if (!faults::needs_aggressor(kind)) {
+      return faults::make_cell_fault(kind, victim);
+    }
+    const CellCoord aggressor{
+        same_row ? victim.row : (victim.row + 1) % config.words,
+        (victim.bit + 1) % config.bits};
+    return faults::make_coupling_fault(kind, aggressor, victim);
+  };
+  std::vector<FaultInstance> lane;
+  const auto row = static_cast<std::uint32_t>(i);
+  const auto bit = static_cast<std::uint32_t>(i * 3);
+  lane.push_back(make(i, row, bit, i % 2 == 0));
+  if (i % 3 == 0) {
+    lane.push_back(make(i + 7, row + 2, bit + 3, i % 2 == 1));
+  }
+  return lane;
+}
+
+TEST(RunGroupPerCell, MatchesPerProbeRunAcrossSizesAndLevels) {
+  LevelGuard guard;
+  auto probe_config = cfg("probe", 5, 7);
+  probe_config.spare_rows = 0;
+  const auto test = march::march_cw_nwrtm(probe_config.bits);
+  const march::MarchRunner runner;
+
+  for (const std::size_t count : {1ull, 5ull, 63ull, 64ull, 65ull}) {
+    std::vector<std::vector<FaultInstance>> lanes;
+    for (std::size_t i = 0; i < count; ++i) {
+      lanes.push_back(probe_lane_candidates(i, probe_config));
+    }
+    // The reference: each lane's candidates in its own composite probe
+    // memory, replayed one at a time (the bit_sliced builder's engine).
+    std::vector<std::map<CellCoord, std::vector<march::ReadEvent>>> expected;
+    for (const auto& lane : lanes) {
+      auto behavior = std::make_unique<faults::CompositeProbeBehavior>();
+      for (const auto& fault : lane) {
+        behavior->add_candidate(fault);
+      }
+      sram::Sram memory(probe_config, std::move(behavior));
+      expected.push_back(runner.run_per_cell(memory, test));
+    }
+    for (const auto level : available_levels()) {
+      ASSERT_TRUE(simd::force(level));
+      const auto results =
+          runner.run_group_per_cell(probe_config, lanes, test);
+      ASSERT_EQ(results.size(), count);
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_TRUE(results[i] == expected[i])
+            << simd::isa_name(level) << " count=" << count << " lane " << i
+            << " (" << results[i].size() << " vs " << expected[i].size()
+            << " failing cells)";
+      }
+    }
+  }
+}
+
+TEST(RunGroupPerCell, WrapEmulationMatchesPerProbeRun) {
+  LevelGuard guard;
+  auto probe_config = cfg("probe", 5, 7);
+  probe_config.spare_rows = 0;
+  const auto test = march::march_cw_nwrtm(probe_config.bits);
+  const march::MarchRunner runner;
+  // global_words above the capacity: revisit expectations come from the
+  // golden shadow, exercising the wrap demux of the probe batches.
+  const std::uint32_t sweep = 12;
+
+  std::vector<std::vector<FaultInstance>> lanes;
+  for (std::size_t i = 0; i < 21; ++i) {
+    lanes.push_back(probe_lane_candidates(i, probe_config));
+  }
+  std::vector<std::map<CellCoord, std::vector<march::ReadEvent>>> expected;
+  for (const auto& lane : lanes) {
+    auto behavior = std::make_unique<faults::CompositeProbeBehavior>();
+    for (const auto& fault : lane) {
+      behavior->add_candidate(fault);
+    }
+    sram::Sram memory(probe_config, std::move(behavior));
+    expected.push_back(runner.run_per_cell(memory, test, sweep));
+  }
+  for (const auto level : available_levels()) {
+    ASSERT_TRUE(simd::force(level));
+    const auto results =
+        runner.run_group_per_cell(probe_config, lanes, test, sweep);
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      EXPECT_TRUE(results[i] == expected[i])
+          << simd::isa_name(level) << " lane " << i;
     }
   }
 }
