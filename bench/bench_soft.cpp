@@ -1,0 +1,216 @@
+// E13 — in-field soft-error workload throughput and scoring.
+//
+// Drives the periodic_scan scheme over an 8-memory SoC at a high upset
+// rate, with and without the on-die SEC ECC layer, and reports:
+//
+//  * simulated upset events per wall second (the event-replay hot path:
+//    lazy commit, pin overlay, row-read cache, ECC decode);
+//  * the detected-vs-escaped scoreboard (detection, window resolution and
+//    escape rates) for each leg;
+//  * serial vs 8-worker bit-identity of the encoded reports — the seeded
+//    event streams must make worker count unobservable.
+//
+// FASTDIAG_SOFT_STRESS=1 scales the window 10x and the event rate 4x (the
+// CI long-duration leg, run under ASan).  The JSON line is uploaded as
+// BENCH_soft.json.
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/fastdiag.h"
+#include "service/serialize.h"
+#include "util/format.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace fastdiag;
+
+bool stress_mode() {
+  const char* env = std::getenv("FASTDIAG_SOFT_STRESS");
+  return env != nullptr && env[0] == '1';
+}
+
+faults::SoftErrorSpec workload(bool ecc) {
+  faults::SoftErrorSpec soft;
+  soft.enabled = true;
+  // ~500 upsets per memory per window at the base rate; the stress leg
+  // stretches the window 10x and quadruples the rate.
+  soft.mean_upset_gap_ns = stress_mode() ? 500 : 2'000;
+  soft.duration_ns = stress_mode() ? 10'000'000 : 1'000'000;
+  soft.scan_period_ns = 10'000;
+  soft.intermittent_fraction = 0.1;
+  soft.ecc = ecc;
+  soft.scrub = faults::ScrubPolicy::on_detect;
+  return soft;
+}
+
+core::SessionSpec scan_spec(bool ecc, std::uint64_t seed) {
+  auto builder = core::SessionSpec::builder();
+  for (int m = 0; m < 8; ++m) {
+    sram::SramConfig config;
+    config.name = "field" + std::to_string(m);
+    config.words = 256;
+    config.bits = 32;
+    builder.add_sram(config);
+  }
+  auto spec = builder.defect_rate(0.0)
+                  .seed(seed)
+                  .scheme("periodic_scan")
+                  .soft_error(workload(ecc))
+                  .build();
+  if (!spec) {
+    std::fprintf(stderr, "bench_soft: %s\n",
+                 spec.error().to_string().c_str());
+    std::exit(1);
+  }
+  return std::move(spec).value();
+}
+
+struct Leg {
+  core::Report report;
+  double seconds = 0;
+
+  [[nodiscard]] const core::SoftErrorOutcome& outcome() const {
+    return *report.soft_error;
+  }
+  [[nodiscard]] double upsets_per_sec() const {
+    return static_cast<double>(outcome().injected_upsets) / seconds;
+  }
+};
+
+Leg run_leg(bool ecc) {
+  const auto spec = scan_spec(ecc, /*seed=*/20260807);
+  const auto start = std::chrono::steady_clock::now();
+  Leg leg;
+  leg.report = core::DiagnosisEngine::execute(spec);
+  const auto stop = std::chrono::steady_clock::now();
+  leg.seconds = std::chrono::duration<double>(stop - start).count();
+  if (!leg.report.soft_error.has_value()) {
+    std::fprintf(stderr, "bench_soft: run produced no soft-error outcome\n");
+    std::exit(1);
+  }
+  return leg;
+}
+
+/// Serial vs 8-worker batch over both legs, compared as encoded bytes.
+bool workers_bit_identical() {
+  const std::vector<core::SessionSpec> specs = {scan_spec(false, 1),
+                                                scan_spec(true, 2)};
+  const auto serial = core::DiagnosisEngine({.workers = 1}).run_batch(specs);
+  const auto parallel =
+      core::DiagnosisEngine({.workers = 8}).run_batch(specs);
+  if (serial.run_count() != specs.size() ||
+      parallel.run_count() != specs.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (service::encode_report(serial.runs[i]) !=
+        service::encode_report(parallel.runs[i])) {
+      return false;
+    }
+  }
+  return serial.folded == parallel.folded;
+}
+
+void soft_table() {
+  const Leg no_ecc = run_leg(false);
+  const Leg ecc = run_leg(true);
+  const bool identical = workers_bit_identical();
+
+  TablePrinter table({"leg", "upsets", "upsets/s", "detection", "resolution",
+                      "escape", "ecc corr/mis", "scrubs"});
+  table.set_title("8x 256x32 e-SRAMs, periodic_scan, " +
+                  std::string(stress_mode() ? "stress" : "base") +
+                  " event rate");
+  const auto add_row = [&table](const std::string& label, const Leg& leg) {
+    const auto& outcome = leg.outcome();
+    table.add_row({label, std::to_string(outcome.injected_upsets),
+                   fmt_double(leg.upsets_per_sec() / 1e6, 2) + " M/s",
+                   fmt_double(outcome.detection_rate() * 100, 1) + " %",
+                   fmt_double(outcome.resolution_rate() * 100, 1) + " %",
+                   fmt_double(outcome.escape_rate() * 100, 1) + " %",
+                   std::to_string(outcome.ecc_corrected) + "/" +
+                       std::to_string(outcome.ecc_miscorrected),
+                   std::to_string(outcome.scrub_writes)});
+  };
+  add_row("no ECC", no_ecc);
+  add_row("SEC ECC", ecc);
+  table.add_note("detection/resolution scored over transient data upsets "
+                 "inside scan windows");
+  table.add_note("with ECC the decoder masks single upsets before the "
+                 "comparator: detection shifts to the corrected counter");
+  table.add_note(std::string("serial vs 8-worker reports bit-identical: ") +
+                 (identical ? "yes" : "NO"));
+  table.print(std::cout);
+
+  const auto leg_json = [](const Leg& leg) {
+    const auto& outcome = leg.outcome();
+    return JsonObject()
+        .field("seconds", leg.seconds)
+        .field("upsets_simulated", outcome.injected_upsets)
+        .field("upsets_per_sec", leg.upsets_per_sec(), 0)
+        .field("detection_rate", outcome.detection_rate(), 4)
+        .field("resolution_rate", outcome.resolution_rate(), 4)
+        .field("escape_rate", outcome.escape_rate(), 4)
+        .field("ecc_corrected", outcome.ecc_corrected)
+        .field("ecc_miscorrected", outcome.ecc_miscorrected)
+        .field("ecc_uncorrectable", outcome.ecc_uncorrectable)
+        .field("scrub_writes", outcome.scrub_writes)
+        .str();
+  };
+  print_json_line(JsonObject()
+                      .field("bench", "soft")
+                      .field("memories", 8)
+                      .field("stress", stress_mode())
+                      .field("scan_sweeps", no_ecc.outcome().scan_sweeps)
+                      .raw("no_ecc", leg_json(no_ecc))
+                      .raw("ecc", leg_json(ecc))
+                      .field("bit_identical", identical));
+}
+
+// ---- microbenchmarks ------------------------------------------------------
+
+void BM_GenerateUpsets(benchmark::State& state) {
+  sram::SramConfig config;
+  config.name = "bm";
+  config.words = 256;
+  config.bits = 32;
+  auto soft = workload(false);
+  soft.mean_upset_gap_ns = 200;
+  Rng rng(42);
+  for (auto _ : state) {
+    auto stream = rng.fork();
+    const auto events = faults::generate_upsets(config, soft, stream);
+    benchmark::DoNotOptimize(events.data());
+    state.SetItemsProcessed(static_cast<std::int64_t>(events.size()) +
+                            state.items_processed());
+  }
+}
+BENCHMARK(BM_GenerateUpsets)->Unit(benchmark::kMicrosecond);
+
+void BM_PeriodicScanWindow(benchmark::State& state) {
+  const bool ecc = state.range(0) != 0;
+  for (auto _ : state) {
+    const auto report =
+        core::DiagnosisEngine::execute(scan_spec(ecc, /*seed=*/7));
+    benchmark::DoNotOptimize(report.total_ns);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(report.soft_error->injected_upsets) +
+        state.items_processed());
+  }
+}
+BENCHMARK(BM_PeriodicScanWindow)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_banner("E13: in-field soft-error workload",
+               "periodic scanning time-resolves transient upsets to their "
+               "scan window; on-die SEC ECC masks single-bit upsets (and "
+               "miscorrects double hits) at bit-identical parallel replay");
+  soft_table();
+  return run_microbenchmarks(argc, argv);
+}

@@ -15,6 +15,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -112,41 +113,59 @@ long json_u64_field(const std::string& json, const std::string& key) {
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
-  const std::string spawn =
-      args.get_string("spawn", "", "fork this diagd binary in pipe mode");
-  const std::string socket_path =
-      args.get_string("socket", "", "connect to this AF_UNIX socket");
-  const auto jobs = args.get_u64("jobs", 1, "diagnosis jobs to submit");
-  const auto memories = args.get_u64("memories", 4, "e-SRAMs per job");
-  const auto words = args.get_u64("words", 64, "words per memory");
-  const auto bits = args.get_u64("bits", 16, "bits per word");
-  const std::string scheme =
-      args.get_string("scheme", "fast", "diagnosis scheme name");
-  const auto rate = args.get_double("rate", 0.01, "cell defect rate");
-  const auto seed = args.get_u64("seed", 1, "base injection seed");
-  const bool classify =
-      args.get_flag("classify", "classify fault sites (warms the cache)");
-  const bool repair = args.get_flag("repair", "allocate spare rows");
-  const bool stats = args.get_flag("stats", "print server stats JSON");
-  const std::string save_cache = args.get_string(
-      "save-cache", "",
-      "ask the server to persist its cache as this bare file name "
-      "(resolved inside the server's --cache-dir)");
-  const std::string load_cache = args.get_string(
-      "load-cache", "",
-      "ask the server to import this bare file name from its --cache-dir");
-  const bool shutdown =
-      args.get_flag("shutdown", "request a graceful drain at the end");
-  const auto require_hits = args.get_u64(
-      "require-hits", 0, "exit 1 unless cache_hits >= this (CI assertion)");
-  if (args.help_requested()) {
-    args.print_help("client for the diagd fleet job server");
-    return 0;
-  }
+  std::string spawn;
+  std::string socket_path;
+  std::uint64_t jobs = 0;
+  std::uint64_t memories = 0;
+  std::uint64_t words = 0;
+  std::uint64_t bits = 0;
+  std::string scheme;
+  double rate = 0.0;
+  std::uint64_t seed = 0;
+  bool classify = false;
+  bool repair = false;
+  bool stats = false;
+  std::string save_cache;
+  std::string load_cache;
+  bool shutdown = false;
+  std::uint64_t require_hits = 0;
+  // get_u64/get_double throw on malformed values (e.g. --jobs=lots), so the
+  // whole parse sits inside the guard: bad flags exit 2 with a usage hint
+  // instead of terminating on an uncaught exception.
   try {
+    spawn = args.get_string("spawn", "", "fork this diagd binary in pipe mode");
+    socket_path =
+        args.get_string("socket", "", "connect to this AF_UNIX socket");
+    jobs = args.get_u64("jobs", 1, "diagnosis jobs to submit");
+    memories = args.get_u64("memories", 4, "e-SRAMs per job");
+    words = args.get_u64("words", 64, "words per memory");
+    bits = args.get_u64("bits", 16, "bits per word");
+    scheme = args.get_string("scheme", "fast", "diagnosis scheme name");
+    rate = args.get_double("rate", 0.01, "cell defect rate");
+    seed = args.get_u64("seed", 1, "base injection seed");
+    classify =
+        args.get_flag("classify", "classify fault sites (warms the cache)");
+    repair = args.get_flag("repair", "allocate spare rows");
+    stats = args.get_flag("stats", "print server stats JSON");
+    save_cache = args.get_string(
+        "save-cache", "",
+        "ask the server to persist its cache as this bare file name "
+        "(resolved inside the server's --cache-dir)");
+    load_cache = args.get_string(
+        "load-cache", "",
+        "ask the server to import this bare file name from its --cache-dir");
+    shutdown =
+        args.get_flag("shutdown", "request a graceful drain at the end");
+    require_hits = args.get_u64(
+        "require-hits", 0, "exit 1 unless cache_hits >= this (CI assertion)");
+    if (args.help_requested()) {
+      args.print_help("client for the diagd fleet job server");
+      return 0;
+    }
     args.finish();
   } catch (const std::exception& error) {
-    std::fprintf(stderr, "diagd_client: %s\n", error.what());
+    std::fprintf(stderr, "diagd_client: %s\nrun with --help for usage\n",
+                 error.what());
     return 2;
   }
 

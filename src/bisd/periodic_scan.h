@@ -1,0 +1,53 @@
+// In-field periodic-scan scheme: detect and time-resolve soft errors while
+// the memories sit in the system, modeled after the 55-nm event-wise
+// soft-error monitor (errors scanned every 125 ns; PAPERS.md).
+//
+// The scheme writes a checkerboard reference image once at t = 0, then
+// alternates idle time with scan sweeps: sweep k advances every memory's
+// run clock to exactly (k+1) * scan_period_ns and reads the whole array
+// back against the golden image with the clocks frozen — a sweep is an
+// instantaneous sample, so every detected upset attributes exactly to its
+// sweep index (DiagnosisRecord::element carries the sweep).  Between the
+// sample ticks the arrays idle and upsets accumulate.
+//
+// Scrubbing follows faults::ScrubPolicy: on_detect rewrites a word when the
+// comparator flags it — or, with ECC, when the decoder reports correction
+// activity on it even though the comparator saw a clean (corrected) word;
+// periodic rewrites every word every sweep; none lets upsets accumulate.
+//
+// After diagnose(), scan_info() publishes the sweep geometry so the engine
+// can score each injected upset: detected in which window vs escaped.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bisd/scheme.h"
+#include "faults/soft_error.h"
+
+namespace fastdiag::bisd {
+
+struct PeriodicScanOptions {
+  sram::ClockDomain clock{10};
+  faults::SoftErrorSpec soft{};
+};
+
+class PeriodicScanScheme final : public DiagnosisScheme {
+ public:
+  explicit PeriodicScanScheme(PeriodicScanOptions options = {});
+
+  [[nodiscard]] std::string name() const override;
+
+  /// Runs the full in-field window.  DiagnosisResult::iterations is the
+  /// sweep count; records carry the sweep index in `element`.
+  DiagnosisResult diagnose(SocUnderTest& soc) override;
+
+  [[nodiscard]] std::optional<ScanInfo> scan_info() const override;
+
+ private:
+  PeriodicScanOptions options_;
+  ScanInfo info_{};
+  bool ran_ = false;
+};
+
+}  // namespace fastdiag::bisd

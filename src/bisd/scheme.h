@@ -25,11 +25,38 @@ struct DiagnosisResult {
   }
 };
 
+/// Timing geometry of an in-field scanning scheme's sweeps, published after
+/// diagnose() so the engine can time-resolve each injected upset to the scan
+/// window that should have caught it.
+struct ScanInfo {
+  /// Sweep k (0-based) samples the arrays at exactly (k+1) * period_ns.
+  std::uint64_t period_ns = 0;
+  std::uint64_t sweep_count = 0;
+  /// Scrub write-backs issued across the whole run.
+  std::uint64_t scrub_writes = 0;
+
+  /// The sweep that first observes an upset at @p time_ns: sweeps sample
+  /// instantaneously at their tick, so an event at t belongs to the first
+  /// tick >= t.  Returns sweep_count for events after the final tick.
+  [[nodiscard]] std::uint64_t window_of(std::uint64_t time_ns) const {
+    if (period_ns == 0) return sweep_count;
+    if (time_ns == 0) return 0;
+    const std::uint64_t window = (time_ns - 1) / period_ns;
+    return window < sweep_count ? window : sweep_count;
+  }
+};
+
 class DiagnosisScheme {
  public:
   virtual ~DiagnosisScheme() = default;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// In-field scanning schemes report their sweep geometry here after
+  /// diagnose(); manufacturing-time schemes return nullopt.
+  [[nodiscard]] virtual std::optional<ScanInfo> scan_info() const {
+    return std::nullopt;
+  }
 
   /// Runs the full diagnosis over @p soc and returns the fault log plus the
   /// consumed time.  Mutates the memories (patterns are really written; the

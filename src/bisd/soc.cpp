@@ -18,16 +18,42 @@ void SocUnderTest::add_memory(const sram::SramConfig& config,
   memories_.push_back(std::move(entry));
 }
 
+void SocUnderTest::add_in_field_memory(
+    const sram::SramConfig& config, std::vector<faults::FaultInstance> truth,
+    std::vector<faults::UpsetEvent> upsets,
+    const faults::SoftErrorSpec& soft) {
+  config.validate();
+  for (const auto& fault : truth) {
+    fault.validate(config);
+  }
+  auto behavior = std::make_unique<faults::SoftErrorBehavior>(
+      std::make_unique<faults::FaultSet>(truth), std::move(upsets), soft.ecc);
+  Entry entry;
+  entry.soft = behavior.get();
+  entry.memory = std::make_unique<sram::Sram>(config, std::move(behavior));
+  entry.truth = std::move(truth);
+  memories_.push_back(std::move(entry));
+}
+
 SocUnderTest SocUnderTest::from_injection(
     const std::vector<sram::SramConfig>& configs,
-    const faults::InjectionSpec& spec, std::uint64_t seed) {
+    const faults::InjectionSpec& spec, std::uint64_t seed,
+    const faults::SoftErrorSpec* soft) {
   require(!configs.empty(), "SocUnderTest: at least one memory required");
   SocUnderTest soc;
   Rng root(seed);
+  const bool in_field = soft != nullptr && soft->enabled;
   for (const auto& config : configs) {
     Rng stream = root.fork();
     auto injection = faults::inject(config, spec, stream);
-    soc.add_memory(config, std::move(injection.faults));
+    if (in_field) {
+      Rng upset_stream = stream.fork();
+      auto upsets = faults::generate_upsets(config, *soft, upset_stream);
+      soc.add_in_field_memory(config, std::move(injection.faults),
+                              std::move(upsets), *soft);
+    } else {
+      soc.add_memory(config, std::move(injection.faults));
+    }
   }
   return soc;
 }
@@ -104,6 +130,19 @@ std::vector<SliceGroup> SocUnderTest::slice_groups() const {
     open->members.push_back(i);
   }
   return groups;
+}
+
+faults::SoftErrorBehavior* SocUnderTest::soft_behavior(std::size_t index) {
+  require_in_range(index < memories_.size(), "SocUnderTest: bad memory index");
+  return memories_[index].soft;
+}
+
+const std::vector<faults::UpsetEvent>& SocUnderTest::upsets(
+    std::size_t index) const {
+  require_in_range(index < memories_.size(), "SocUnderTest: bad memory index");
+  static const std::vector<faults::UpsetEvent> kEmpty;
+  const auto* soft = memories_[index].soft;
+  return soft == nullptr ? kEmpty : soft->events();
 }
 
 std::size_t SocUnderTest::total_faults() const {

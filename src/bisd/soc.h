@@ -13,6 +13,7 @@
 
 #include "faults/fault.h"
 #include "faults/injector.h"
+#include "faults/soft_error.h"
 #include "sram/sram.h"
 #include "util/rng.h"
 
@@ -36,11 +37,24 @@ class SocUnderTest {
   void add_memory(const sram::SramConfig& config,
                   std::vector<faults::FaultInstance> truth = {});
 
+  /// Adds one in-field memory: static @p truth wrapped in a
+  /// SoftErrorBehavior replaying @p upsets (with the ECC layer when
+  /// @p soft.ecc is set).  Tests use this with handcrafted event streams
+  /// for exact masking/miscorrection assertions.
+  void add_in_field_memory(const sram::SramConfig& config,
+                           std::vector<faults::FaultInstance> truth,
+                           std::vector<faults::UpsetEvent> upsets,
+                           const faults::SoftErrorSpec& soft);
+
   /// Builds a SoC by running the defect injector over every configuration
-  /// with per-memory forked streams of @p seed.
+  /// with per-memory forked streams of @p seed.  When @p soft is non-null
+  /// and enabled, each memory additionally draws its upset event stream
+  /// from a second fork of its per-memory stream — still keyed only by
+  /// (seed, memory index), so runs stay bit-identical at any worker count.
   [[nodiscard]] static SocUnderTest from_injection(
       const std::vector<sram::SramConfig>& configs,
-      const faults::InjectionSpec& spec, std::uint64_t seed);
+      const faults::InjectionSpec& spec, std::uint64_t seed,
+      const faults::SoftErrorSpec* soft = nullptr);
 
   [[nodiscard]] std::size_t memory_count() const { return memories_.size(); }
   [[nodiscard]] sram::Sram& memory(std::size_t index);
@@ -75,10 +89,23 @@ class SocUnderTest {
   /// Total injected faults over all memories.
   [[nodiscard]] std::size_t total_faults() const;
 
+  /// The in-field layer of memory @p index, or nullptr for a memory added
+  /// without one.  Scanning schemes use it for ECC scrub hints; the engine
+  /// for upset scoring.
+  [[nodiscard]] faults::SoftErrorBehavior* soft_behavior(std::size_t index);
+
+  /// The upset event stream of memory @p index (empty without an in-field
+  /// layer) — the scoring ground truth, like truth() for static faults.
+  [[nodiscard]] const std::vector<faults::UpsetEvent>& upsets(
+      std::size_t index) const;
+
  private:
   struct Entry {
     std::unique_ptr<sram::Sram> memory;
     std::vector<faults::FaultInstance> truth;
+    /// Non-owning view into the memory's behavior chain; null when the
+    /// memory carries no in-field layer.
+    faults::SoftErrorBehavior* soft = nullptr;
   };
   std::vector<Entry> memories_;
   sram::AccessKernel kernel_ = sram::AccessKernel::word_parallel;

@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <tuple>
 #include <utility>
 
 #include "bisd/repair.h"
@@ -355,14 +356,83 @@ const SchemeRegistry& DiagnosisEngine::registry() const {
                                       : SchemeRegistry::global();
 }
 
+namespace {
+
+/// Scores an in-field run: resolves every injected transient upset against
+/// the scheme's scan windows and collects the residual/ECC accounting from
+/// each memory's SoftErrorBehavior.
+SoftErrorOutcome score_soft_error(bisd::SocUnderTest& soc,
+                                  const bisd::DiagnosisScheme& scheme,
+                                  const bisd::DiagnosisLog& log) {
+  SoftErrorOutcome out;
+  const auto info = scheme.scan_info();
+  if (info) {
+    out.scan_sweeps = info->sweep_count;
+    out.scrub_writes = info->scrub_writes;
+  }
+  // (memory, addr, bit) -> the sweep windows that registered a record.
+  std::map<std::tuple<std::size_t, std::uint32_t, std::uint32_t>,
+           std::vector<std::uint64_t>>
+      hits;
+  for (const auto& record : log.records()) {
+    hits[{record.memory_index, record.addr, record.bit}].push_back(
+        static_cast<std::uint64_t>(record.element));
+  }
+  for (std::size_t m = 0; m < soc.memory_count(); ++m) {
+    auto* soft = soc.soft_behavior(m);
+    if (soft == nullptr) continue;
+    auto& memory = soc.memory(m);
+    // The scheme left every clock at the end of the in-field window; land
+    // any post-final-sweep events before reading the residual state.
+    soft->commit_up_to(memory.cells_mut(), memory.now_ns());
+    out.escaped_cells +=
+        soft->escaped_cells(memory.cells_mut(), memory.now_ns());
+    out.ecc_corrected += soft->ecc_stats().corrected;
+    out.ecc_miscorrected += soft->ecc_stats().miscorrected;
+    out.ecc_uncorrectable += soft->ecc_stats().uncorrectable;
+    const std::uint32_t data_bits = soc.config(m).bits;
+    for (const auto& event : soft->events()) {
+      ++out.injected_upsets;
+      // Detection is scored over transient data-column upsets; check-column
+      // hits surface only through the ECC statistics, and intermittents may
+      // legitimately expire between sweeps.
+      if (event.kind != faults::UpsetKind::transient ||
+          event.cell.bit >= data_bits) {
+        continue;
+      }
+      ++out.transient_upsets;
+      if (!info) continue;
+      const std::uint64_t window = info->window_of(event.time_ns);
+      if (window >= info->sweep_count) continue;  // after the final sweep
+      ++out.scored_upsets;
+      const auto it = hits.find({m, event.cell.row, event.cell.bit});
+      if (it == hits.end()) continue;
+      bool detected = false;
+      bool resolved = false;
+      for (const std::uint64_t element : it->second) {
+        detected = detected || element >= window;
+        resolved = resolved || element == window;
+      }
+      out.detected_upsets += detected ? 1 : 0;
+      out.correct_window += resolved ? 1 : 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 Report DiagnosisEngine::execute(const SessionSpec& spec,
                                 const SchemeRegistry& registry,
                                 diagnosis::ClassifierCache* classifier_cache,
                                 ExecutionScratch* scratch) {
-  auto soc = bisd::SocUnderTest::from_injection(spec.configs(),
-                                                spec.injection(), spec.seed());
+  const faults::SoftErrorSpec& soft = spec.soft_error();
+  auto soc = bisd::SocUnderTest::from_injection(
+      spec.configs(), spec.injection(), spec.seed(),
+      soft.enabled ? &soft : nullptr);
   soc.set_access_kernel(spec.access_kernel());
-  auto scheme = registry.make(spec.scheme(), {.clock = spec.clock()});
+  auto scheme = registry.make(
+      spec.scheme(), {.clock = spec.clock(), .soft_error = soft});
   if (scratch != nullptr) {
     scheme->set_log_capacity_hint(scratch->log_records_high_water);
   }
@@ -384,6 +454,10 @@ Report DiagnosisEngine::execute(const SessionSpec& spec,
   for (std::size_t i = 0; i < soc.memory_count(); ++i) {
     report.matches.push_back(faults::match_diagnosis(
         soc.truth(i), report.result.log.cells(i), soc.config(i)));
+  }
+
+  if (soft.enabled) {
+    report.soft_error = score_soft_error(soc, *scheme, report.result.log);
   }
 
   if (spec.classify()) {

@@ -14,6 +14,9 @@ const char* config_error_code_name(ConfigErrorCode code) {
       return "invalid_retention_fraction";
     case ConfigErrorCode::unknown_scheme: return "unknown_scheme";
     case ConfigErrorCode::empty_sweep: return "empty_sweep";
+    case ConfigErrorCode::invalid_soft_error: return "invalid_soft_error";
+    case ConfigErrorCode::scheme_capability_mismatch:
+      return "scheme_capability_mismatch";
   }
   ensure(false, "config_error_code_name: unknown code");
   return "?";

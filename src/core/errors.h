@@ -17,6 +17,10 @@ enum class ConfigErrorCode {
   invalid_retention_fraction,  ///< retention fraction outside [0, 1]
   unknown_scheme,              ///< scheme name not present in the registry
   empty_sweep,                 ///< a sweep axis was set but expands to nothing
+  invalid_soft_error,          ///< soft-error knobs inconsistent (period,
+                               ///< duration, event rate, fractions, repair)
+  scheme_capability_mismatch,  ///< in-field scheme without a soft-error
+                               ///< workload, or vice versa
 };
 
 [[nodiscard]] const char* config_error_code_name(ConfigErrorCode code);

@@ -2,6 +2,7 @@
 
 #include "bisd/baseline_scheme.h"
 #include "bisd/fast_scheme.h"
+#include "bisd/periodic_scan.h"
 #include "util/require.h"
 
 namespace fastdiag::core {
@@ -41,6 +42,15 @@ void register_builtin_schemes(SchemeRegistry& registry) {
         options.clock = context.clock;
         options.include_drf = true;
         return std::make_unique<bisd::BaselineScheme>(options);
+      });
+  registry.register_scheme(
+      "periodic_scan",
+      {.covers_drf = false, .needs_repair_pass = false, .in_field = true},
+      [](const SchemeContext& context) {
+        bisd::PeriodicScanOptions options;
+        options.clock = context.clock;
+        options.soft = context.soft_error;
+        return std::make_unique<bisd::PeriodicScanScheme>(options);
       });
 }
 

@@ -3,13 +3,15 @@
 // The registry replaces the old hard-coded SchemeChoice enum: schemes are
 // looked up by name, carry capability flags the engine and callers can
 // query, and user-defined schemes plug in through register_scheme()
-// without touching core.  The four built-in schemes self-register into
-// the global() instance:
+// without touching core.  The built-in schemes self-register into the
+// global() instance:
 //
 //   "fast"                     SPC/PSC + March CW + NWRTM
 //   "fast-without-drf"         SPC/PSC + March CW only
 //   "baseline"                 [7,8] bi-dir serial + DiagRSMarch
 //   "baseline-with-retention"  [7,8] plus the delay-based DRF block
+//   "periodic_scan"            in-field soft-error sweeps (needs an enabled
+//                              SoftErrorSpec in the context/spec)
 //
 // All member functions are safe to call concurrently; the engine's worker
 // threads instantiate schemes through the same registry.
@@ -23,6 +25,7 @@
 #include <vector>
 
 #include "bisd/scheme.h"
+#include "faults/soft_error.h"
 #include "sram/timing.h"
 
 namespace fastdiag::core {
@@ -36,11 +39,17 @@ struct SchemeCapabilities {
   /// Repairs located rows mid-diagnosis to make progress (the iterative
   /// baseline); such schemes want configs with spare rows.
   bool needs_repair_pass = false;
+
+  /// Monitors deployed memories for soft errors (periodic_scan) instead of
+  /// running a manufacturing-time March diagnosis; requires — and is
+  /// required by — a SessionSpec with an enabled SoftErrorSpec.
+  bool in_field = false;
 };
 
 /// Everything a factory needs to instantiate a scheme for one run.
 struct SchemeContext {
   sram::ClockDomain clock{10};
+  faults::SoftErrorSpec soft_error{};
 };
 
 using SchemeFactory =

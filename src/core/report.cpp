@@ -81,6 +81,26 @@ std::string Report::summary() const {
         << " (strict "
         << fmt_percent(classification->confusion.strict_accuracy()) << ")\n";
   }
+  if (soft_error) {
+    const SoftErrorOutcome& soft = *soft_error;
+    out << "injected upsets:   " << soft.injected_upsets << " ("
+        << soft.transient_upsets << " transient)\n";
+    out << "upset detection:   " << soft.detected_upsets << "/"
+        << soft.scored_upsets << " ("
+        << fmt_percent(soft.detection_rate()) << ")\n";
+    out << "window resolution: " << soft.correct_window << "/"
+        << soft.scored_upsets << " ("
+        << fmt_percent(soft.resolution_rate()) << ")\n";
+    out << "escaped cells:     " << soft.escaped_cells << '\n';
+    if (soft.ecc_corrected + soft.ecc_miscorrected + soft.ecc_uncorrectable >
+        0) {
+      out << "ecc decodes:       " << soft.ecc_corrected << " corrected, "
+          << soft.ecc_miscorrected << " miscorrected, "
+          << soft.ecc_uncorrectable << " uncorrectable\n";
+    }
+    out << "scan sweeps:       " << soft.scan_sweeps << " ("
+        << soft.scrub_writes << " scrub writes)\n";
+  }
   return out.str();
 }
 
@@ -246,6 +266,10 @@ void AggregateReport::Folded::fold(const Report& report) {
   if (report.classification) {
     accuracy.fold_unit(report.classification->confusion.lenient_accuracy());
   }
+  if (report.soft_error) {
+    soft_detection.fold_unit(report.soft_error->detection_rate());
+    soft_escape.fold_unit(report.soft_error->escape_rate());
+  }
 
   const auto slot = std::lower_bound(
       schemes.begin(), schemes.end(), report.scheme_name,
@@ -269,6 +293,8 @@ void AggregateReport::Folded::merge(const Folded& other) {
   recall.merge(other.recall);
   time_ns.merge(other.time_ns);
   accuracy.merge(other.accuracy);
+  soft_detection.merge(other.soft_detection);
+  soft_escape.merge(other.soft_escape);
   times.merge(other.times);
   for (const auto& theirs : other.schemes) {
     const auto slot = std::lower_bound(
@@ -412,6 +438,28 @@ RunStats AggregateReport::classification_accuracy_stats() const {
   return stats_of(accuracies);
 }
 
+RunStats AggregateReport::soft_detection_stats() const {
+  if (!stats_from_runs()) {
+    return folded.soft_detection.stats_unit();
+  }
+  std::vector<double> rates;
+  for (const auto& run : runs) {
+    if (run.soft_error) rates.push_back(run.soft_error->detection_rate());
+  }
+  return stats_of(rates);
+}
+
+RunStats AggregateReport::soft_escape_stats() const {
+  if (!stats_from_runs()) {
+    return folded.soft_escape.stats_unit();
+  }
+  std::vector<double> rates;
+  for (const auto& run : runs) {
+    if (run.soft_error) rates.push_back(run.soft_error->escape_rate());
+  }
+  return stats_of(rates);
+}
+
 std::string AggregateReport::summary() const {
   std::ostringstream out;
   out << "runs:              " << run_count() << '\n';
@@ -444,6 +492,23 @@ std::string AggregateReport::summary() const {
         << "  min " << fmt_percent(accuracy.min) << "  max "
         << fmt_percent(accuracy.max) << "  (" << classified_runs
         << " runs)\n";
+  }
+  std::size_t soft_runs = stats_from_runs()
+                              ? 0
+                              : static_cast<std::size_t>(
+                                    folded.soft_detection.count);
+  for (const auto& run : runs) {
+    soft_runs += run.soft_error.has_value() ? 1 : 0;
+  }
+  if (soft_runs > 0) {
+    const auto detection = soft_detection_stats();
+    const auto escape = soft_escape_stats();
+    out << "upset detection:   mean " << fmt_percent(detection.mean)
+        << "  min " << fmt_percent(detection.min) << "  max "
+        << fmt_percent(detection.max) << "  (" << soft_runs << " runs)\n";
+    out << "upset escapes:     mean " << fmt_percent(escape.mean)
+        << "  min " << fmt_percent(escape.min) << "  max "
+        << fmt_percent(escape.max) << '\n';
   }
   const auto schemes = per_scheme();
   if (schemes.size() > 1) {

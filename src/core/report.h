@@ -40,6 +40,58 @@ struct ClassificationOutcome {
   [[nodiscard]] std::size_t classified_site_count() const;
 };
 
+/// Scoring of one in-field soft-error run (specs with an enabled
+/// SoftErrorSpec): every injected upset resolved against the scanning
+/// scheme's sweep windows, plus the residual and ECC accounting.
+struct SoftErrorOutcome {
+  /// Every event drawn for the run, and the transient (stored-bit-flip,
+  /// data-column) subset detection is scored over.
+  std::uint64_t injected_upsets = 0;
+  std::uint64_t transient_upsets = 0;
+
+  /// Transients whose event time falls inside a scan window (not after the
+  /// final sweep) — the denominator of the detection/resolution rates.
+  std::uint64_t scored_upsets = 0;
+  /// Scored transients with at least one comparator record at or after
+  /// their window.
+  std::uint64_t detected_upsets = 0;
+  /// Scored transients with a record in exactly their window.
+  std::uint64_t correct_window = 0;
+
+  /// Data cells still wrong (through the ECC path, when enabled) when the
+  /// run ended — upsets that escaped scanning and scrubbing.
+  std::uint64_t escaped_cells = 0;
+
+  /// ECC decode events across the run (zero without ECC): genuine
+  /// single-error corrections, confident wrong flips under multi-bit
+  /// errors (Patel's problem), and detected-uncorrectable words.
+  std::uint64_t ecc_corrected = 0;
+  std::uint64_t ecc_miscorrected = 0;
+  std::uint64_t ecc_uncorrectable = 0;
+
+  std::uint64_t scan_sweeps = 0;
+  std::uint64_t scrub_writes = 0;
+
+  [[nodiscard]] double detection_rate() const {
+    return scored_upsets == 0
+               ? 1.0
+               : static_cast<double>(detected_upsets) / scored_upsets;
+  }
+  [[nodiscard]] double resolution_rate() const {
+    return scored_upsets == 0
+               ? 1.0
+               : static_cast<double>(correct_window) / scored_upsets;
+  }
+  [[nodiscard]] double escape_rate() const {
+    return injected_upsets == 0
+               ? 0.0
+               : static_cast<double>(escaped_cells) / injected_upsets;
+  }
+
+  friend bool operator==(const SoftErrorOutcome&,
+                         const SoftErrorOutcome&) = default;
+};
+
 struct Report {
   /// Registry key of the scheme that ran ("fast", "baseline", ...); the
   /// identity AggregateReport groups by.
@@ -66,6 +118,9 @@ struct Report {
   /// produces march-attributed records (see
   /// DiagnosisScheme::classification_test).
   std::optional<ClassificationOutcome> classification;
+
+  /// Only populated for in-field runs (spec.soft_error().enabled).
+  std::optional<SoftErrorOutcome> soft_error;
 
   /// Fault-weighted recall over every memory.
   [[nodiscard]] double overall_recall() const;
@@ -143,6 +198,10 @@ struct AggregateReport {
     MetricFold recall;       ///< Q32.32 per-run overall recall
     MetricFold time_ns;      ///< per-run total_ns
     MetricFold accuracy;     ///< Q32.32 lenient accuracy, classified runs only
+    /// Q32.32 per-run soft-error detection / escape rates — the
+    /// scrub-policy scoreboard.  Folded only for in-field runs.
+    MetricFold soft_detection;
+    MetricFold soft_escape;
     TimeHistogram times;
 
     struct SchemeFold {
@@ -206,6 +265,11 @@ struct AggregateReport {
   /// Lenient classification accuracy over the runs that classified
   /// (all-zero when none did).
   [[nodiscard]] RunStats classification_accuracy_stats() const;
+
+  /// Soft-error detection / escape rates over the in-field runs (all-zero
+  /// when none ran) — the axis scrubbing policies are compared on.
+  [[nodiscard]] RunStats soft_detection_stats() const;
+  [[nodiscard]] RunStats soft_escape_stats() const;
 
   /// Human-readable multi-line summary including the per-scheme table.
   [[nodiscard]] std::string summary() const;

@@ -96,6 +96,12 @@ SessionSpec::Builder& SessionSpec::Builder::access_kernel(
   return *this;
 }
 
+SessionSpec::Builder& SessionSpec::Builder::soft_error(
+    const faults::SoftErrorSpec& spec) {
+  draft_.soft_error_ = spec;
+  return *this;
+}
+
 Expected<SessionSpec, ConfigError> SessionSpec::Builder::build(
     const SchemeRegistry& registry) const {
   const auto fail = [](ConfigErrorCode code, std::string message) {
@@ -134,6 +140,48 @@ Expected<SessionSpec, ConfigError> SessionSpec::Builder::build(
     return fail(ConfigErrorCode::unknown_scheme,
                 "no scheme named '" + draft_.scheme_ +
                     "' is registered");
+  }
+  const SchemeCapabilities caps = registry.capabilities(draft_.scheme_);
+  const faults::SoftErrorSpec& soft = draft_.soft_error_;
+  if (soft.enabled) {
+    if (soft.scan_period_ns == 0) {
+      return fail(ConfigErrorCode::invalid_soft_error,
+                  "soft-error scan period must be > 0 ns");
+    }
+    if (soft.duration_ns < soft.scan_period_ns) {
+      return fail(ConfigErrorCode::invalid_soft_error,
+                  "soft-error duration must cover at least one scan period");
+    }
+    if (soft.mean_upset_gap_ns == 0) {
+      return fail(ConfigErrorCode::invalid_soft_error,
+                  "mean upset gap must be > 0 ns");
+    }
+    const double intermittent = soft.intermittent_fraction;
+    if (!(intermittent >= 0.0 && intermittent <= 1.0)) {
+      return fail(ConfigErrorCode::invalid_soft_error,
+                  "intermittent fraction " + std::to_string(intermittent) +
+                      " outside [0, 1]");
+    }
+    if (intermittent > 0.0 && soft.intermittent_hold_ns == 0) {
+      return fail(ConfigErrorCode::invalid_soft_error,
+                  "intermittent hold window must be > 0 ns");
+    }
+    if (draft_.repair_) {
+      return fail(ConfigErrorCode::invalid_soft_error,
+                  "repair is a manufacturing-flow pass; disable it for "
+                  "in-field soft-error runs");
+    }
+    if (!caps.in_field) {
+      return fail(ConfigErrorCode::scheme_capability_mismatch,
+                  "scheme '" + draft_.scheme_ +
+                      "' is not an in-field scheme; soft-error workloads "
+                      "need one (e.g. periodic_scan)");
+    }
+  } else if (caps.in_field) {
+    return fail(ConfigErrorCode::scheme_capability_mismatch,
+                "scheme '" + draft_.scheme_ +
+                    "' monitors in-field upsets; enable the soft-error "
+                    "workload (Builder::soft_error)");
   }
   return draft_;
 }

@@ -43,6 +43,9 @@ class SessionSpec {
   [[nodiscard]] bool column_spares() const { return column_spares_; }
   [[nodiscard]] bool classify() const { return classify_; }
   [[nodiscard]] sram::AccessKernel access_kernel() const { return kernel_; }
+  [[nodiscard]] const faults::SoftErrorSpec& soft_error() const {
+    return soft_error_;
+  }
 
   /// A builder pre-loaded with this spec's values — the way to derive
   /// variants (sweeps change one axis per derived spec).
@@ -63,6 +66,7 @@ class SessionSpec {
   bool column_spares_ = false;
   bool classify_ = false;
   sram::AccessKernel kernel_ = sram::AccessKernel::word_parallel;
+  faults::SoftErrorSpec soft_error_{};
 };
 
 class SessionSpec::Builder {
@@ -113,6 +117,13 @@ class SessionSpec::Builder {
   /// memories as bit-lanes of one packed slab (sram::InstanceSlab) — one
   /// word op per cell-column for the whole group, bit-identical reports.
   Builder& access_kernel(sram::AccessKernel kernel);
+
+  /// In-field soft-error workload (default disabled).  When enabled the
+  /// engine layers timestamped upsets (and optionally on-die ECC) over each
+  /// memory and the scheme must carry the in_field capability
+  /// (periodic_scan); enabling it together with with_repair(), or selecting
+  /// an in-field scheme without enabling it, is rejected by build().
+  Builder& soft_error(const faults::SoftErrorSpec& spec);
 
   /// Validates every collected parameter — memory present, each SramConfig
   /// sane, clock > 0, rates in range, scheme registered in @p registry —

@@ -1,7 +1,9 @@
 #include "march/notation.h"
 
 #include <cctype>
+#include <charconv>
 #include <cstdint>
+#include <limits>
 
 #include "util/require.h"
 
@@ -89,7 +91,19 @@ MarchOp parse_op(const std::string& token) {
       require(std::isdigit(static_cast<unsigned char>(c)) != 0,
               "march notation: bad pause duration '" + token + "'");
     }
-    return MarchOp::pause(std::stoull(body) * scale);
+    // stoull would throw std::out_of_range past u64 (uncaught by require's
+    // contract), and the ms scale could silently wrap the product; route
+    // both through the notation error path instead.
+    std::uint64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(body.data(), body.data() + body.size(), value);
+    require(ec == std::errc{} && ptr == body.data() + body.size(),
+            "march notation: pause duration '" + token +
+                "' does not fit 64 bits");
+    require(value <= std::numeric_limits<std::uint64_t>::max() / scale,
+            "march notation: pause duration '" + token +
+                "' overflows nanoseconds");
+    return MarchOp::pause(value * scale);
   }
   require(false, "march notation: unknown op '" + token + "'");
   return {};

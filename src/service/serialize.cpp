@@ -358,6 +358,8 @@ void encode_folded(ByteWriter& writer,
   encode_metric_fold(writer, folded.recall);
   encode_metric_fold(writer, folded.time_ns);
   encode_metric_fold(writer, folded.accuracy);
+  encode_metric_fold(writer, folded.soft_detection);
+  encode_metric_fold(writer, folded.soft_escape);
   for (const std::uint64_t bucket : folded.times.counts) {
     writer.u64(bucket);
   }
@@ -374,7 +376,9 @@ bool decode_folded(ByteReader& reader,
   folded.count = reader.u64();
   if (!decode_metric_fold(reader, folded.recall) ||
       !decode_metric_fold(reader, folded.time_ns) ||
-      !decode_metric_fold(reader, folded.accuracy)) {
+      !decode_metric_fold(reader, folded.accuracy) ||
+      !decode_metric_fold(reader, folded.soft_detection) ||
+      !decode_metric_fold(reader, folded.soft_escape)) {
     return false;
   }
   for (auto& bucket : folded.times.counts) {
@@ -597,6 +601,22 @@ std::vector<std::uint8_t> encode_report(const core::Report& report) {
   if (report.classification) {
     encode_classification(writer, *report.classification);
   }
+
+  writer.boolean(report.soft_error.has_value());
+  if (report.soft_error) {
+    const core::SoftErrorOutcome& soft = *report.soft_error;
+    writer.u64(soft.injected_upsets);
+    writer.u64(soft.transient_upsets);
+    writer.u64(soft.scored_upsets);
+    writer.u64(soft.detected_upsets);
+    writer.u64(soft.correct_window);
+    writer.u64(soft.escaped_cells);
+    writer.u64(soft.ecc_corrected);
+    writer.u64(soft.ecc_miscorrected);
+    writer.u64(soft.ecc_uncorrectable);
+    writer.u64(soft.scan_sweeps);
+    writer.u64(soft.scrub_writes);
+  }
   return std::move(writer).take();
 }
 
@@ -695,6 +715,21 @@ core::Expected<core::Report, DecodeError> decode_report(
       return make_unexpected(DecodeError{"report: corrupt classification"});
     }
     report.classification = std::move(outcome);
+  }
+  if (reader.boolean()) {
+    core::SoftErrorOutcome soft;
+    soft.injected_upsets = reader.u64();
+    soft.transient_upsets = reader.u64();
+    soft.scored_upsets = reader.u64();
+    soft.detected_upsets = reader.u64();
+    soft.correct_window = reader.u64();
+    soft.escaped_cells = reader.u64();
+    soft.ecc_corrected = reader.u64();
+    soft.ecc_miscorrected = reader.u64();
+    soft.ecc_uncorrectable = reader.u64();
+    soft.scan_sweeps = reader.u64();
+    soft.scrub_writes = reader.u64();
+    report.soft_error = soft;
   }
   if (!reader.finished()) {
     return make_unexpected(

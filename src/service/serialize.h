@@ -176,7 +176,11 @@ class ByteReader {
 inline constexpr std::uint32_t kReportMagic = 0x50524446;      // "FDRP"
 inline constexpr std::uint32_t kCacheMagic = 0x43434446;       // "FDCC"
 inline constexpr std::uint32_t kCheckpointMagic = 0x4B434446;  // "FDCK"
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// Version 2: reports gained an optional soft-error outcome section and
+/// folded aggregates the two soft-error metric folds (PR 9).  Readers
+/// reject other versions outright — blobs are cache/transport artifacts
+/// regenerated per build, not long-lived archives.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 // ---- embedded encoders (no magic; exposed for composition and tests) -------
 

@@ -1,0 +1,80 @@
+#include "sram/ecc.h"
+
+#include <bit>
+
+#include "util/require.h"
+
+namespace fastdiag::sram {
+
+namespace {
+
+bool parity_of_and(const BitVector& data, const BitVector& mask) {
+  std::uint64_t acc = 0;
+  const std::uint64_t* d = data.word_data();
+  const std::uint64_t* m = mask.word_data();
+  const std::size_t words = data.word_count();
+  for (std::size_t i = 0; i < words; ++i) {
+    acc ^= d[i] & m[i];
+  }
+  return (std::popcount(acc) & 1u) != 0;
+}
+
+}  // namespace
+
+std::uint32_t EccCodec::check_bits_for(std::uint32_t data_bits) {
+  std::uint32_t r = 1;
+  while ((1ull << r) < static_cast<std::uint64_t>(data_bits) + r + 1) ++r;
+  return r;
+}
+
+EccCodec::EccCodec(std::uint32_t data_bits) : data_bits_(data_bits) {
+  ensure(data_bits > 0, "EccCodec: data_bits must be > 0");
+  check_bits_ = check_bits_for(data_bits);
+  const std::uint32_t length = data_bits_ + check_bits_;
+  position_of_data_.assign(data_bits_, 0);
+  data_at_position_.assign(length + 1, -1);
+  parity_masks_.assign(check_bits_, BitVector(data_bits_));
+  std::uint32_t next_data = 0;
+  for (std::uint32_t pos = 1; pos <= length; ++pos) {
+    if ((pos & (pos - 1)) == 0) continue;  // power of two: check position
+    position_of_data_[next_data] = pos;
+    data_at_position_[pos] = static_cast<std::int32_t>(next_data);
+    for (std::uint32_t k = 0; k < check_bits_; ++k) {
+      if (pos & (1u << k)) parity_masks_[k].set(next_data, true);
+    }
+    ++next_data;
+  }
+  ensure(next_data == data_bits_, "EccCodec: layout mismatch");
+}
+
+std::uint32_t EccCodec::encode(const BitVector& data) const {
+  std::uint32_t check = 0;
+  for (std::uint32_t k = 0; k < check_bits_; ++k) {
+    if (parity_of_and(data, parity_masks_[k])) check |= 1u << k;
+  }
+  return check;
+}
+
+EccCodec::Decode EccCodec::decode(BitVector& data, std::uint32_t check) const {
+  Decode result;
+  result.syndrome = encode(data) ^ check;
+  if (result.syndrome == 0) return result;
+  const std::uint32_t length = data_bits_ + check_bits_;
+  if (result.syndrome > length) {
+    result.outcome = DecodeOutcome::uncorrectable;
+    return result;
+  }
+  if ((result.syndrome & (result.syndrome - 1)) == 0) {
+    result.outcome = DecodeOutcome::corrected_check;
+    result.bit = static_cast<std::int32_t>(std::countr_zero(result.syndrome));
+    return result;
+  }
+  const std::int32_t data_bit = data_at_position_[result.syndrome];
+  ensure(data_bit >= 0, "EccCodec: non-power-of-two position must hold data");
+  data.flip(static_cast<std::uint32_t>(data_bit));
+  result.outcome = DecodeOutcome::corrected_data;
+  result.bit = data_bit;
+  return result;
+}
+
+}  // namespace fastdiag::sram

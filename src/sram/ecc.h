@@ -1,0 +1,78 @@
+// On-die SEC (single-error-correcting) Hamming codec for one memory word.
+//
+// In-field memories ship an ECC layer between the cell array and the output
+// comparator: every write also stores r check bits computed from the data
+// word, and every read recomputes them, forming a syndrome.  A zero syndrome
+// passes the data through; a syndrome naming a single code position flips
+// that position before the word leaves the macro.  The catch (Patel's
+// problem) is that a double error produces a syndrome indistinguishable from
+// some *other* single error, so the decoder confidently flips a healthy bit
+// — a miscorrection — and diagnosis logic downstream must reason through
+// those statistics rather than trusting the corrected stream.
+//
+// The codec is a classic (n, k) binary Hamming code laid out over positions
+// 1..n where the powers of two hold check bits and the remaining positions
+// hold data bits in ascending order.  Check masks over the data word are
+// precomputed per check bit so encode is a handful of limb AND+parity ops.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvec.h"
+
+namespace fastdiag::sram {
+
+class EccCodec {
+ public:
+  /// Builds the codec for @p data_bits-wide words.  data_bits must be > 0.
+  explicit EccCodec(std::uint32_t data_bits);
+
+  /// Number of check bits r for a @p data_bits-wide word: the smallest r
+  /// with 2^r >= data_bits + r + 1.
+  [[nodiscard]] static std::uint32_t check_bits_for(std::uint32_t data_bits);
+
+  [[nodiscard]] std::uint32_t data_bits() const { return data_bits_; }
+  [[nodiscard]] std::uint32_t check_bits() const { return check_bits_; }
+
+  /// Check word (low check_bits() bits used) for @p data.
+  [[nodiscard]] std::uint32_t encode(const BitVector& data) const;
+
+  enum class DecodeOutcome : std::uint8_t {
+    /// Zero syndrome; data passed through untouched.
+    clean,
+    /// Syndrome named a data position; that bit of @p data was flipped.
+    /// Whether this repaired a real single-bit error or miscorrected a
+    /// healthy bit under a double error is the caller's bookkeeping.
+    corrected_data,
+    /// Syndrome named a check position; data passed through untouched.
+    corrected_check,
+    /// Syndrome outside the code (only possible for shortened codes, where
+    /// some positions are unused): detected but uncorrectable.
+    uncorrectable,
+  };
+
+  struct Decode {
+    DecodeOutcome outcome = DecodeOutcome::clean;
+    std::uint32_t syndrome = 0;
+    /// Data bit flipped on corrected_data, check bit index on
+    /// corrected_check, -1 otherwise.
+    std::int32_t bit = -1;
+  };
+
+  /// Decodes @p data against the stored @p check word, flipping the named
+  /// data bit in place on corrected_data.
+  Decode decode(BitVector& data, std::uint32_t check) const;
+
+ private:
+  std::uint32_t data_bits_ = 0;
+  std::uint32_t check_bits_ = 0;
+  /// Code position (1-based) of data bit j.
+  std::vector<std::uint32_t> position_of_data_;
+  /// Data bit at code position p, or -1 for check/unused positions.
+  std::vector<std::int32_t> data_at_position_;
+  /// Per check bit k: the data bits whose position has bit k set.
+  std::vector<BitVector> parity_masks_;
+};
+
+}  // namespace fastdiag::sram

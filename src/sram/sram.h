@@ -147,6 +147,12 @@ class Sram {
 
   // ---- introspection -----------------------------------------------------
 
+  /// The attached fault behaviour (never null — a default-constructed
+  /// memory carries FaultFreeBehavior).  The in-field layer uses this to
+  /// reach the SoftErrorBehavior wrapper for scrub hints and scoring.
+  [[nodiscard]] FaultBehavior& behavior() { return *behavior_; }
+  [[nodiscard]] const FaultBehavior& behavior() const { return *behavior_; }
+
   [[nodiscard]] const OpCounters& counters() const { return counters_; }
   void reset_counters() { counters_ = OpCounters{}; }
 

@@ -198,6 +198,28 @@ TEST(Notation, RoundTripsPause) {
   EXPECT_EQ(elements_to_string(elements), text);
 }
 
+TEST(Notation, PauseDurationsUpToU64MaxNanosecondsParse) {
+  // 2^64 - 1 ns is the largest representable pause.
+  const auto elements =
+      parse_elements("{once(pause18446744073709551615ns)}");
+  ASSERT_EQ(elements.size(), 1u);
+  EXPECT_EQ(elements[0].ops[0].pause_ns, 18'446'744'073'709'551'615ull);
+}
+
+TEST(Notation, PauseDurationOverflowIsARejectionNotAWrap) {
+  // Past 2^64 the old stoull path threw std::out_of_range (escaping the
+  // notation error contract); now it reports through require().
+  EXPECT_THROW((void)parse_elements("{once(pause99999999999999999999ns)}"),
+               std::invalid_argument);
+  // Fits in u64 as a count, but the ms -> ns scale would silently wrap:
+  // 5e13 ms * 1e6 = 5e19 ns > 2^64.
+  EXPECT_THROW((void)parse_elements("{once(pause50000000000000ms)}"),
+               std::invalid_argument);
+  // The largest ms value that still fits scales cleanly.
+  const auto elements = parse_elements("{once(pause18446744073709ms)}");
+  EXPECT_EQ(elements[0].ops[0].pause_ns, 18'446'744'073'709'000'000ull);
+}
+
 TEST(Notation, RejectsMalformedInput) {
   EXPECT_THROW((void)parse_elements("any(w0)"), std::invalid_argument);
   EXPECT_THROW((void)parse_elements("{sideways(w0)}"), std::invalid_argument);
@@ -611,6 +633,59 @@ TEST(Population, InterWordPairsDiffer) {
   for (const auto& f : population.instances) {
     EXPECT_NE(f.victim.row, f.aggressor.row);
   }
+}
+
+TEST(Runner, RetentionPauseGroupRunsMatchPerMemoryRuns) {
+  // Differential check of the satellite fix path: a march test whose
+  // `once` elements carry retention pauses must advance every lane's clock
+  // identically whether the fleet goes through run_group() or one run()
+  // per memory — DRF decay is evaluated against that clock, so a skewed
+  // pause would show up as divergent mismatch streams.
+  const auto test = with_retention_pause(march_c_minus(4), 100'000'000);
+  const auto build_fleet = [] {
+    std::vector<std::unique_ptr<Sram>> fleet;
+    for (std::size_t i = 0; i < 6; ++i) {
+      auto config = geometry();
+      config.name = "lane" + std::to_string(i);
+      std::vector<FaultInstance> truth;
+      if (i == 2) {
+        truth.push_back(faults::make_cell_fault(FaultKind::drf0, {3, 1}));
+      }
+      if (i == 4) {
+        truth.push_back(faults::make_cell_fault(FaultKind::drf1, {5, 2}));
+      }
+      fleet.push_back(std::make_unique<Sram>(
+          config, std::make_unique<faults::FaultSet>(truth)));
+    }
+    return fleet;
+  };
+
+  auto grouped = build_fleet();
+  auto reference = build_fleet();
+  std::vector<Sram*> group;
+  for (const auto& lane : grouped) {
+    group.push_back(lane.get());
+  }
+
+  const MarchRunner runner;
+  const auto results = runner.run_group(group, test);
+  ASSERT_EQ(results.size(), grouped.size());
+  for (std::size_t i = 0; i < grouped.size(); ++i) {
+    const auto expected = runner.run(*reference[i], test);
+    EXPECT_EQ(results[i].ops, expected.ops) << "lane " << i;
+    EXPECT_EQ(results[i].elapsed_ns, expected.elapsed_ns) << "lane " << i;
+    ASSERT_EQ(results[i].mismatches.size(), expected.mismatches.size())
+        << "lane " << i;
+    for (std::size_t m = 0; m < results[i].mismatches.size(); ++m) {
+      EXPECT_TRUE(results[i].mismatches[m] == expected.mismatches[m])
+          << "lane " << i << " mismatch " << m;
+    }
+    EXPECT_EQ(grouped[i]->now_ns(), reference[i]->now_ns()) << "lane " << i;
+  }
+  // The retention pause is what exposes the DRF lanes at all.
+  EXPECT_TRUE(results[2].detected());
+  EXPECT_TRUE(results[4].detected());
+  EXPECT_FALSE(results[0].detected());
 }
 
 TEST(Population, EvaluateAllCoversEveryKind) {

@@ -22,24 +22,33 @@ int main(int argc, char** argv) {
   using namespace fastdiag;
 
   ArgParser args(argc, argv);
-  const std::string socket_path = args.get_string(
-      "socket", "", "serve an AF_UNIX socket at this path instead of stdio");
-  const std::uint64_t cache_max = args.get_u64(
-      "cache-max", 0, "classifier cache entry bound (0 = unbounded)");
-  const std::string cache_dir = args.get_string(
-      "cache-dir", ".",
-      "directory client save_cache/load_cache requests are confined to "
-      "(empty = refuse them)");
-  const std::string load_cache = args.get_string(
-      "load-cache", "", "warm the classifier cache from this FDCC file");
-  if (args.help_requested()) {
-    args.print_help("fleet diagnosis job server (frames per service/protocol.h)");
-    return 0;
-  }
+  std::string socket_path;
+  std::uint64_t cache_max = 0;
+  std::string cache_dir;
+  std::string load_cache;
+  // The value getters throw on malformed numerics (e.g. --cache-max=abc),
+  // so the whole parse lives inside the guard — a bad flag must end in a
+  // usage message and exit 2, never an uncaught-exception terminate.
   try {
+    socket_path = args.get_string(
+        "socket", "", "serve an AF_UNIX socket at this path instead of stdio");
+    cache_max = args.get_u64(
+        "cache-max", 0, "classifier cache entry bound (0 = unbounded)");
+    cache_dir = args.get_string(
+        "cache-dir", ".",
+        "directory client save_cache/load_cache requests are confined to "
+        "(empty = refuse them)");
+    load_cache = args.get_string(
+        "load-cache", "", "warm the classifier cache from this FDCC file");
+    if (args.help_requested()) {
+      args.print_help(
+          "fleet diagnosis job server (frames per service/protocol.h)");
+      return 0;
+    }
     args.finish();
   } catch (const std::exception& error) {
-    std::fprintf(stderr, "diagd: %s\n", error.what());
+    std::fprintf(stderr, "diagd: %s\nrun with --help for usage\n",
+                 error.what());
     return 2;
   }
 
